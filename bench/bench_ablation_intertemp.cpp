@@ -1,0 +1,128 @@
+/// \file
+/// Ablation: the InterTempMap directive. Compares three intermittent
+/// tiling policies on the MSP430 platform across harvest levels:
+///   - untiled: one tile per layer (classic run-to-completion);
+///   - max-tiled: the finest enumerated tiling (ultra-conservative
+///     HAWAII-style per-chunk checkpointing);
+///   - searched: the SW-level search's choice (the paper's approach).
+///
+/// Expected shape: untiled fails Eq. 8 under weak harvest (a whole layer
+/// cannot fit one energy cycle); max tiling always runs but pays heavy
+/// checkpoint overhead; the searched tiling adapts N_tile to the
+/// environment (§III-B3) and dominates both.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dataflow/tiling.hpp"
+#include "dnn/model_zoo.hpp"
+#include "hw/msp430_lea.hpp"
+#include "search/mapping_search.hpp"
+#include "sim/analytic_evaluator.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+/// Evaluates a fixed tiling policy (chunk counts chosen per layer by
+/// \p pick) against the environment.
+template <typename PickFn>
+std::pair<dataflow::ModelCost, sim::AnalyticResult>
+evaluate_policy(const dnn::Model& model, const hw::Msp430Lea& mcu,
+                const sim::EnergyEnv& env, PickFn&& pick)
+{
+    std::vector<dataflow::LayerMapping> mappings;
+    mappings.reserve(model.layer_count());
+    for (std::size_t i = 0; i < model.layer_count(); ++i)
+        mappings.push_back(pick(model.layer(i)));
+    const auto cost =
+        dataflow::analyze_model(model, mappings, mcu.cost_params());
+    return {cost, sim::analytic_evaluate(cost, env)};
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_banner("Ablation: InterTempMap tiling",
+                        "Untiled vs max-tiled vs searched intermittent "
+                        "tiling across harvest levels (MSP430, C = "
+                        "100 uF).");
+
+    const hw::Msp430Lea mcu;
+    const double panels_cm2[] = {1.0, 3.0, 8.0, 20.0};
+    const char* workloads[] = {"cifar10", "har"};
+
+    TextTable table({"Workload", "SP (cm^2)", "Policy", "N_tile",
+                     "Ckpt E", "Latency"});
+    int searched_wins = 0, comparisons = 0;
+    for (const char* name : workloads) {
+        const dnn::Model model = dnn::make_model(name);
+        for (double panel : panels_cm2) {
+            sim::EnergyEnv env;
+            env.p_eh_w = panel * 0.5e-3;  // darker environment
+            env.capacitor.capacitance_f = 100e-6;
+
+            // Untiled.
+            auto [untiled_cost, untiled] = evaluate_policy(
+                model, mcu, env, [](const dnn::Layer&) {
+                    return dataflow::LayerMapping{};
+                });
+            // Max tiling from the enumeration bounds.
+            auto [max_cost, maxed] = evaluate_policy(
+                model, mcu, env, [](const dnn::Layer& layer) {
+                    dataflow::LayerMapping mapping;
+                    mapping.tiles_k = layer.dims.k;
+                    mapping.tiles_y = layer.dims.y;
+                    mapping.clamp_to(layer);
+                    return mapping;
+                });
+            // Searched.
+            search::MappingSearchOptions options;
+            const auto searched =
+                search_mappings(model, mcu, {env}, options);
+            const auto searched_eval =
+                sim::analytic_evaluate(searched.cost, env);
+
+            const auto row = [&](const char* policy,
+                                 const dataflow::ModelCost& cost,
+                                 const sim::AnalyticResult& eval) {
+                table.add_row(
+                    {name, format_fixed(panel, 0), policy,
+                     std::to_string(cost.n_tile),
+                     format_si(cost.e_ckpt_j, "J", 1),
+                     eval.feasible ? format_si(eval.latency_s, "s")
+                                   : ("infeasible: " +
+                                      eval.failure_reason)});
+            };
+            row("untiled", untiled_cost, untiled);
+            row("max-tiled", max_cost, maxed);
+            row("searched", searched.cost, searched_eval);
+
+            if (searched_eval.feasible) {
+                ++comparisons;
+                const bool beats_untiled =
+                    !untiled.feasible ||
+                    searched_eval.latency_s <=
+                        untiled.latency_s * (1.0 + 1e-9);
+                const bool beats_max =
+                    !maxed.feasible ||
+                    searched_eval.latency_s <=
+                        maxed.latency_s * (1.0 + 1e-9);
+                searched_wins += (beats_untiled && beats_max) ? 1 : 0;
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nSearched tiling dominates both fixed policies in "
+              << searched_wins << "/" << comparisons
+              << " feasible configurations.\n"
+              << "Expected shape: untiled infeasible at small panels "
+                 "(Eq. 8); max tiling always feasible but checkpoint-"
+                 "heavy; searched N_tile shrinks as harvest grows "
+                 "(SIII-B3).\n";
+    return 0;
+}

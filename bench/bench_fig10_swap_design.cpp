@@ -1,0 +1,202 @@
+/// \file
+/// Figure 10: design results for the four Table-V networks and the two
+/// accelerator architectures under the three objective functions,
+/// comparing CHRYSALIS against the six ablated baselines of Table VI
+/// (wo/Cap, wo/SP, wo/EA, wo/PE, wo/Cache, wo/IA).
+///
+/// Expected shape:
+///   - CHRYSALIS is never worse than any ablation on any cell;
+///   - wo/EA is worse than (or equal to) both wo/Cap and wo/SP;
+///   - with the SP constraint the latency drops well below the
+///     unconstrained-IA tens-of-seconds regime (paper: >20 s -> <5 s);
+///   - under the latency constraint the full search shrinks the panel
+///     versus wo/IA (paper: average SP -36.2%).
+
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.hpp"
+#include "common/math_utils.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dnn/model_zoo.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+struct CellResult {
+    bool feasible = false;        ///< runs at all (Eq. 8, leakage)
+    bool constraint_ok = false;   ///< also satisfies the objective's bound
+    double latency_s = 0.0;
+    double sp_cm2 = 0.0;
+    double lat_sp = 0.0;
+    double score = 0.0;
+};
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_banner("Figure 10",
+                        "4 networks x {TPU, Eyeriss} x 3 objectives: "
+                        "CHRYSALIS vs the Table-VI ablation baselines.");
+
+    const bench::Budget budget = bench::Budget::from_env();
+    const search::Objective objectives[] = {
+        {search::ObjectiveKind::kLatency, /*sp_limit=*/20.0, 0.0},
+        {search::ObjectiveKind::kSolarPanel, 0.0, /*lat_limit=*/10.0},
+        {search::ObjectiveKind::kLatSp, 0.0, 0.0},
+    };
+    const hw::AcceleratorArch archs[] = {hw::AcceleratorArch::kTpu,
+                                         hw::AcceleratorArch::kEyeriss};
+
+    int chrysalis_wins = 0, cells = 0;
+    int wo_ea_dominated = 0, wo_ea_cells = 0;
+    std::vector<double> sp_shrink;  // CHRYSALIS vs the IA approach (wo/EA)
+    std::vector<double> lat_shrink;  // same, under the lat objective
+
+    std::uint64_t seed = 10000;
+    for (const auto& net : dnn::table5_workloads()) {
+        const dnn::Model model = dnn::make_model(net);
+        for (auto arch : archs) {
+            std::cout << "\n--- " << net << " on " << to_string(arch)
+                      << " ---\n";
+            TextTable table({"Method", "lat obj: Lat (s)",
+                             "sp obj: SP (cm^2)",
+                             "lat*sp obj: lat*sp"});
+
+            std::map<std::string, CellResult> cell[3];
+            for (int o = 0; o < 3; ++o) {
+                // All methods in a cell share the seed so differences
+                // come from the search space, not GA luck. The ablations
+                // run first; CHRYSALIS (last in all_baselines()) is
+                // portfolio-seeded with their solutions — all of which
+                // live inside its superset space, so the full search can
+                // only refine them.
+                ++seed;
+                std::vector<search::HwCandidate> portfolio;
+                for (auto baseline : search::all_baselines()) {
+                    search::DesignSpace space =
+                        apply_baseline(search::DesignSpace::future_aut(),
+                                       baseline);
+                    // Each panel fixes the architecture (the paper plots
+                    // TPU and Eyeriss separately).
+                    space.search_arch = false;
+                    space.defaults.arch = arch;
+                    const bool is_full =
+                        baseline == search::BaselineKind::kFull;
+                    const core::AuTSolution solution = bench::run_search(
+                        model, space, objectives[o], budget, seed,
+                        is_full ? portfolio
+                                : std::vector<search::HwCandidate>{});
+                    if (!is_full && solution.feasible)
+                        portfolio.push_back(solution.hardware);
+                    CellResult result;
+                    result.feasible = solution.feasible;
+                    result.constraint_ok =
+                        solution.feasible &&
+                        objectives[o].satisfies_constraint(
+                            solution.mean_latency_s,
+                            solution.hardware.solar_cm2);
+                    result.latency_s = solution.mean_latency_s;
+                    result.sp_cm2 = solution.hardware.solar_cm2;
+                    result.lat_sp = solution.lat_sp;
+                    result.score = solution.score;
+                    cell[o][to_string(baseline)] = result;
+                }
+            }
+
+            for (auto baseline : search::all_baselines()) {
+                const std::string method = to_string(baseline);
+                const auto fmt = [&](int o, double value) {
+                    if (!cell[o][method].feasible)
+                        return std::string("infeasible");
+                    std::string text = format_fixed(value, 2);
+                    if (!cell[o][method].constraint_ok)
+                        text += " !";  // violates the objective's bound
+                    return text;
+                };
+                table.add_row({method,
+                               fmt(0, cell[0][method].latency_s),
+                               fmt(1, cell[1][method].sp_cm2),
+                               fmt(2, cell[2][method].lat_sp)});
+            }
+            table.print(std::cout);
+
+            // Shape accounting. Ties within 2% count as best-or-tied:
+            // the GA budget here is orders of magnitude below the
+            // paper's 10^(4+2n) evaluations.
+            for (int o = 0; o < 3; ++o) {
+                const auto& full = cell[o]["CHRYSALIS"];
+                if (!full.feasible)
+                    continue;
+                bool wins = true;
+                for (auto baseline : search::all_baselines()) {
+                    if (baseline == search::BaselineKind::kFull)
+                        continue;
+                    const auto& other = cell[o][to_string(baseline)];
+                    if (other.feasible &&
+                        full.score > other.score * 1.02) {
+                        wins = false;
+                    }
+                }
+                ++cells;
+                chrysalis_wins += wins ? 1 : 0;
+
+                const auto& wo_ea = cell[o]["wo/EA"];
+                const auto& wo_cap = cell[o]["wo/Cap"];
+                const auto& wo_sp = cell[o]["wo/SP"];
+                if (wo_ea.feasible && wo_cap.feasible && wo_sp.feasible) {
+                    ++wo_ea_cells;
+                    if (wo_ea.score >= wo_cap.score * 0.98 &&
+                        wo_ea.score >= wo_sp.score * 0.98) {
+                        ++wo_ea_dominated;
+                    }
+                }
+            }
+            // Paper: "By imposing SP constraints, the latency reduces
+            // from over 20 s to below 5 s (TPU, IA approach)": compare
+            // CHRYSALIS under the lat objective to the IA-only approach
+            // (wo/EA) in the same cell.
+            if (cell[0]["CHRYSALIS"].constraint_ok &&
+                cell[0]["wo/EA"].feasible) {
+                lat_shrink.push_back(relative_improvement(
+                    cell[0]["wo/EA"].latency_s,
+                    cell[0]["CHRYSALIS"].latency_s));
+            }
+            // Paper: "the average size of SP decreases by 36.2% under
+            // latency constraints (IA)": CHRYSALIS's searched panel vs
+            // the IA approach's fixed default panel, over cells where
+            // both actually satisfy the latency constraint (VGG16 cannot
+            // meet 10 s at any panel size in this model and is excluded).
+            if (cell[1]["CHRYSALIS"].constraint_ok &&
+                cell[1]["wo/EA"].constraint_ok) {
+                sp_shrink.push_back(relative_improvement(
+                    cell[1]["wo/EA"].sp_cm2,
+                    cell[1]["CHRYSALIS"].sp_cm2));
+            }
+        }
+    }
+
+    std::cout << "\n=== Shape checks ===\n";
+    std::cout << "CHRYSALIS best-or-tied (2% tolerance) in "
+              << chrysalis_wins << "/" << cells
+              << " cells (paper: consistently best).\n";
+    std::cout << "wo/EA no better than wo/Cap and wo/SP in "
+              << wo_ea_dominated << "/" << wo_ea_cells << " cells.\n";
+    if (!lat_shrink.empty()) {
+        std::cout << "Average latency reduction vs the IA approach "
+                     "(wo/EA) under the SP constraint: "
+                  << format_percent(summarize(lat_shrink).mean)
+                  << " (paper: >20 s -> <5 s, i.e. ~75%).\n";
+    }
+    if (!sp_shrink.empty()) {
+        std::cout << "Average SP reduction vs the IA approach under the "
+                     "latency constraint: "
+                  << format_percent(summarize(sp_shrink).mean)
+                  << " (paper: 36.2%).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/// \file
+/// Figure 11: energy efficiency (E_infer / E_eh) of the best
+/// configurations found by each search method across the Table-V
+/// network/architecture scenarios (lat*sp objective).
+///
+/// Expected shape: CHRYSALIS maintains consistently high efficiency;
+/// methods that ignore the energy subsystem (wo/EA) mismatch the SP/Cap
+/// sizing to the inference subsystem and lose efficiency in several
+/// scenarios.
+
+#include <iostream>
+#include <map>
+
+#include "common/bench_util.hpp"
+#include "common/math_utils.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "core/chrysalis.hpp"
+#include "dnn/model_zoo.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+    bench::print_banner("Figure 11",
+                        "Energy efficiency E_infer/E_eh of the designs "
+                        "chosen by each method (lat*sp objective).");
+
+    const bench::Budget budget = bench::Budget::from_env();
+    const search::Objective objective{search::ObjectiveKind::kLatSp, 0.0,
+                                      0.0};
+    const hw::AcceleratorArch archs[] = {hw::AcceleratorArch::kTpu,
+                                         hw::AcceleratorArch::kEyeriss};
+
+    std::map<std::string, std::vector<double>> efficiency_by_method;
+    std::uint64_t seed = 42000;
+
+    TextTable table({"Scenario", "Method", "SP (cm^2)", "C",
+                     "Latency (s)", "Energy eff."});
+    for (const auto& net : dnn::table5_workloads()) {
+        const dnn::Model model = dnn::make_model(net);
+        for (auto arch : archs) {
+            const std::string scenario =
+                net + "/" + hw::to_string(arch);
+            for (auto baseline : search::all_baselines()) {
+                search::DesignSpace space = apply_baseline(
+                    search::DesignSpace::future_aut(), baseline);
+                space.search_arch = false;
+                space.defaults.arch = arch;
+
+                core::ChrysalisInputs inputs{
+                    model, space, objective,
+                    bench::make_options(budget, ++seed)};
+                const core::Chrysalis tool(std::move(inputs));
+                const core::AuTSolution solution = tool.generate();
+                if (!solution.feasible) {
+                    table.add_row({scenario, to_string(baseline), "-",
+                                   "-", "-", "infeasible"});
+                    continue;
+                }
+                // Efficiency in the brighter environment (matches the
+                // paper's reporting convention).
+                const double k_eh = 2e-3;
+                sim::EnergyEnv env;
+                env.p_eh_w = solution.hardware.solar_cm2 * k_eh;
+                env.capacitor.capacitance_f =
+                    solution.hardware.capacitance_f;
+                const auto eval =
+                    sim::analytic_evaluate(solution.cost, env);
+                const double efficiency =
+                    eval.feasible ? eval.system_efficiency : 0.0;
+                efficiency_by_method[to_string(baseline)].push_back(
+                    efficiency);
+                table.add_row(
+                    {scenario, to_string(baseline),
+                     format_fixed(solution.hardware.solar_cm2, 1),
+                     format_si(solution.hardware.capacitance_f, "F", 0),
+                     format_fixed(solution.mean_latency_s, 2),
+                     format_percent(efficiency)});
+            }
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\n=== Mean energy efficiency by method ===\n";
+    TextTable summary({"Method", "Mean eff.", "Min eff.", "Scenarios"});
+    for (auto baseline : search::all_baselines()) {
+        const auto& samples = efficiency_by_method[to_string(baseline)];
+        if (samples.empty())
+            continue;
+        const auto stats = summarize(samples);
+        summary.add_row({to_string(baseline),
+                         format_percent(stats.mean),
+                         format_percent(stats.min),
+                         std::to_string(samples.size())});
+    }
+    summary.print(std::cout);
+    std::cout << "\nShape check: CHRYSALIS maintains a consistently high "
+                 "efficiency floor across scenarios. As the paper notes, "
+                 "it is not always the single highest ('some results may "
+                 "have slightly lower energy efficiency') because the "
+                 "lat*sp objective trades a little efficiency for the "
+                 "product metric; the energy-blind baselines' mismatch "
+                 "shows up in Fig. 10's latency/panel columns.\n";
+    return 0;
+}

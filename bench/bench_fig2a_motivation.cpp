@@ -1,0 +1,95 @@
+/// \file
+/// Figure 2(a): comparison between the current intermittent inference
+/// platform (MSP430FR5994+LEA running a MNIST CNN, HAWAII-style) and a
+/// popular AI accelerator (Eyeriss V1 running AlexNet), both under
+/// continuous (non-intermittent) power.
+///
+/// Paper row:      MSP430: 1447 ms, 1.608 MOPs, 7.5 mW
+///                 Eyeriss: 115.3 ms, 2663 MOPs, 278 mW
+/// Expected shape: the accelerator is ~3 orders of magnitude faster per
+/// op but needs ~40x the power — infeasible for mW-class harvesting.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dataflow/cost_model.hpp"
+#include "dnn/model_zoo.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/msp430_lea.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+    bench::print_banner("Figure 2(a)",
+                        "Motivation: intermittent MCU platform vs. "
+                        "high-performance accelerator, non-intermittent "
+                        "condition.");
+
+    struct Row {
+        std::string hw_name;
+        std::string model_name;
+        std::string input;
+        double time_s;
+        double mops;
+        double power_w;
+        double energy_j;
+        double paper_time_s;
+        double paper_power_w;
+    };
+    std::vector<Row> rows;
+
+    {
+        const hw::Msp430Lea mcu;
+        const auto model = dnn::make_mnist_cnn();
+        const auto cost = dataflow::analyze_model_untiled(
+            model, dataflow::Dataflow::kWeightStationary,
+            mcu.cost_params());
+        rows.push_back({"MSP430FR5994+LEA", "MNIST-CNN", "1x28x28",
+                        cost.time_s, model.total_flops() / 1e6,
+                        cost.total_energy_j() / cost.time_s,
+                        cost.total_energy_j(), 1.447, 7.5e-3});
+    }
+    {
+        hw::ReconfigurableAccelerator::Config config;
+        config.arch = hw::AcceleratorArch::kEyeriss;
+        config.n_pe = 168;
+        config.cache_bytes_per_pe = 512;
+        const hw::ReconfigurableAccelerator accel(config);
+        const auto model = dnn::make_alexnet();
+        const auto cost = dataflow::analyze_model_untiled(
+            model, dataflow::Dataflow::kRowStationary,
+            accel.cost_params());
+        rows.push_back({"Eyeriss V1 (168 PE)", "AlexNet", "3x224x224",
+                        cost.time_s, model.total_flops() / 1e6,
+                        cost.total_energy_j() / cost.time_s,
+                        cost.total_energy_j(), 0.1153, 278e-3});
+    }
+
+    TextTable table({"Inference HW", "Test Model", "Input",
+                     "Time (ms)", "paper (ms)", "MOPs", "Power (mW)",
+                     "paper (mW)", "Energy (mJ)"});
+    for (const auto& row : rows) {
+        table.add_row({row.hw_name, row.model_name, row.input,
+                       format_fixed(row.time_s * 1e3, 1),
+                       format_fixed(row.paper_time_s * 1e3, 1),
+                       format_fixed(row.mops, 1),
+                       format_fixed(row.power_w * 1e3, 1),
+                       format_fixed(row.paper_power_w * 1e3, 1),
+                       format_fixed(row.energy_j * 1e3, 2)});
+    }
+    table.print(std::cout);
+
+    const double speed_ratio =
+        (rows[1].mops / rows[1].time_s) / (rows[0].mops / rows[0].time_s);
+    const double power_ratio = rows[1].power_w / rows[0].power_w;
+    std::cout << "\nShape check: accelerator throughput advantage = "
+              << format_fixed(speed_ratio, 0) << "x, power cost = "
+              << format_fixed(power_ratio, 0)
+              << "x (paper: ~1500x and ~37x).\n"
+              << "A mW-class harvester can sustain the MCU but not the "
+                 "accelerator - the EA/IA co-design gap.\n";
+    return 0;
+}

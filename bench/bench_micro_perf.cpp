@@ -1,0 +1,154 @@
+/// \file
+/// Micro-benchmarks (google-benchmark) for the framework's hot paths:
+/// per-layer cost analysis, whole-model analysis, the analytic evaluator,
+/// the SW-level mapping search, simulator stepping, and a full GA
+/// generation. These quantify the analytic-vs-step-simulation ablation
+/// called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/chrysalis.hpp"
+#include "dnn/model_zoo.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/msp430_lea.hpp"
+#include "search/mapping_search.hpp"
+#include "sim/analytic_evaluator.hpp"
+#include "sim/intermittent_simulator.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+void
+BM_AnalyzeLayer(benchmark::State& state)
+{
+    const auto layer = dnn::make_conv2d("c", 64, 128, 28, 28, 3, 1, 1);
+    const hw::Msp430Lea mcu;
+    const auto params = mcu.cost_params();
+    dataflow::LayerMapping mapping;
+    mapping.tiles_k = 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dataflow::analyze_layer(layer, mapping, params));
+    }
+}
+BENCHMARK(BM_AnalyzeLayer);
+
+void
+BM_AnalyzeModelVgg16(benchmark::State& state)
+{
+    const auto model = dnn::make_vgg16();
+    hw::ReconfigurableAccelerator::Config config;
+    const hw::ReconfigurableAccelerator accel(config);
+    const auto params = accel.cost_params();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dataflow::analyze_model_untiled(
+            model, dataflow::Dataflow::kRowStationary, params));
+    }
+}
+BENCHMARK(BM_AnalyzeModelVgg16);
+
+void
+BM_AnalyticEvaluate(benchmark::State& state)
+{
+    const auto model = dnn::make_cifar10_cnn();
+    const hw::Msp430Lea mcu;
+    const auto cost = dataflow::analyze_model_untiled(
+        model, dataflow::Dataflow::kWeightStationary, mcu.cost_params());
+    sim::EnergyEnv env;
+    env.p_eh_w = 16e-3;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::analytic_evaluate(cost, env));
+}
+BENCHMARK(BM_AnalyticEvaluate);
+
+void
+BM_StepSimulatorKws(benchmark::State& state)
+{
+    const auto model = dnn::make_kws_mlp();
+    const hw::Msp430Lea mcu;
+    std::vector<dataflow::LayerMapping> mappings(model.layer_count());
+    for (std::size_t i = 0; i < mappings.size(); ++i) {
+        mappings[i].tiles_k = 4;
+        mappings[i].clamp_to(model.layer(i));
+    }
+    const auto cost =
+        dataflow::analyze_model(model, mappings, mcu.cost_params());
+    sim::SimConfig config;
+    config.step_s = 0.01;
+    for (auto _ : state) {
+        energy::Capacitor::Config cap;
+        cap.capacitance_f = 470e-6;
+        cap.initial_voltage_v = 3.5;
+        energy::EnergyController controller(
+            std::make_unique<energy::SolarPanel>(
+                8.0, std::make_shared<energy::ConstantSolarEnvironment>(
+                         2e-3, "bm")),
+            energy::Capacitor(cap),
+            energy::PowerManagementIc{
+                energy::PowerManagementIc::Config{}});
+        benchmark::DoNotOptimize(
+            sim::simulate_inference(cost, controller, config));
+    }
+}
+BENCHMARK(BM_StepSimulatorKws);
+
+void
+BM_MappingSearchCifar(benchmark::State& state)
+{
+    const auto model = dnn::make_cifar10_cnn();
+    const hw::Msp430Lea mcu;
+    sim::EnergyEnv env;
+    env.p_eh_w = 16e-3;
+    search::MappingSearchOptions options;
+    options.max_candidates_per_dim =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            search::search_mappings(model, mcu, {env}, options));
+    }
+}
+BENCHMARK(BM_MappingSearchCifar)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_ExplorerGeneration(benchmark::State& state)
+{
+    // One full outer-GA evaluation batch on the quickstart scenario.
+    core::ChrysalisInputs inputs{
+        dnn::make_simple_conv(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        search::ExplorerOptions{},
+    };
+    inputs.options.outer.population = 8;
+    inputs.options.outer.generations = 2;
+    inputs.options.inner.max_candidates_per_dim = 4;
+    const core::Chrysalis tool(std::move(inputs));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tool.generate());
+}
+BENCHMARK(BM_ExplorerGeneration);
+
+void
+BM_EnergyControllerStep(benchmark::State& state)
+{
+    energy::Capacitor::Config cap;
+    cap.capacitance_f = 470e-6;
+    cap.initial_voltage_v = 3.0;
+    energy::EnergyController controller(
+        std::make_unique<energy::SolarPanel>(
+            8.0, std::make_shared<energy::ConstantSolarEnvironment>(
+                     2e-3, "bm")),
+        energy::Capacitor(cap),
+        energy::PowerManagementIc{energy::PowerManagementIc::Config{}});
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(controller.step(t, 0.01, 3e-3));
+        t += 0.01;
+    }
+}
+BENCHMARK(BM_EnergyControllerStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/// \file
+/// Table II: the usage model and parameter notation of CHRYSALIS, printed
+/// with the concrete default values this reproduction uses so the mapping
+/// from paper symbol to code entity is explicit.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "energy/capacitor.hpp"
+#include "energy/power_management.hpp"
+#include "hw/msp430_lea.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+    bench::print_banner("Table II",
+                        "Usage model and parameter notations for AuT "
+                        "modeling in CHRYSALIS (with this repo's "
+                        "defaults).");
+
+    const energy::Capacitor::Config cap{};
+    const energy::PowerManagementIc::Config pmic{};
+    const hw::Msp430Lea mcu;
+    const auto params = mcu.cost_params();
+
+    TextTable table({"Category", "Param", "Introduction",
+                     "Default in this repo"});
+    table.add_row({"Input/Environment", "k_eh",
+                   "Environmental light coefficient",
+                   "2.0 mW/cm^2 (brighter) / 0.5 mW/cm^2 (darker)"});
+    table.add_row({"Input/Technology", "k_cap",
+                   "Leakage current coefficient (Eq. 2)",
+                   format_fixed(cap.k_cap, 3) + " 1/s"});
+    table.add_row({"Input/Technology", "U_on / U_off",
+                   "Threshold voltages for the system state",
+                   format_fixed(pmic.v_on, 1) + " V / " +
+                       format_fixed(pmic.v_off, 1) + " V"});
+    table.add_row({"Input/Technology", "e_r / e_w",
+                   "Energy cost of r/w each byte from NVM",
+                   format_si(params.e_nvm_read_byte_j, "J/B") + " / " +
+                       format_si(params.e_nvm_write_byte_j, "J/B")});
+    table.add_row({"Input/Technology", "p_mem",
+                   "Static power of each byte of memory",
+                   format_si(params.p_mem_w_per_byte, "W/B")});
+    table.add_row({"Input", "pi",
+                   "Objective demand function",
+                   "lat | sp | lat*sp (search::Objective)"});
+    table.add_row({"Input", "Workload",
+                   "Domain-specific DNN task and dataset",
+                   "dnn::make_model(name)"});
+    table.add_row({"Variable", "r_exc",
+                   "Energy exception rate of the inference",
+                   format_fixed(params.exception_rate, 2)});
+    table.add_row({"Variable", "E_df / T_df",
+                   "Whole energy and latency of inference with 1 PE",
+                   "dataflow::LayerCost"});
+    table.add_row({"Variable", "N_data",
+                   "Inference data size",
+                   "LayerCost::nvm_read/write_bytes"});
+    table.add_row({"Variable", "N_ckpt",
+                   "Checkpoint data size",
+                   "LayerCost::ckpt_bytes"});
+    table.add_row({"Output/EH HW", "C", "Capacitor size",
+                   "HwCandidate::capacitance_f (1 uF..10 mF)"});
+    table.add_row({"Output/EH HW", "A_eh", "The size of solar panel",
+                   "HwCandidate::solar_cm2 (1..30 cm^2)"});
+    table.add_row({"Output/Infer HW", "N_tile",
+                   "Tile number of the layer",
+                   "LayerMapping::tile_count()"});
+    table.add_row({"Output/Infer HW", "N_mem", "VM memory size per PE",
+                   "HwCandidate::cache_bytes (128 B..2 KiB)"});
+    table.add_row({"Output/Infer HW", "N_PE", "PE number",
+                   "HwCandidate::n_pe (1..168)"});
+    table.add_row({"Output", "Dataflow",
+                   "Preferable dataflow of DNN task",
+                   "LayerMapping::dataflow (WS/OS/IS/RS)"});
+    table.print(std::cout);
+    return 0;
+}

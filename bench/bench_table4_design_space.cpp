@@ -1,0 +1,71 @@
+/// \file
+/// Table IV: the design space for the existing-AuT (MSP430) setup and the
+/// four applications' parameter/FLOP statistics, printed achieved-vs-paper
+/// so the workload fidelity is auditable.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dnn/model_zoo.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+    bench::print_banner("Table IV",
+                        "Design space for fast construction and "
+                        "exploration of efficient AuT design "
+                        "(existing MSP430 setup).");
+
+    const auto space = search::DesignSpace::existing_aut();
+    TextTable knobs({"Parameter Name", "Type", "Potential Values"});
+    knobs.set_title("Design Spaces");
+    knobs.add_row({"Solar Panel Size", "float",
+                   format_fixed(space.solar_min_cm2, 0) + " cm^2 to " +
+                       format_fixed(space.solar_max_cm2, 0) + " cm^2"});
+    knobs.add_row({"Capacitor Size", "float (log)",
+                   format_si(space.cap_min_f, "F", 0) + " to " +
+                       format_si(space.cap_max_f, "F", 0)});
+    knobs.add_row({"Tiling Size", "list(int)",
+                   "factors of each output dimension (K, Y, N)"});
+    knobs.print(std::cout);
+
+    struct PaperRow {
+        const char* name;
+        const char* input;
+        int layers;
+        double params_k;
+        double kflops;
+    };
+    // Paper values from Table IV.
+    static constexpr PaperRow kPaper[] = {
+        {"simple_conv", "(3,32,32)", 1, 1.2, 13.8},
+        {"cifar10", "(3,32,32)", 7, 77.5, 9052.1},
+        {"har", "(9,128,1)", 5, 9.4, 205.2},
+        {"kws", "(250,1,1)", 5, 49.5, 49.5},
+    };
+
+    TextTable apps({"Application", "Input", "Layers", "Params(k)",
+                    "paper Params(k)", "kMACs", "kFLOPs",
+                    "paper kFLOPs"});
+    apps.set_title("\nApplications (achieved vs paper)");
+    for (const auto& row : kPaper) {
+        const dnn::Model model = dnn::make_model(row.name);
+        apps.add_row({
+            model.name(),
+            row.input,
+            std::to_string(model.layer_count()),
+            format_fixed(model.total_params() / 1e3, 1),
+            format_fixed(row.params_k, 1),
+            format_fixed(model.total_macs() / 1e3, 1),
+            format_fixed(model.total_flops() / 1e3, 1),
+            format_fixed(row.kflops, 1),
+        });
+    }
+    apps.print(std::cout);
+    std::cout << "\nNote: the paper mixes FLOPs=MACs and FLOPs=2*MACs "
+                 "conventions across rows; both columns are printed.\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/// \file
+/// Table V: the design space for the future-AuT setup (reconfigurable
+/// accelerators) and the four networks' statistics, achieved-vs-paper.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dnn/model_zoo.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+    bench::print_banner("Table V",
+                        "Design space for AuT design with reconfigurable "
+                        "accelerators (future setup).");
+
+    const auto space = search::DesignSpace::future_aut();
+    TextTable knobs({"Parameter Name", "Type", "Potential Values"});
+    knobs.set_title("Design Spaces");
+    knobs.add_row({"Solar Panel Size", "float",
+                   format_fixed(space.solar_min_cm2, 0) + " cm^2 to " +
+                       format_fixed(space.solar_max_cm2, 0) + " cm^2"});
+    knobs.add_row({"Capacitor Size", "float (log)",
+                   format_si(space.cap_min_f, "F", 0) + " to " +
+                       format_si(space.cap_max_f, "F", 0)});
+    knobs.add_row({"Architecture", "union", "TPU, Eyeriss"});
+    knobs.add_row({"PE Number", "int",
+                   std::to_string(space.pe_min) + " to " +
+                       std::to_string(space.pe_max)});
+    knobs.add_row({"PE cache size", "int",
+                   std::to_string(space.cache_min_bytes) + " B to " +
+                       std::to_string(space.cache_max_bytes) + " B"});
+    knobs.print(std::cout);
+
+    struct PaperRow {
+        const char* name;
+        const char* input;
+        int layers;
+        double params_m;
+        double gflops;
+    };
+    static constexpr PaperRow kPaper[] = {
+        {"bert", "(1,768)", 5, 56.6, 1.28},
+        {"alexnet", "(3,224,224)", 7, 58.7, 1.13},
+        {"vgg16", "(3,224,224)", 13, 138.3, 15.47},
+        {"resnet18", "(3,224,224)", 20, 11.7, 1.81},
+    };
+
+    TextTable apps({"Application", "Input", "Weight layers", "Params(M)",
+                    "paper Params(M)", "GMACs", "GFLOPs",
+                    "paper GFLOPs"});
+    apps.set_title("\nApplications (achieved vs paper)");
+    for (const auto& row : kPaper) {
+        const dnn::Model model = dnn::make_model(row.name);
+        apps.add_row({
+            model.name(),
+            row.input,
+            std::to_string(model.weight_layer_count()),
+            format_fixed(model.total_params() / 1e6, 1),
+            format_fixed(row.params_m, 1),
+            format_fixed(model.total_macs() / 1e9, 2),
+            format_fixed(model.total_flops() / 1e9, 2),
+            format_fixed(row.gflops, 2),
+        });
+    }
+    apps.print(std::cout);
+    std::cout << "\nNote: VGG16/ResNet18/AlexNet paper GFLOPs equal GMACs "
+                 "(multiply-add counting); BERT matches the 2*MACs "
+                 "convention.\n";
+    return 0;
+}

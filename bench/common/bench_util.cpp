@@ -1,0 +1,74 @@
+#include "common/bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_utils.hpp"
+
+namespace chrysalis::bench {
+
+Budget
+Budget::from_env()
+{
+    Budget budget;
+    const char* raw = std::getenv("CHRYSALIS_BENCH_BUDGET");
+    const std::string mode = raw != nullptr ? to_lower(raw) : "quick";
+    if (mode == "full") {
+        budget.population = 48;
+        budget.generations = 40;
+        budget.mapping_candidates = 8;
+    } else if (mode != "quick") {
+        std::fprintf(stderr,
+                     "[bench] unknown CHRYSALIS_BENCH_BUDGET '%s', using "
+                     "'quick'\n",
+                     mode.c_str());
+    }
+    return budget;
+}
+
+void
+print_banner(const std::string& experiment, const std::string& description)
+{
+    std::printf("\n================================================"
+                "================\n");
+    std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+    std::printf("================================================"
+                "================\n");
+}
+
+search::ExplorerOptions
+make_options(const Budget& budget, std::uint64_t seed)
+{
+    search::ExplorerOptions options;
+    options.outer.population = budget.population;
+    options.outer.generations = budget.generations;
+    options.outer.seed = seed;
+    options.inner.max_candidates_per_dim = budget.mapping_candidates;
+    return options;
+}
+
+core::AuTSolution
+run_search(const dnn::Model& model, const search::DesignSpace& space,
+           const search::Objective& objective, const Budget& budget,
+           std::uint64_t seed,
+           const std::vector<search::HwCandidate>& warm_starts)
+{
+    core::ChrysalisInputs inputs{model, space, objective,
+                                 make_options(budget, seed)};
+    const core::Chrysalis tool(std::move(inputs));
+    return tool.generate(warm_starts);
+}
+
+search::HwCandidate
+inas_reference_candidate()
+{
+    // P_in = 6 mW at the brighter 2 mW/cm^2 preset -> 3 cm^2 panel;
+    // "if the design approach of iNAS are to be adopted ... C >= 1 mF".
+    search::HwCandidate candidate;
+    candidate.family = search::HardwareFamily::kMsp430;
+    candidate.solar_cm2 = 3.0;
+    candidate.capacitance_f = 1e-3;
+    return candidate;
+}
+
+}  // namespace chrysalis::bench

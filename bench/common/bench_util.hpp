@@ -1,0 +1,52 @@
+/// \file
+/// Shared helpers for the paper-reproduction benchmark binaries: budget
+/// control, consistent headers, and the standard search/evaluation recipes
+/// used across figures.
+
+#ifndef CHRYSALIS_BENCH_BENCH_UTIL_HPP
+#define CHRYSALIS_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+
+#include "core/chrysalis.hpp"
+#include "search/bilevel_explorer.hpp"
+
+namespace chrysalis::bench {
+
+/// Search budget for benchmark runs. Controlled by the environment
+/// variable CHRYSALIS_BENCH_BUDGET: "quick" (CI-sized, default), or
+/// "full" (paper-sized; minutes per figure).
+struct Budget {
+    int population = 24;
+    int generations = 16;
+    std::size_t mapping_candidates = 5;
+
+    /// Reads CHRYSALIS_BENCH_BUDGET from the environment.
+    static Budget from_env();
+};
+
+/// Prints the standard benchmark banner (figure id + description).
+void print_banner(const std::string& experiment,
+                  const std::string& description);
+
+/// Builds ExplorerOptions from a budget with the paper's two-environment
+/// setup (brighter + darker).
+search::ExplorerOptions make_options(const Budget& budget,
+                                     std::uint64_t seed);
+
+/// Runs one full CHRYSALIS exploration for (model, space, objective).
+/// \p warm_starts optionally seed the GA (portfolio seeding with
+/// solutions found in subspaces).
+core::AuTSolution run_search(
+    const dnn::Model& model, const search::DesignSpace& space,
+    const search::Objective& objective, const Budget& budget,
+    std::uint64_t seed,
+    const std::vector<search::HwCandidate>& warm_starts = {});
+
+/// The paper's fixed iNAS-style reference point for the existing-AuT
+/// platform (P_in = 6 mW at the brighter preset, C = 1 mF).
+search::HwCandidate inas_reference_candidate();
+
+}  // namespace chrysalis::bench
+
+#endif  // CHRYSALIS_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,89 @@
+/// \file
+/// Scenario example: pre-RTL design of a future AuT vision node (the
+/// paper's §V-B use case). Explores the full joint space — architecture
+/// (TPU vs Eyeriss), PE count, per-PE cache, panel and capacitor — for
+/// AlexNet under the lat*sp efficiency objective, then prints a design
+/// brief: the chosen configuration, its per-layer dataflow, and how the
+/// same search lands when the architecture is pinned to each preset.
+///
+/// Run: ./build/examples/accelerator_designer
+
+#include <cstdio>
+
+#include "common/string_utils.hpp"
+#include "core/chrysalis.hpp"
+#include "core/scenarios.hpp"
+#include "hw/accelerator.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+
+    core::Scenario scenario = core::make_vision_node_scenario();
+    std::printf("Scenario: %s\n  %s\n\n", scenario.name.c_str(),
+                scenario.description.c_str());
+
+    core::Chrysalis tool(scenario.inputs);
+    core::AuTSolution best = tool.generate();
+    if (!best.feasible) {
+        std::printf("no feasible design found\n");
+        return 1;
+    }
+
+    std::printf("=== Pre-RTL design brief ===\n");
+    std::printf("architecture : %s\n",
+                hw::to_string(best.hardware.arch).c_str());
+    std::printf("PE array     : %lld PEs, %lld B cache each\n",
+                static_cast<long long>(best.hardware.n_pe),
+                static_cast<long long>(best.hardware.cache_bytes));
+    std::printf("energy subsys: %.1f cm^2 panel, %s capacitor\n",
+                best.hardware.solar_cm2,
+                format_si(best.hardware.capacitance_f, "F", 0).c_str());
+    std::printf("mean latency : %s   lat*sp: %.2f cm^2*s\n",
+                format_si(best.mean_latency_s, "s").c_str(), best.lat_sp);
+    std::printf("E_all        : %s across %lld tiles\n\n",
+                format_si(best.cost.total_energy_j(), "J").c_str(),
+                static_cast<long long>(best.cost.n_tile));
+
+    // Show the dataflow decisions for the heaviest three layers.
+    std::printf("Dataflow for the three heaviest layers:\n");
+    const dnn::Model& model = tool.inputs().model;
+    std::vector<std::size_t> indices(model.layer_count());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return model.layer(a).macs() > model.layer(b).macs();
+              });
+    for (std::size_t rank = 0; rank < 3 && rank < indices.size();
+         ++rank) {
+        const std::size_t i = indices[rank];
+        std::printf("%s",
+                    best.mappings[i].describe(model.layer(i)).c_str());
+    }
+
+    // Architecture bake-off: pin each preset and re-search.
+    std::printf("\nArchitecture bake-off (same budget, arch pinned):\n");
+    for (auto arch : {hw::AcceleratorArch::kTpu,
+                      hw::AcceleratorArch::kEyeriss}) {
+        core::ChrysalisInputs pinned = scenario.inputs;
+        pinned.space.search_arch = false;
+        pinned.space.defaults.arch = arch;
+        const core::Chrysalis pinned_tool(std::move(pinned));
+        const core::AuTSolution solution = pinned_tool.generate();
+        if (solution.feasible) {
+            std::printf("  %-8s lat*sp %.2f cm^2*s (pe=%lld cache=%lldB "
+                        "sp=%.1fcm^2)\n",
+                        hw::to_string(arch).c_str(), solution.lat_sp,
+                        static_cast<long long>(solution.hardware.n_pe),
+                        static_cast<long long>(
+                            solution.hardware.cache_bytes),
+                        solution.hardware.solar_cm2);
+        } else {
+            std::printf("  %-8s infeasible\n",
+                        hw::to_string(arch).c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,219 @@
+/// \file
+/// Command-line front end for CHRYSALIS: run the full usage model of
+/// Fig. 3 from the shell, on zoo workloads or user model files.
+///
+/// Usage:
+///   chrysalis_cli [options]
+///     --model <zoo-name|path.model>   workload (default: kws). A path is
+///                                     parsed with dnn::load_model.
+///     --space <existing|future>       design space (default: existing)
+///     --objective <lat|sp|latsp>      objective pi (default: latsp)
+///     --sp-limit <cm2>                panel budget for --objective lat
+///     --lat-limit <s>                 deadline for --objective sp
+///     --population <n> --generations <n>   GA budget
+///     --seed <n>                      search seed
+///     --bright <W/cm2> --dark <W/cm2> environment coefficients
+///     --pareto                        run NSGA-II and print the front
+///     --validate                      step-simulate the chosen design
+///     --csv                           machine-readable summary line
+///
+/// Examples:
+///   chrysalis_cli --model har --objective sp --lat-limit 30
+///   chrysalis_cli --model my_net.model --space future --pareto
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+#include "core/chrysalis.hpp"
+#include "dnn/model_io.hpp"
+#include "dnn/model_zoo.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+struct CliOptions {
+    std::string model = "kws";
+    std::string space = "existing";
+    std::string objective = "latsp";
+    double sp_limit = 20.0;
+    double lat_limit = 10.0;
+    int population = 24;
+    int generations = 16;
+    std::uint64_t seed = 1;
+    double bright = 2.0e-3;
+    double dark = 0.5e-3;
+    bool pareto = false;
+    bool validate = false;
+    bool csv = false;
+};
+
+void
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s [--model <zoo|file.model>] [--space existing|future]\n"
+        "          [--objective lat|sp|latsp] [--sp-limit cm2]\n"
+        "          [--lat-limit s] [--population n] [--generations n]\n"
+        "          [--seed n] [--bright W/cm2] [--dark W/cm2]\n"
+        "          [--pareto] [--validate] [--csv]\n",
+        argv0);
+}
+
+bool
+parse_args(int argc, char** argv, CliOptions& options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            options.model = next();
+        } else if (arg == "--space") {
+            options.space = next();
+        } else if (arg == "--objective") {
+            options.objective = next();
+        } else if (arg == "--sp-limit") {
+            options.sp_limit = std::stod(next());
+        } else if (arg == "--lat-limit") {
+            options.lat_limit = std::stod(next());
+        } else if (arg == "--population") {
+            options.population = std::stoi(next());
+        } else if (arg == "--generations") {
+            options.generations = std::stoi(next());
+        } else if (arg == "--seed") {
+            options.seed = std::stoull(next());
+        } else if (arg == "--bright") {
+            options.bright = std::stod(next());
+        } else if (arg == "--dark") {
+            options.dark = std::stod(next());
+        } else if (arg == "--pareto") {
+            options.pareto = true;
+        } else if (arg == "--validate") {
+            options.validate = true;
+        } else if (arg == "--csv") {
+            options.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+dnn::Model
+resolve_model(const std::string& spec)
+{
+    if (spec.find('.') != std::string::npos ||
+        spec.find('/') != std::string::npos) {
+        return dnn::load_model(spec);
+    }
+    return dnn::make_model(spec);
+}
+
+search::Objective
+resolve_objective(const CliOptions& options)
+{
+    const std::string key = to_lower(options.objective);
+    if (key == "lat") {
+        return {search::ObjectiveKind::kLatency, options.sp_limit, 0.0};
+    }
+    if (key == "sp") {
+        return {search::ObjectiveKind::kSolarPanel, 0.0,
+                options.lat_limit};
+    }
+    if (key == "latsp" || key == "lat*sp")
+        return {search::ObjectiveKind::kLatSp, 0.0, 0.0};
+    fatal("unknown objective '", options.objective, "'");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions options;
+    if (!parse_args(argc, argv, options))
+        return 2;
+
+    core::ChrysalisInputs inputs{
+        resolve_model(options.model),
+        to_lower(options.space) == "future"
+            ? search::DesignSpace::future_aut()
+            : search::DesignSpace::existing_aut(),
+        resolve_objective(options),
+        search::ExplorerOptions{},
+    };
+    inputs.options.outer.population = options.population;
+    inputs.options.outer.generations = options.generations;
+    inputs.options.outer.seed = options.seed;
+    inputs.options.k_eh_envs = {options.bright, options.dark};
+
+    const core::Chrysalis tool(std::move(inputs));
+
+    if (options.pareto) {
+        const search::BiLevelExplorer explorer(
+            tool.inputs().model, tool.inputs().space,
+            tool.inputs().objective, tool.inputs().options);
+        const auto front = explorer.explore_pareto();
+        std::printf("sp_cm2,latency_s,capacitance_f,n_pe,cache_bytes\n");
+        for (const auto& design : front) {
+            std::printf("%.3f,%.6f,%.3e,%lld,%lld\n",
+                        design.candidate.solar_cm2,
+                        design.mean_latency_s,
+                        design.candidate.capacitance_f,
+                        static_cast<long long>(design.candidate.n_pe),
+                        static_cast<long long>(
+                            design.candidate.cache_bytes));
+        }
+        return front.empty() ? 1 : 0;
+    }
+
+    const core::AuTSolution solution = tool.generate();
+    if (!solution.feasible) {
+        std::fprintf(stderr, "no feasible design found\n");
+        return 1;
+    }
+
+    if (options.csv) {
+        std::printf("model,objective,sp_cm2,capacitance_f,n_pe,"
+                    "cache_bytes,latency_s,lat_sp,score,evaluations\n");
+        std::printf("%s,%s,%.3f,%.3e,%lld,%lld,%.6f,%.4f,%.6f,%d\n",
+                    tool.inputs().model.name().c_str(),
+                    to_string(tool.inputs().objective.kind).c_str(),
+                    solution.hardware.solar_cm2,
+                    solution.hardware.capacitance_f,
+                    static_cast<long long>(solution.hardware.n_pe),
+                    static_cast<long long>(solution.hardware.cache_bytes),
+                    solution.mean_latency_s, solution.lat_sp,
+                    solution.score, solution.evaluations);
+    } else {
+        std::printf("%s\n",
+                    solution.describe(tool.inputs().model).c_str());
+    }
+
+    if (options.validate) {
+        const auto validation =
+            tool.validate(solution, options.bright);
+        if (!validation.sim.completed) {
+            std::fprintf(stderr, "validation failed: %s\n",
+                         validation.sim.failure_reason.c_str());
+            return 1;
+        }
+        std::printf("validated: sim %s vs analytic %s (error %s)\n",
+                    format_si(validation.mean_sim_latency_s, "s").c_str(),
+                    format_si(validation.analytic_latency_s, "s").c_str(),
+                    format_percent(validation.relative_error).c_str());
+    }
+    return 0;
+}

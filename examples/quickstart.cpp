@@ -1,0 +1,56 @@
+/// \file
+/// Quickstart: generate an AuT architecture for a single convolution
+/// layer on the MSP430 platform, print the solution, and validate it with
+/// the step-based intermittent simulator.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/string_utils.hpp"
+#include "core/chrysalis.hpp"
+#include "core/scenarios.hpp"
+
+int
+main()
+{
+    using namespace chrysalis;
+
+    // 1. Pick a ready-made scenario (workload + design space + objective).
+    core::Scenario scenario = core::make_quickstart_scenario();
+    std::printf("Scenario: %s\n  %s\n\n", scenario.name.c_str(),
+                scenario.description.c_str());
+
+    // 2. Run the bi-level exploration.
+    core::Chrysalis tool(scenario.inputs);
+    core::AuTSolution solution = tool.generate();
+    std::printf("%s\n",
+                solution.describe(tool.inputs().model).c_str());
+    std::printf("Explored %d design points; %zu on the Pareto front.\n\n",
+                solution.evaluations, solution.pareto.size());
+
+    // 3. Validate with the step-based simulator in the brighter
+    //    environment.
+    const double k_eh = tool.inputs().options.k_eh_envs.front();
+    core::ValidationResult validation = tool.validate(solution, k_eh);
+    if (!validation.sim.completed) {
+        std::printf("validation failed: %s\n",
+                    validation.sim.failure_reason.c_str());
+        return 1;
+    }
+    std::printf("Step-simulator validation (k_eh = %s/cm^2):\n",
+                format_si(k_eh, "W").c_str());
+    std::printf("  simulated latency  %s mean over 5 runs (%lld energy "
+                "cycles, %lld exceptions in last run)\n",
+                format_si(validation.mean_sim_latency_s, "s").c_str(),
+                static_cast<long long>(validation.sim.energy_cycles),
+                static_cast<long long>(validation.sim.exceptions));
+    std::printf("  analytic latency   %s (relative error %s)\n",
+                format_si(validation.analytic_latency_s, "s").c_str(),
+                format_percent(validation.relative_error).c_str());
+    std::printf("  system efficiency  %s\n",
+                format_percent(validation.sim.system_efficiency()).c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chrysalis {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+
+const char*
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInform: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kSilent: return "silent";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+log_level()
+{
+    return g_log_level.load(std::memory_order_relaxed);
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_log_level.store(level, std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, std::string_view message)
+{
+    if (static_cast<int>(level) < static_cast<int>(log_level()))
+        return;
+    std::fprintf(stderr, "[chrysalis:%s] %.*s\n", level_tag(level),
+                 static_cast<int>(message.size()), message.data());
+}
+
+namespace detail {
+
+void
+fatal_exit(const std::string& message)
+{
+    std::fprintf(stderr, "[chrysalis:fatal] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic_abort(const std::string& message)
+{
+    std::fprintf(stderr, "[chrysalis:panic] %s\n", message.c_str());
+    std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace chrysalis

@@ -1,0 +1,98 @@
+/// \file
+/// Lightweight logging and error-reporting utilities.
+///
+/// Follows the gem5 convention: `fatal()` terminates on *user* error (bad
+/// configuration, impossible constraint), `panic()` terminates on an
+/// *internal* invariant violation (a CHRYSALIS bug), and `warn()`/`inform()`
+/// emit non-terminating diagnostics.
+
+#ifndef CHRYSALIS_COMMON_LOGGING_HPP
+#define CHRYSALIS_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace chrysalis {
+
+/// Severity of a log record, ordered from chattiest to most severe.
+enum class LogLevel {
+    kDebug = 0,
+    kInform = 1,
+    kWarn = 2,
+    kError = 3,
+    kSilent = 4,
+};
+
+/// Returns the process-wide minimum level that will actually be printed.
+LogLevel log_level();
+
+/// Sets the process-wide minimum level that will be printed.
+void set_log_level(LogLevel level);
+
+/// Emits a log record to stderr if \p level passes the global threshold.
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+/// Builds a single string out of a variadic argument pack via operator<<.
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/// Terminates the process with exit(1); used by fatal().
+[[noreturn]] void fatal_exit(const std::string& message);
+
+/// Terminates the process with abort(); used by panic().
+[[noreturn]] void panic_abort(const std::string& message);
+
+}  // namespace detail
+
+/// Reports an unrecoverable *user* error (bad input/configuration) and exits.
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatal_exit(detail::concat(std::forward<Args>(args)...));
+}
+
+/// Reports an internal invariant violation (a bug in CHRYSALIS) and aborts.
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panic_abort(detail::concat(std::forward<Args>(args)...));
+}
+
+/// Emits a non-fatal warning: something may be modelled imprecisely.
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+/// Emits a status message with no connotation of incorrect behaviour.
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    log_message(LogLevel::kInform, detail::concat(std::forward<Args>(args)...));
+}
+
+/// Emits a verbose diagnostic, suppressed unless the level is kDebug.
+template <typename... Args>
+void
+debug(Args&&... args)
+{
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace chrysalis
+
+#endif  // CHRYSALIS_COMMON_LOGGING_HPP

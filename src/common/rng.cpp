@@ -1,0 +1,159 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hpp"
+
+namespace chrysalis {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : state_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    // xoshiro256** step.
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniform_int: empty range [", lo, ", ", hi, "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t raw;
+    do {
+        raw = next_u64();
+    } while (raw >= limit);
+    return lo + static_cast<std::int64_t>(raw % span);
+}
+
+double
+Rng::log_uniform(double lo, double hi)
+{
+    if (lo <= 0.0 || lo > hi)
+        panic("Rng::log_uniform: invalid range [", lo, ", ", hi, "]");
+    return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+double
+Rng::gaussian()
+{
+    if (has_spare_gaussian_) {
+        has_spare_gaussian_ = false;
+        return spare_gaussian_;
+    }
+    // Box-Muller transform; guard against log(0).
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    spare_gaussian_ = radius * std::sin(angle);
+    has_spare_gaussian_ = true;
+    return radius * std::cos(angle);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::size_t
+Rng::weighted_index(const std::vector<double>& weights)
+{
+    if (weights.empty())
+        panic("Rng::weighted_index: empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            panic("Rng::weighted_index: negative weight ", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        return static_cast<std::size_t>(
+            uniform_int(0, static_cast<std::int64_t>(weights.size()) - 1));
+    double target = uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    return weights.size() - 1;  // floating-point edge: land on last bucket
+}
+
+Rng
+Rng::fork(std::uint64_t stream_index) const
+{
+    // Derive a child seed from the current state and the stream index; the
+    // parent state is not advanced, so forking is repeatable.
+    std::uint64_t mix = state_[0] ^ rotl(state_[3], 13) ^
+                        (stream_index * 0xd1342543de82ef95ULL + 1);
+    return Rng(splitmix64(mix));
+}
+
+}  // namespace chrysalis

@@ -1,0 +1,107 @@
+#include "common/string_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace chrysalis {
+
+std::string
+format_fixed(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return buffer;
+}
+
+std::string
+format_si(double value, std::string_view unit, int decimals)
+{
+    struct Prefix { double scale; const char* symbol; };
+    static constexpr Prefix kPrefixes[] = {
+        {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+    };
+    const double magnitude = std::fabs(value);
+    if (magnitude == 0.0)
+        return format_fixed(0.0, decimals) + " " + std::string(unit);
+    for (const auto& prefix : kPrefixes) {
+        if (magnitude >= prefix.scale) {
+            return format_fixed(value / prefix.scale, decimals) + " " +
+                   prefix.symbol + std::string(unit);
+        }
+    }
+    const auto& smallest = kPrefixes[std::size(kPrefixes) - 1];
+    return format_fixed(value / smallest.scale, decimals) + " " +
+           smallest.symbol + std::string(unit);
+}
+
+std::string
+format_percent(double fraction, int decimals)
+{
+    return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::vector<std::string>
+split(std::string_view text, char delimiter)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(delimiter, start);
+        if (pos == std::string_view::npos) {
+            fields.emplace_back(text.substr(start));
+            break;
+        }
+        fields.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return fields;
+}
+
+std::string
+trim(std::string_view text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::string
+pad_right(std::string_view text, std::size_t width)
+{
+    std::string out(text.substr(0, width));
+    out.resize(width, ' ');
+    return out;
+}
+
+std::string
+pad_left(std::string_view text, std::size_t width)
+{
+    if (text.size() >= width)
+        return std::string(text);
+    std::string out(width - text.size(), ' ');
+    out += text;
+    return out;
+}
+
+std::string
+to_lower(std::string_view text)
+{
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+}  // namespace chrysalis

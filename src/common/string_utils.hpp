@@ -1,0 +1,44 @@
+/// \file
+/// String formatting helpers used by benchmark harnesses and reports:
+/// engineering-notation formatting of physical quantities and basic
+/// split/trim utilities.
+
+#ifndef CHRYSALIS_COMMON_STRING_UTILS_HPP
+#define CHRYSALIS_COMMON_STRING_UTILS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chrysalis {
+
+/// Formats \p value with a fixed number of significant decimals,
+/// e.g. format_fixed(3.14159, 2) -> "3.14".
+std::string format_fixed(double value, int decimals);
+
+/// Formats a quantity with an SI prefix and unit suffix, choosing the
+/// prefix so the mantissa lies in [1, 1000) where possible,
+/// e.g. format_si(3.2e-3, "J") -> "3.200 mJ".
+std::string format_si(double value, std::string_view unit, int decimals = 3);
+
+/// Formats a fraction as a percentage, e.g. format_percent(0.564) -> "56.4%".
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Splits \p text on \p delimiter; consecutive delimiters yield empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trim(std::string_view text);
+
+/// Left-pads or truncates \p text to exactly \p width characters.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Right-aligns \p text within \p width characters (no truncation).
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Returns lower-cased copy of \p text (ASCII only).
+std::string to_lower(std::string_view text);
+
+}  // namespace chrysalis
+
+#endif  // CHRYSALIS_COMMON_STRING_UTILS_HPP

@@ -1,0 +1,101 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_utils.hpp"
+
+namespace chrysalis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::set_title(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+TextTable::add_row(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    const auto rule = [&](char fill) {
+        os << '+';
+        for (std::size_t w : widths)
+            os << std::string(w + 2, fill) << '+';
+        os << '\n';
+    };
+    const auto line = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << pad_right(cell, widths[c]) << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule('-');
+    line(headers_);
+    rule('=');
+    for (const auto& row : rows_)
+        line(row);
+    rule('-');
+}
+
+void
+TextTable::print_csv(std::ostream& os) const
+{
+    const auto csv_escape = [](const std::string& field) {
+        if (field.find_first_of(",\"\n") == std::string::npos)
+            return field;
+        std::string out = "\"";
+        for (char c : field) {
+            if (c == '"')
+                out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    const auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c > 0)
+                os << ',';
+            os << csv_escape(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+std::string
+TextTable::to_string() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+}  // namespace chrysalis

@@ -1,0 +1,51 @@
+/// \file
+/// Plain-text table rendering and CSV export.
+///
+/// Every benchmark binary reproduces a paper table or figure as rows of
+/// text; TextTable gives them a single consistent renderer (auto-sized
+/// columns, optional title, right-aligned numeric cells) plus a CSV dump so
+/// results can be re-plotted.
+
+#ifndef CHRYSALIS_COMMON_TABLE_HPP
+#define CHRYSALIS_COMMON_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace chrysalis {
+
+/// A small helper for building and printing aligned text tables.
+class TextTable
+{
+  public:
+    /// Creates a table with the given column headers.
+    explicit TextTable(std::vector<std::string> headers);
+
+    /// Optional title printed above the table.
+    void set_title(std::string title);
+
+    /// Appends a row; the row is padded/truncated to the header width.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows added so far.
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Renders the table with box-drawing rules to \p os.
+    void print(std::ostream& os) const;
+
+    /// Renders the table as CSV (header row first) to \p os.
+    void print_csv(std::ostream& os) const;
+
+    /// Convenience: renders to a string via print().
+    std::string to_string() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace chrysalis
+
+#endif  // CHRYSALIS_COMMON_TABLE_HPP

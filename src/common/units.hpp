@@ -1,0 +1,72 @@
+/// \file
+/// Unit conventions and conversion constants.
+///
+/// CHRYSALIS stores all physical quantities in SI base units as `double`:
+/// seconds, joules, watts, volts, farads, amperes, square-centimetres for
+/// panel area (the one deliberate non-SI exception, matching the paper's
+/// design-space tables), and bytes for data sizes. The constants below make
+/// call sites read like the paper: `100 * units::kMicroFarad`,
+/// `8.0 * units::kCm2`.
+
+#ifndef CHRYSALIS_COMMON_UNITS_HPP
+#define CHRYSALIS_COMMON_UNITS_HPP
+
+namespace chrysalis::units {
+
+// --- SI prefixes --------------------------------------------------------
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+
+// --- Time (seconds) -----------------------------------------------------
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMillisecond = kMilli;
+inline constexpr double kMicrosecond = kMicro;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+
+// --- Energy (joules) ----------------------------------------------------
+inline constexpr double kJoule = 1.0;
+inline constexpr double kMilliJoule = kMilli;
+inline constexpr double kMicroJoule = kMicro;
+inline constexpr double kNanoJoule = kNano;
+inline constexpr double kPicoJoule = kPico;
+
+// --- Power (watts) ------------------------------------------------------
+inline constexpr double kWatt = 1.0;
+inline constexpr double kMilliWatt = kMilli;
+inline constexpr double kMicroWatt = kMicro;
+inline constexpr double kNanoWatt = kNano;
+
+// --- Capacitance (farads) -----------------------------------------------
+inline constexpr double kFarad = 1.0;
+inline constexpr double kMilliFarad = kMilli;
+inline constexpr double kMicroFarad = kMicro;
+
+// --- Voltage / current --------------------------------------------------
+inline constexpr double kVolt = 1.0;
+inline constexpr double kAmpere = 1.0;
+inline constexpr double kMicroAmpere = kMicro;
+
+// --- Area ----------------------------------------------------------------
+/// Solar-panel areas are expressed in cm^2 throughout, as in Tables IV/V.
+inline constexpr double kCm2 = 1.0;
+
+// --- Data sizes (bytes) ---------------------------------------------------
+inline constexpr double kByte = 1.0;
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+// --- Compute --------------------------------------------------------------
+inline constexpr double kFlop = 1.0;
+inline constexpr double kKiloFlop = kKilo;
+inline constexpr double kMegaFlop = kMega;
+inline constexpr double kGigaFlop = kGiga;
+
+}  // namespace chrysalis::units
+
+#endif  // CHRYSALIS_COMMON_UNITS_HPP

@@ -1,0 +1,71 @@
+#include "core/campaign.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "common/logging.hpp"
+#include "hw/accelerator.hpp"
+
+namespace chrysalis::core {
+
+void
+CampaignResult::write_csv(std::ostream& output) const
+{
+    output << "label,feasible,objective,sp_cm2,capacitance_f,arch,n_pe,"
+              "cache_bytes,mean_latency_s,lat_sp,score,evaluations,"
+              "wall_time_s\n";
+    for (const auto& entry : entries) {
+        const auto& solution = entry.solution;
+        output << entry.label << ',' << (solution.feasible ? 1 : 0)
+               << ',' << entry.objective_label << ','
+               << solution.hardware.solar_cm2 << ','
+               << solution.hardware.capacitance_f << ','
+               << hw::to_string(solution.hardware.arch) << ','
+               << solution.hardware.n_pe << ','
+               << solution.hardware.cache_bytes << ','
+               << solution.mean_latency_s << ',' << solution.lat_sp
+               << ',' << solution.score << ',' << solution.evaluations
+               << ',' << entry.wall_time_s << '\n';
+    }
+}
+
+const CampaignEntry&
+CampaignResult::entry(const std::string& label) const
+{
+    for (const auto& candidate : entries) {
+        if (candidate.label == label)
+            return candidate;
+    }
+    fatal("CampaignResult: no entry labelled '", label, "'");
+}
+
+CampaignResult
+run_campaign(const std::vector<CampaignCase>& cases,
+             const search::ExplorerOptions& base_options)
+{
+    if (cases.empty())
+        fatal("run_campaign: no cases supplied");
+    CampaignResult result;
+    result.entries.reserve(cases.size());
+    std::uint64_t index = 0;
+    for (const auto& campaign_case : cases) {
+        search::ExplorerOptions options = base_options;
+        options.outer.seed = base_options.outer.seed + 1000 * ++index;
+        ChrysalisInputs inputs{campaign_case.model, campaign_case.space,
+                               campaign_case.objective, options};
+        const Chrysalis tool(std::move(inputs));
+        const auto start = std::chrono::steady_clock::now();
+        AuTSolution solution = tool.generate();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        result.entries.push_back(
+            {campaign_case.label,
+             to_string(campaign_case.objective.kind),
+             std::move(solution), elapsed});
+    }
+    return result;
+}
+
+}  // namespace chrysalis::core

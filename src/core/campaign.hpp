@@ -1,0 +1,54 @@
+/// \file
+/// Batch experiment campaigns: run a list of (workload, space, objective)
+/// search cases with shared options and export the results as CSV — the
+/// workflow behind sweeping tables like the paper's Fig. 10 grid, exposed
+/// as a reusable API for downstream studies.
+
+#ifndef CHRYSALIS_CORE_CAMPAIGN_HPP
+#define CHRYSALIS_CORE_CAMPAIGN_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/chrysalis.hpp"
+
+namespace chrysalis::core {
+
+/// One search case in a campaign.
+struct CampaignCase {
+    std::string label;           ///< row identifier in reports
+    dnn::Model model;            ///< workload
+    search::DesignSpace space;   ///< (possibly ablated) design space
+    search::Objective objective; ///< optimization target
+};
+
+/// Result of one case.
+struct CampaignEntry {
+    std::string label;
+    std::string objective_label;  ///< "lat" / "sp" / "lat*sp"
+    AuTSolution solution;
+    double wall_time_s = 0.0;  ///< search wall-clock time
+};
+
+/// Aggregated campaign results.
+struct CampaignResult {
+    std::vector<CampaignEntry> entries;
+
+    /// Writes a CSV with one row per case: label, feasibility, the
+    /// chosen EA/IA parameters, metrics, search effort and timing.
+    void write_csv(std::ostream& output) const;
+
+    /// Looks up an entry by label; fatal() if absent.
+    const CampaignEntry& entry(const std::string& label) const;
+};
+
+/// Runs every case sequentially with \p base_options (the per-case seed
+/// is offset by the case index so cases are decorrelated but the whole
+/// campaign stays reproducible).
+CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
+                            const search::ExplorerOptions& base_options);
+
+}  // namespace chrysalis::core
+
+#endif  // CHRYSALIS_CORE_CAMPAIGN_HPP

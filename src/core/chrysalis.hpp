@@ -1,0 +1,98 @@
+/// \file
+/// CHRYSALIS public facade (Fig. 3 usage model).
+///
+/// Given a domain-specific DNN workload, platform constraints (the design
+/// space), objective demands and environment/technology constraints
+/// (Table II inputs), `Chrysalis::generate()` runs the bi-level
+/// exploration and returns the ideal AuT solution: energy-harvester and
+/// capacitor sizing, inference-hardware configuration and per-layer
+/// intermittent dataflow (Table II outputs). `validate()` replays the
+/// solution on the step-based intermittent simulator for higher-fidelity
+/// confirmation of the analytic estimate.
+
+#ifndef CHRYSALIS_CORE_CHRYSALIS_HPP
+#define CHRYSALIS_CORE_CHRYSALIS_HPP
+
+#include <string>
+
+#include "dnn/model.hpp"
+#include "search/bilevel_explorer.hpp"
+#include "sim/intermittent_simulator.hpp"
+
+namespace chrysalis::core {
+
+/// Everything the tool needs (Table II "Input" rows).
+struct ChrysalisInputs {
+    dnn::Model model;                ///< workload: DNN task
+    search::DesignSpace space;       ///< platform constraint
+    search::Objective objective;     ///< objective demand function pi
+    search::ExplorerOptions options; ///< environment + search controls
+};
+
+/// The generated AuT architecture (Table II "Output" rows).
+struct AuTSolution {
+    search::HwCandidate hardware;    ///< A_eh, C, N_PE, N_mem, arch
+    std::vector<dataflow::LayerMapping> mappings;  ///< preferable dataflow
+    dataflow::ModelCost cost;        ///< evaluator breakdown
+
+    double mean_latency_s = 0.0;     ///< across target environments
+    double lat_sp = 0.0;             ///< latency * solar-panel product
+    double score = 0.0;              ///< objective score
+    bool feasible = false;
+
+    std::vector<search::ParetoPoint> pareto;  ///< (sp, lat) front
+    int evaluations = 0;             ///< design points evaluated
+
+    /// Multi-line human-readable report (the "AuT HW and SW Describer"
+    /// output): energy subsystem, inference subsystem and the per-layer
+    /// mapping loop nests of Fig. 4.
+    std::string describe(const dnn::Model& model) const;
+};
+
+/// Step-simulation validation of a solution in one environment.
+struct ValidationResult {
+    sim::SimResult sim;           ///< last run's simulation outcome
+    double mean_sim_latency_s = 0.0;  ///< mean across validation runs
+    double analytic_latency_s = 0.0;
+    double relative_error = 0.0;  ///< |mean sim - analytic| / analytic
+};
+
+/// The facade.
+class Chrysalis
+{
+  public:
+    explicit Chrysalis(ChrysalisInputs inputs);
+
+    /// Runs the full bi-level exploration and returns the best solution.
+    /// \p warm_starts optionally seed the search with known-good
+    /// candidates (portfolio seeding).
+    AuTSolution generate(
+        const std::vector<search::HwCandidate>& warm_starts = {}) const;
+
+    /// Evaluates a specific candidate without exploring (used to score
+    /// baseline/reference configurations).
+    AuTSolution evaluate_candidate(const search::HwCandidate& candidate)
+        const;
+
+    /// Replays \p solution on the step simulator under the environment
+    /// with light coefficient \p k_eh. Runs \p runs duty-cycled
+    /// inferences, each starting at U_off (paying the cold-start charging
+    /// latency), so the mean latency is comparable to the analytic E2E
+    /// estimate.
+    ValidationResult validate(const AuTSolution& solution, double k_eh,
+                              const sim::SimConfig& sim_config = {},
+                              int runs = 5) const;
+
+    const ChrysalisInputs& inputs() const { return inputs_; }
+
+  private:
+    AuTSolution to_solution(const search::EvaluatedDesign& design,
+                            const search::ExplorationResult* result) const;
+
+    ChrysalisInputs inputs_;
+    search::BiLevelExplorer explorer_;
+};
+
+}  // namespace chrysalis::core
+
+#endif  // CHRYSALIS_CORE_CHRYSALIS_HPP

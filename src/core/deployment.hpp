@@ -1,0 +1,78 @@
+/// \file
+/// Multi-day deployment studies: drive a generated AuT solution with
+/// periodic inference requests under a time-varying light environment
+/// (diurnal / Markov weather / recorded trace) and report per-day service
+/// statistics. This answers the question a deployer actually asks of a
+/// design — "how many inferences per day will this node deliver, and
+/// when does it go dark?" — which single-inference latency alone cannot.
+
+#ifndef CHRYSALIS_CORE_DEPLOYMENT_HPP
+#define CHRYSALIS_CORE_DEPLOYMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/chrysalis.hpp"
+#include "energy/solar_environment.hpp"
+
+namespace chrysalis::core {
+
+/// Deployment-study controls.
+struct DeploymentConfig {
+    int days = 3;                      ///< study length
+    double request_interval_s = 900;   ///< one inference request per
+                                       ///< interval, from midnight day 0
+    double deadline_s = 60.0;          ///< per-request latency deadline
+    double first_request_s = 0.0;      ///< offset of the first request
+    sim::SimConfig sim;                ///< step-simulator controls
+};
+
+/// Outcome of one inference request.
+struct RequestOutcome {
+    double issue_time_s = 0.0;  ///< absolute issue time
+    bool attempted = false;     ///< false if the previous request overran
+    bool completed = false;
+    double latency_s = 0.0;
+    bool met_deadline = false;
+};
+
+/// Aggregates for one deployment day.
+struct DayStats {
+    int requests = 0;
+    int completed = 0;
+    int deadline_met = 0;
+    double mean_latency_s = 0.0;  ///< over completed requests
+    double harvested_j = 0.0;
+};
+
+/// Full study result.
+struct DeploymentReport {
+    std::vector<RequestOutcome> requests;
+    std::vector<DayStats> days;
+    double completion_rate = 0.0;   ///< completed / issued
+    double deadline_rate = 0.0;     ///< met deadline / issued
+    double total_harvested_j = 0.0;
+
+    /// Multi-line human-readable summary.
+    std::string summary() const;
+};
+
+/// Runs the study: requests are issued every `request_interval_s`; a
+/// request whose inference is still running when the next one is due
+/// causes the overlapped requests to be skipped (marked !attempted).
+/// Energy state persists across requests and nights (no artificial
+/// draining); a request that cannot finish within one interval is
+/// abandoned as failed.
+///
+/// \param solution a feasible design from Chrysalis::generate().
+/// \param environment light model (cloned internally).
+/// \param pmic PMIC configuration for the built energy subsystem.
+DeploymentReport simulate_deployment(
+    const AuTSolution& solution,
+    const energy::SolarEnvironment& environment,
+    const energy::PowerManagementIc::Config& pmic,
+    const DeploymentConfig& config);
+
+}  // namespace chrysalis::core
+
+#endif  // CHRYSALIS_CORE_DEPLOYMENT_HPP

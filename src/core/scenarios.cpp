@@ -1,0 +1,104 @@
+#include "core/scenarios.hpp"
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::core {
+
+namespace {
+
+/// Small default search budget so examples finish interactively.
+search::ExplorerOptions
+default_options(std::uint64_t seed)
+{
+    search::ExplorerOptions options;
+    options.outer.population = 16;
+    options.outer.generations = 10;
+    options.outer.seed = seed;
+    options.inner.max_candidates_per_dim = 5;
+    return options;
+}
+
+}  // namespace
+
+Scenario
+make_wearable_kws_scenario()
+{
+    ChrysalisInputs inputs{
+        dnn::make_kws_mlp(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatency,
+                          /*sp_limit_cm2=*/6.0, /*lat_limit_s=*/0.0},
+        default_options(/*seed=*/101),
+    };
+    // Indoor-light coefficients: dimmer than the outdoor presets.
+    inputs.options.k_eh_envs = {0.8e-3, 0.3e-3};
+    return Scenario{
+        "wearable-kws",
+        "Battery-free wearable keyword spotter (MSP430-class, indoor "
+        "light): minimize latency with a 6 cm^2 panel budget.",
+        std::move(inputs)};
+}
+
+Scenario
+make_environment_monitor_scenario()
+{
+    ChrysalisInputs inputs{
+        dnn::make_har_cnn(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kSolarPanel,
+                          /*sp_limit_cm2=*/0.0, /*lat_limit_s=*/30.0},
+        default_options(/*seed=*/202),
+    };
+    return Scenario{
+        "environment-monitor",
+        "Remote field monitor running HAR-class sensing: minimize solar "
+        "panel size subject to a 30 s inference deadline.",
+        std::move(inputs)};
+}
+
+Scenario
+make_vision_node_scenario()
+{
+    ChrysalisInputs inputs{
+        dnn::make_alexnet(),
+        search::DesignSpace::future_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        default_options(/*seed=*/303),
+    };
+    return Scenario{
+        "vision-node",
+        "Future AuT camera node with a reconfigurable accelerator running "
+        "AlexNet: minimize lat*sp (throughput per panel area).",
+        std::move(inputs)};
+}
+
+Scenario
+make_quickstart_scenario()
+{
+    ChrysalisInputs inputs{
+        dnn::make_simple_conv(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        default_options(/*seed=*/7),
+    };
+    inputs.options.outer.population = 12;
+    inputs.options.outer.generations = 6;
+    return Scenario{
+        "quickstart",
+        "Single convolution layer on the MSP430 platform with a small "
+        "search budget.",
+        std::move(inputs)};
+}
+
+std::vector<Scenario>
+all_scenarios()
+{
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(make_quickstart_scenario());
+    scenarios.push_back(make_wearable_kws_scenario());
+    scenarios.push_back(make_environment_monitor_scenario());
+    scenarios.push_back(make_vision_node_scenario());
+    return scenarios;
+}
+
+}  // namespace chrysalis::core

@@ -1,0 +1,45 @@
+/// \file
+/// Named AuT application scenarios: ready-made ChrysalisInputs for the
+/// deployment contexts the paper's introduction motivates (wearables,
+/// environmental monitoring, space/UAV-class SWaP budgets). Used by the
+/// examples and by integration tests.
+
+#ifndef CHRYSALIS_CORE_SCENARIOS_HPP
+#define CHRYSALIS_CORE_SCENARIOS_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/chrysalis.hpp"
+
+namespace chrysalis::core {
+
+/// A scenario bundles inputs with a human-readable motivation string.
+struct Scenario {
+    std::string name;
+    std::string description;
+    ChrysalisInputs inputs;
+};
+
+/// Battery-free wearable keyword spotter: tiny panel budget (indoor
+/// light), latency objective under a strict size constraint.
+Scenario make_wearable_kws_scenario();
+
+/// Remote environmental (volcano/field) monitor running HAR-class sensing:
+/// minimize panel size subject to a latency deadline, dim environment.
+Scenario make_environment_monitor_scenario();
+
+/// Future AuT camera node with a reconfigurable accelerator running
+/// AlexNet-class vision: lat*sp efficiency objective.
+Scenario make_vision_node_scenario();
+
+/// Quickstart: single convolution layer, small search budget — finishes
+/// in well under a second.
+Scenario make_quickstart_scenario();
+
+/// All scenarios above.
+std::vector<Scenario> all_scenarios();
+
+}  // namespace chrysalis::core
+
+#endif  // CHRYSALIS_CORE_SCENARIOS_HPP

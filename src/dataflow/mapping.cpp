@@ -1,0 +1,131 @@
+#include "dataflow/mapping.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+
+namespace chrysalis::dataflow {
+
+std::string
+to_string(Dataflow dataflow)
+{
+    switch (dataflow) {
+      case Dataflow::kWeightStationary: return "WS";
+      case Dataflow::kOutputStationary: return "OS";
+      case Dataflow::kInputStationary: return "IS";
+      case Dataflow::kRowStationary: return "RS";
+    }
+    return "?";
+}
+
+const std::vector<Dataflow>&
+all_dataflows()
+{
+    static const std::vector<Dataflow> kAll = {
+        Dataflow::kWeightStationary,
+        Dataflow::kOutputStationary,
+        Dataflow::kInputStationary,
+        Dataflow::kRowStationary,
+    };
+    return kAll;
+}
+
+std::string
+MappingDirective::to_string() const
+{
+    const char* kind_name = "TemporalMap";
+    if (kind == Kind::kSpatial)
+        kind_name = "SpatialMap";
+    else if (kind == Kind::kInterTemp)
+        kind_name = "InterTempMap";
+    std::ostringstream os;
+    os << kind_name << "(" << dnn::to_string(dim) << ", " << tile << ")";
+    return os.str();
+}
+
+bool
+LayerMapping::valid_for(const dnn::Layer& layer) const
+{
+    return tiles_k >= 1 && tiles_y >= 1 && tiles_n >= 1 &&
+           tiles_k <= layer.dims.k && tiles_y <= layer.dims.y &&
+           tiles_n <= layer.dims.n;
+}
+
+void
+LayerMapping::clamp_to(const dnn::Layer& layer)
+{
+    tiles_k = std::clamp<std::int64_t>(tiles_k, 1, layer.dims.k);
+    tiles_y = std::clamp<std::int64_t>(tiles_y, 1, layer.dims.y);
+    tiles_n = std::clamp<std::int64_t>(tiles_n, 1, layer.dims.n);
+}
+
+std::vector<MappingDirective>
+LayerMapping::to_directives(const dnn::Layer& layer) const
+{
+    if (!valid_for(layer))
+        fatal("LayerMapping: invalid chunk counts for layer ", layer.name);
+
+    std::vector<MappingDirective> nest;
+    using Kind = MappingDirective::Kind;
+
+    // Intermittent (checkpoint) tiling outermost: between these chunks a
+    // power interruption may occur.
+    if (tiles_n > 1)
+        nest.push_back({Kind::kInterTemp, dnn::Dim::kN, tiles_n});
+    if (tiles_k > 1)
+        nest.push_back({Kind::kInterTemp, dnn::Dim::kK, tiles_k});
+    if (tiles_y > 1)
+        nest.push_back({Kind::kInterTemp, dnn::Dim::kY, tiles_y});
+
+    // The taxonomy's spatial dimension spreads across PEs.
+    const dnn::Dim sp = spatial_dim(dataflow);
+    const std::int64_t sp_extent = dnn::dim_extent(layer.dims, sp);
+    nest.push_back({Kind::kSpatial, sp, sp_extent});
+
+    // Remaining dimensions iterate temporally inside each PE.
+    for (dnn::Dim dim : {dnn::Dim::kN, dnn::Dim::kK, dnn::Dim::kC,
+                         dnn::Dim::kY, dnn::Dim::kX, dnn::Dim::kR,
+                         dnn::Dim::kS}) {
+        if (dim == sp)
+            continue;
+        const std::int64_t extent = dnn::dim_extent(layer.dims, dim);
+        if (extent > 1)
+            nest.push_back({Kind::kTemporal, dim, extent});
+    }
+    return nest;
+}
+
+std::string
+LayerMapping::describe(const dnn::Layer& layer) const
+{
+    std::ostringstream os;
+    os << "// " << layer.name << " [" << dnn::to_string(layer.kind)
+       << "], dataflow=" << dataflow::to_string(dataflow) << "\n";
+    int depth = 0;
+    for (const auto& directive : to_directives(layer)) {
+        os << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+           << directive.to_string() << "\n";
+        ++depth;
+    }
+    return os.str();
+}
+
+dnn::Dim
+spatial_dim(Dataflow dataflow)
+{
+    switch (dataflow) {
+      case Dataflow::kWeightStationary:
+        return dnn::Dim::kK;  // each PE owns an output-channel slice
+      case Dataflow::kOutputStationary:
+        return dnn::Dim::kY;  // each PE owns output rows
+      case Dataflow::kInputStationary:
+        return dnn::Dim::kC;  // each PE owns input channels
+      case Dataflow::kRowStationary:
+        return dnn::Dim::kY;  // Eyeriss spreads 1-D row convolutions
+    }
+    panic("spatial_dim: invalid dataflow");
+}
+
+}  // namespace chrysalis::dataflow

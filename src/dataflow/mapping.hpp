@@ -1,0 +1,87 @@
+/// \file
+/// Data-centric mapping description with intermittent extension (Fig. 4).
+///
+/// A mapping describes how one DNN layer's loop nest executes on the
+/// inference hardware using three directive kinds:
+///   - TemporalMap(dim, tile): iterate tiles of `dim` one after another on
+///     the same hardware;
+///   - SpatialMap(dim, tile): spread tiles of `dim` across PEs;
+///   - InterTempMap(dim, tiles): the paper's incremental directive — split
+///     `dim` into chunks executed in *different energy cycles*, with a
+///     checkpoint boundary between chunks (all VM state is lost and data
+///     must be re-fetched from NVM).
+///
+/// The search operates on the compact LayerMapping form (taxonomy + number
+/// of intermittent tiles per output dimension); `to_directives()` expands
+/// it into the explicit loop-nest shown in the paper's Figure 4.
+
+#ifndef CHRYSALIS_DATAFLOW_MAPPING_HPP
+#define CHRYSALIS_DATAFLOW_MAPPING_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace chrysalis::dataflow {
+
+/// Dataflow taxonomy of the accelerator (§III-A input 4).
+enum class Dataflow {
+    kWeightStationary,  ///< WS: weights pinned in PEs (TPU-style)
+    kOutputStationary,  ///< OS: psums pinned in PEs
+    kInputStationary,   ///< IS: inputs pinned in PEs
+    kRowStationary,     ///< RS: Eyeriss-style row stationary
+};
+
+/// Short name: "WS", "OS", "IS", "RS".
+std::string to_string(Dataflow dataflow);
+
+/// All supported taxonomies, for sweeps.
+const std::vector<Dataflow>& all_dataflows();
+
+/// One mapping directive in the expanded loop-nest form.
+struct MappingDirective {
+    enum class Kind { kTemporal, kSpatial, kInterTemp };
+
+    Kind kind = Kind::kTemporal;
+    dnn::Dim dim = dnn::Dim::kK;
+    std::int64_t tile = 1;  ///< tile extent (Temporal/Spatial) or #chunks
+
+    /// Renders e.g. "InterTempMap(K, 4)".
+    std::string to_string() const;
+};
+
+/// Compact per-layer mapping: the search's decision variables.
+struct LayerMapping {
+    Dataflow dataflow = Dataflow::kWeightStationary;
+    std::int64_t tiles_k = 1;  ///< InterTempMap chunks along K
+    std::int64_t tiles_y = 1;  ///< InterTempMap chunks along Y
+    std::int64_t tiles_n = 1;  ///< InterTempMap chunks along N
+
+    /// Total number of intermittent tiles N_tile = tiles_k*tiles_y*tiles_n.
+    std::int64_t tile_count() const { return tiles_k * tiles_y * tiles_n; }
+
+    /// True when every chunk count divides cleanly into at least one unit
+    /// of the layer's extents (chunk counts must not exceed extents).
+    bool valid_for(const dnn::Layer& layer) const;
+
+    /// Clamps chunk counts into the layer's extents.
+    void clamp_to(const dnn::Layer& layer);
+
+    /// Expands into the explicit directive loop nest of Fig. 4:
+    /// InterTempMap directives outermost, then the taxonomy's spatial
+    /// directive, then temporal directives for the remaining dims.
+    std::vector<MappingDirective> to_directives(const dnn::Layer& layer)
+        const;
+
+    /// Renders the loop nest one directive per line.
+    std::string describe(const dnn::Layer& layer) const;
+};
+
+/// The spatial dimension a taxonomy spreads across PEs.
+dnn::Dim spatial_dim(Dataflow dataflow);
+
+}  // namespace chrysalis::dataflow
+
+#endif  // CHRYSALIS_DATAFLOW_MAPPING_HPP

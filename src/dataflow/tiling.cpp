@@ -1,0 +1,126 @@
+#include "dataflow/tiling.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+
+namespace chrysalis::dataflow {
+
+TileShape
+tile_shape(const dnn::Layer& layer, const LayerMapping& mapping)
+{
+    if (!mapping.valid_for(layer))
+        fatal("tile_shape: mapping invalid for layer ", layer.name);
+
+    TileShape tile;
+    tile.n = ceil_div(layer.dims.n, mapping.tiles_n);
+    tile.k = ceil_div(layer.dims.k, mapping.tiles_k);
+    tile.y = ceil_div(layer.dims.y, mapping.tiles_y);
+    tile.x = layer.dims.x;
+
+    tile.output_elems = tile.n * tile.k * tile.y * tile.x;
+
+    // Input halo: a tile of y output rows needs y*stride + (r - stride)
+    // input rows (clamped to the layer's input height).
+    const std::int64_t in_rows = std::min(
+        layer.in_h, tile.y * layer.stride + layer.dims.r - layer.stride);
+    switch (layer.kind) {
+      case dnn::LayerKind::kConv2d:
+        tile.input_elems = tile.n * layer.dims.c * in_rows * layer.in_w;
+        break;
+      case dnn::LayerKind::kPool:
+      case dnn::LayerKind::kDepthwise:
+        // Per-channel operators: a K-tile only needs its own channels.
+        tile.input_elems = tile.n * tile.k * in_rows * layer.in_w;
+        break;
+      case dnn::LayerKind::kDense:
+      case dnn::LayerKind::kMatmul:
+        tile.input_elems = tile.n * layer.dims.c;
+        break;
+      case dnn::LayerKind::kEmbedding:
+        tile.input_elems = tile.n;
+        break;
+    }
+
+    switch (layer.kind) {
+      case dnn::LayerKind::kConv2d:
+        tile.weight_elems =
+            tile.k * layer.dims.c * layer.dims.r * layer.dims.s;
+        break;
+      case dnn::LayerKind::kDepthwise:
+        tile.weight_elems = tile.k * layer.dims.r * layer.dims.s;
+        break;
+      case dnn::LayerKind::kDense:
+        tile.weight_elems = tile.k * layer.dims.c;
+        break;
+      case dnn::LayerKind::kEmbedding:
+        // Only the rows actually indexed are touched: one per token.
+        tile.weight_elems = tile.n * layer.dims.k;
+        break;
+      case dnn::LayerKind::kMatmul:
+      case dnn::LayerKind::kPool:
+        tile.weight_elems = 0;
+        break;
+    }
+
+    tile.macs = layer.kind == dnn::LayerKind::kEmbedding
+        ? 0
+        : tile.n * tile.k * tile.y * tile.x * layer.dims.c * layer.dims.r *
+              layer.dims.s;
+    return tile;
+}
+
+std::vector<std::int64_t>
+chunk_candidates(std::int64_t extent, std::size_t max_candidates)
+{
+    if (extent < 1)
+        fatal("chunk_candidates: extent must be >= 1, got ", extent);
+    if (max_candidates < 2)
+        fatal("chunk_candidates: need at least 2 candidates");
+    std::vector<std::int64_t> divs = divisors(extent);
+    if (divs.size() <= max_candidates)
+        return divs;
+    // Keep 1 and extent, spread the rest evenly through the divisor list.
+    std::vector<std::int64_t> picked;
+    picked.reserve(max_candidates);
+    const double step = static_cast<double>(divs.size() - 1) /
+                        static_cast<double>(max_candidates - 1);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+        const auto index = static_cast<std::size_t>(
+            static_cast<double>(i) * step + 0.5);
+        picked.push_back(divs[std::min(index, divs.size() - 1)]);
+    }
+    picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+    return picked;
+}
+
+std::vector<LayerMapping>
+enumerate_mappings(const dnn::Layer& layer,
+                   const std::vector<Dataflow>& dataflows,
+                   std::size_t max_candidates_per_dim)
+{
+    const auto ks = chunk_candidates(layer.dims.k, max_candidates_per_dim);
+    const auto ys = chunk_candidates(layer.dims.y, max_candidates_per_dim);
+    const auto ns = chunk_candidates(layer.dims.n, max_candidates_per_dim);
+
+    std::vector<LayerMapping> mappings;
+    mappings.reserve(dataflows.size() * ks.size() * ys.size() * ns.size());
+    for (Dataflow dataflow : dataflows) {
+        for (std::int64_t tk : ks) {
+            for (std::int64_t ty : ys) {
+                for (std::int64_t tn : ns) {
+                    LayerMapping mapping;
+                    mapping.dataflow = dataflow;
+                    mapping.tiles_k = tk;
+                    mapping.tiles_y = ty;
+                    mapping.tiles_n = tn;
+                    mappings.push_back(mapping);
+                }
+            }
+        }
+    }
+    return mappings;
+}
+
+}  // namespace chrysalis::dataflow

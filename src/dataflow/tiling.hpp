@@ -1,0 +1,53 @@
+/// \file
+/// Intermittent-tile geometry: the shape and data footprint of one
+/// InterTempMap chunk, plus enumeration of candidate chunk counts for the
+/// SW-level mapping search (the "Tiling Size: factors of each dimension"
+/// row of Table IV).
+
+#ifndef CHRYSALIS_DATAFLOW_TILING_HPP
+#define CHRYSALIS_DATAFLOW_TILING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/mapping.hpp"
+#include "dnn/layer.hpp"
+
+namespace chrysalis::dataflow {
+
+/// Geometry and data footprint (element counts) of one intermittent tile.
+struct TileShape {
+    std::int64_t n = 1;  ///< batch/sequence extent of the tile
+    std::int64_t k = 1;  ///< output channels in the tile
+    std::int64_t y = 1;  ///< output rows in the tile
+    std::int64_t x = 1;  ///< output cols (never split intermittently)
+
+    std::int64_t output_elems = 0;  ///< outputs produced by the tile
+    std::int64_t input_elems = 0;   ///< inputs read (with halo) by the tile
+    std::int64_t weight_elems = 0;  ///< weights needed by the tile
+    std::int64_t macs = 0;          ///< MACs performed by the tile
+};
+
+/// Computes the (largest) tile shape produced by \p mapping on \p layer.
+/// Chunk counts that do not divide evenly are handled with ceiling
+/// division; the returned shape is the largest chunk, which bounds both
+/// energy-per-tile and VM requirements.
+TileShape tile_shape(const dnn::Layer& layer, const LayerMapping& mapping);
+
+/// Enumerates candidate chunk counts for one dimension of extent
+/// \p extent: all divisors, optionally capped at \p max_candidates evenly
+/// spread through the divisor list (always keeping 1 and extent).
+std::vector<std::int64_t> chunk_candidates(std::int64_t extent,
+                                           std::size_t max_candidates = 12);
+
+/// Enumerates candidate LayerMappings for a layer: the cross product of
+/// chunk candidates along K, Y and N with every taxonomy in
+/// \p dataflows. The list is bounded by \p max_candidates_per_dim per
+/// dimension.
+std::vector<LayerMapping> enumerate_mappings(
+    const dnn::Layer& layer, const std::vector<Dataflow>& dataflows,
+    std::size_t max_candidates_per_dim = 8);
+
+}  // namespace chrysalis::dataflow
+
+#endif  // CHRYSALIS_DATAFLOW_TILING_HPP

@@ -1,0 +1,98 @@
+#include "dnn/model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::dnn {
+
+Model::Model(std::string name, InputShape input, int element_bytes)
+    : name_(std::move(name)), input_(input), element_bytes_(element_bytes)
+{
+    if (input_.c < 1 || input_.h < 1 || input_.w < 1)
+        fatal("Model ", name_, ": input shape extents must be >= 1");
+    if (element_bytes_ < 1 || element_bytes_ > 8)
+        fatal("Model ", name_, ": element_bytes must lie in [1, 8], got ",
+              element_bytes_);
+}
+
+void
+Model::add_layer(Layer layer)
+{
+    layers_.push_back(std::move(layer));
+}
+
+const Layer&
+Model::layer(std::size_t index) const
+{
+    if (index >= layers_.size())
+        panic("Model::layer: index ", index, " out of range (",
+              layers_.size(), " layers)");
+    return layers_[index];
+}
+
+std::size_t
+Model::weight_layer_count() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(layers_.begin(), layers_.end(),
+                      [](const Layer& l) { return l.has_weights(); }));
+}
+
+std::int64_t
+Model::total_params() const
+{
+    std::int64_t total = 0;
+    for (const auto& layer : layers_)
+        total += layer.param_count();
+    return total;
+}
+
+std::int64_t
+Model::total_macs() const
+{
+    std::int64_t total = 0;
+    for (const auto& layer : layers_)
+        total += layer.macs();
+    return total;
+}
+
+std::int64_t
+Model::total_flops() const
+{
+    std::int64_t total = 0;
+    for (const auto& layer : layers_)
+        total += layer.flops();
+    return total;
+}
+
+std::int64_t
+Model::total_weight_bytes() const
+{
+    return total_params() * element_bytes_;
+}
+
+std::int64_t
+Model::peak_activation_bytes() const
+{
+    std::int64_t peak = input_.elems() * element_bytes_;
+    for (const auto& layer : layers_) {
+        const std::int64_t working =
+            (layer.input_elems() + layer.output_elems()) * element_bytes_;
+        peak = std::max(peak, working);
+    }
+    return peak;
+}
+
+std::int64_t
+Model::total_data_bytes() const
+{
+    std::int64_t elems = 0;
+    for (const auto& layer : layers_) {
+        elems += layer.input_elems() + layer.output_elems() +
+                 layer.param_count();
+    }
+    return elems * element_bytes_;
+}
+
+}  // namespace chrysalis::dnn

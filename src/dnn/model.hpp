@@ -1,0 +1,80 @@
+/// \file
+/// A DNN model: an ordered list of layers plus datatype information, with
+/// aggregate accounting (parameters, MACs, FLOPs, activation footprints)
+/// used by Tables IV/V and by the dataflow cost model.
+
+#ifndef CHRYSALIS_DNN_MODEL_HPP
+#define CHRYSALIS_DNN_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace chrysalis::dnn {
+
+/// Shape of the model input as (channels, height, width).
+struct InputShape {
+    std::int64_t c = 1;
+    std::int64_t h = 1;
+    std::int64_t w = 1;
+
+    std::int64_t elems() const { return c * h * w; }
+};
+
+/// An inference workload (Table II "Workload" input).
+class Model
+{
+  public:
+    /// \param name workload name as it appears in the paper's tables.
+    /// \param input model input shape.
+    /// \param element_bytes bytes per tensor element (2 for the MSP430's
+    ///        16-bit fixed-point path, 1 for int8 accelerators).
+    Model(std::string name, InputShape input, int element_bytes = 2);
+
+    /// Appends a layer; layers execute in insertion order.
+    void add_layer(Layer layer);
+
+    const std::string& name() const { return name_; }
+    const InputShape& input() const { return input_; }
+    int element_bytes() const { return element_bytes_; }
+
+    const std::vector<Layer>& layers() const { return layers_; }
+    std::size_t layer_count() const { return layers_.size(); }
+    const Layer& layer(std::size_t index) const;
+
+    /// Number of layers that carry trainable weights (the paper's "Layer"
+    /// column counts weight layers).
+    std::size_t weight_layer_count() const;
+
+    /// Total trainable parameters across all layers.
+    std::int64_t total_params() const;
+
+    /// Total multiply-accumulates for one inference.
+    std::int64_t total_macs() const;
+
+    /// Total FLOPs for one inference (2 per MAC).
+    std::int64_t total_flops() const;
+
+    /// Total weight bytes (params * element_bytes).
+    std::int64_t total_weight_bytes() const;
+
+    /// Largest single-layer activation working set in bytes
+    /// (input + output elements of the worst layer).
+    std::int64_t peak_activation_bytes() const;
+
+    /// Total bytes moved if every layer reads its inputs+weights and
+    /// writes its outputs exactly once (the N_data lower bound of Eq. 5).
+    std::int64_t total_data_bytes() const;
+
+  private:
+    std::string name_;
+    InputShape input_;
+    int element_bytes_;
+    std::vector<Layer> layers_;
+};
+
+}  // namespace chrysalis::dnn
+
+#endif  // CHRYSALIS_DNN_MODEL_HPP

@@ -1,0 +1,231 @@
+#include "dnn/model_io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+
+namespace chrysalis::dnn {
+
+namespace {
+
+/// Tokenized directive line with parse helpers that report line numbers.
+struct Directive {
+    std::size_t line_no = 0;
+    std::vector<std::string> tokens;
+
+    const std::string&
+    keyword() const
+    {
+        return tokens.front();
+    }
+
+    std::size_t
+    arg_count() const
+    {
+        return tokens.size() - 1;
+    }
+
+    const std::string&
+    str(std::size_t index) const
+    {
+        if (index + 1 >= tokens.size())
+            fatal("model line ", line_no, ": missing argument ",
+                  index + 1, " for '", keyword(), "'");
+        return tokens[index + 1];
+    }
+
+    std::int64_t
+    integer(std::size_t index) const
+    {
+        const std::string& text = str(index);
+        try {
+            std::size_t used = 0;
+            const long long value = std::stoll(text, &used);
+            if (used != text.size())
+                throw std::invalid_argument(text);
+            return value;
+        } catch (const std::exception&) {
+            fatal("model line ", line_no, ": '", text,
+                  "' is not an integer");
+        }
+    }
+
+    std::int64_t
+    integer_or(std::size_t index, std::int64_t fallback) const
+    {
+        return index + 1 < tokens.size() ? integer(index) : fallback;
+    }
+};
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/// Finds the smallest symmetric padding reproducing the layer's output
+/// extent (the closed-form inverse is ambiguous because of the floor in
+/// the conv arithmetic).
+std::int64_t
+infer_padding(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+              std::int64_t out)
+{
+    for (std::int64_t pad = 0; pad <= kernel; ++pad) {
+        if ((in + 2 * pad - kernel) / stride + 1 == out)
+            return pad;
+    }
+    panic("infer_padding: no padding reproduces out=", out, " from in=",
+          in, " kernel=", kernel, " stride=", stride);
+}
+
+}  // namespace
+
+Model
+parse_model(std::istream& input)
+{
+    std::optional<Model> model;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text.front() == '#')
+            continue;
+        Directive directive{line_no, tokenize(text)};
+        const std::string keyword = to_lower(directive.keyword());
+
+        if (keyword == "model") {
+            if (model.has_value())
+                fatal("model line ", line_no,
+                      ": duplicate 'model' directive");
+            if (directive.arg_count() != 5)
+                fatal("model line ", line_no,
+                      ": 'model' needs <name> <c> <h> <w> "
+                      "<element_bytes>");
+            model.emplace(directive.str(0),
+                          InputShape{directive.integer(1),
+                                     directive.integer(2),
+                                     directive.integer(3)},
+                          static_cast<int>(directive.integer(4)));
+            continue;
+        }
+        if (!model.has_value())
+            fatal("model line ", line_no,
+                  ": the 'model' directive must come first");
+
+        if (keyword == "conv") {
+            model->add_layer(make_conv2d(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer(3),
+                directive.integer(4), directive.integer(5),
+                directive.integer_or(6, 1), directive.integer_or(7, 0)));
+        } else if (keyword == "dwconv") {
+            model->add_layer(make_depthwise(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer(3),
+                directive.integer(4), directive.integer_or(5, 1),
+                directive.integer_or(6, 0)));
+        } else if (keyword == "dense") {
+            model->add_layer(make_dense(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer_or(3, 1)));
+        } else if (keyword == "pool") {
+            model->add_layer(make_pool(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer(3),
+                directive.integer(4), directive.integer(5)));
+        } else if (keyword == "matmul") {
+            model->add_layer(make_matmul(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer(3),
+                directive.integer(4)));
+        } else if (keyword == "embedding") {
+            model->add_layer(make_embedding(
+                directive.str(0), directive.integer(1),
+                directive.integer(2), directive.integer_or(3, 1)));
+        } else {
+            fatal("model line ", line_no, ": unknown directive '",
+                  directive.keyword(), "'");
+        }
+    }
+    if (!model.has_value())
+        fatal("model description: no 'model' directive found");
+    if (model->layer_count() == 0)
+        fatal("model description: no layers defined");
+    return std::move(*model);
+}
+
+Model
+load_model(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("load_model: cannot open '", path, "'");
+    return parse_model(file);
+}
+
+void
+write_model(std::ostream& output, const Model& model)
+{
+    output << "model " << model.name() << ' ' << model.input().c << ' '
+           << model.input().h << ' ' << model.input().w << ' '
+           << model.element_bytes() << '\n';
+    for (const auto& layer : model.layers()) {
+        switch (layer.kind) {
+          case LayerKind::kConv2d: {
+            const std::int64_t pad = infer_padding(
+                layer.in_h, layer.dims.r, layer.stride, layer.dims.y);
+            output << "conv " << layer.name << ' ' << layer.dims.c << ' '
+                   << layer.dims.k << ' ' << layer.in_h << ' '
+                   << layer.in_w << ' ' << layer.dims.r << ' '
+                   << layer.stride << ' ' << pad << '\n';
+            break;
+          }
+          case LayerKind::kDepthwise: {
+            const std::int64_t pad = infer_padding(
+                layer.in_h, layer.dims.r, layer.stride, layer.dims.y);
+            output << "dwconv " << layer.name << ' ' << layer.dims.k
+                   << ' ' << layer.in_h << ' ' << layer.in_w << ' '
+                   << layer.dims.r << ' ' << layer.stride << ' ' << pad
+                   << '\n';
+            break;
+          }
+          case LayerKind::kDense:
+            output << "dense " << layer.name << ' ' << layer.dims.c << ' '
+                   << layer.dims.k << ' ' << layer.dims.n << '\n';
+            break;
+          case LayerKind::kPool:
+            output << "pool " << layer.name << ' ' << layer.dims.k << ' '
+                   << layer.in_h << ' ' << layer.in_w << ' '
+                   << layer.dims.r << ' ' << layer.stride << '\n';
+            break;
+          case LayerKind::kMatmul:
+            // n = batch*m, k = cols, c = reduction; batch folded into m.
+            output << "matmul " << layer.name << " 1 " << layer.dims.n
+                   << ' ' << layer.dims.c << ' ' << layer.dims.k << '\n';
+            break;
+          case LayerKind::kEmbedding:
+            output << "embedding " << layer.name << ' ' << layer.dims.c
+                   << ' ' << layer.dims.k << ' ' << layer.dims.n << '\n';
+            break;
+        }
+    }
+}
+
+std::string
+model_to_string(const Model& model)
+{
+    std::ostringstream os;
+    write_model(os, model);
+    return os.str();
+}
+
+}  // namespace chrysalis::dnn

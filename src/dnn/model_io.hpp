@@ -1,0 +1,43 @@
+/// \file
+/// Plain-text model description I/O, so downstream users can feed their
+/// own DNN tasks to CHRYSALIS without recompiling (Table II "Workload"
+/// input).
+///
+/// Format: one directive per line, `#` comments and blank lines ignored.
+///
+///   model     <name> <in_c> <in_h> <in_w> <element_bytes>
+///   conv      <name> <in_c> <out_c> <in_h> <in_w> <kernel> [stride] [pad]
+///   dwconv    <name> <channels> <in_h> <in_w> <kernel> [stride] [pad]
+///   dense     <name> <in_features> <out_features> [seq]
+///   pool      <name> <channels> <in_h> <in_w> <window> <stride>
+///   matmul    <name> <batch> <m> <k> <n>
+///   embedding <name> <rows> <width> [seq]
+///
+/// The `model` directive must come first and appear exactly once.
+
+#ifndef CHRYSALIS_DNN_MODEL_IO_HPP
+#define CHRYSALIS_DNN_MODEL_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "dnn/model.hpp"
+
+namespace chrysalis::dnn {
+
+/// Parses a model description; fatal() with a line number on any error.
+Model parse_model(std::istream& input);
+
+/// Loads a model description from a file; fatal() if unreadable.
+Model load_model(const std::string& path);
+
+/// Serializes \p model in the same format (parse(serialize(m)) == m for
+/// all models constructible from the format).
+void write_model(std::ostream& output, const Model& model);
+
+/// Convenience: serializes to a string.
+std::string model_to_string(const Model& model);
+
+}  // namespace chrysalis::dnn
+
+#endif  // CHRYSALIS_DNN_MODEL_IO_HPP

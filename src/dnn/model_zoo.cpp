@@ -1,0 +1,308 @@
+#include "dnn/model_zoo.hpp"
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+
+namespace chrysalis::dnn {
+
+namespace {
+
+/// Appends a conv -> (optional pool) block and returns the new spatial size.
+struct SpatialCursor {
+    std::int64_t h;
+    std::int64_t w;
+};
+
+}  // namespace
+
+Model
+make_simple_conv()
+{
+    Model model("simple_conv", {3, 32, 32}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 3, 16, 32, 32, 5, /*stride=*/9));
+    return model;
+}
+
+Model
+make_cifar10_cnn()
+{
+    Model model("cifar10", {3, 32, 32}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 3, 16, 32, 32, 3, 1, 1));
+    model.add_layer(make_pool("pool1", 16, 32, 32, 2, 2));
+    model.add_layer(make_conv2d("conv2", 16, 32, 16, 16, 3, 1, 1));
+    model.add_layer(make_conv2d("conv3", 32, 32, 16, 16, 3, 1, 1));
+    model.add_layer(make_pool("pool2", 32, 16, 16, 2, 2));
+    model.add_layer(make_conv2d("conv4", 32, 64, 8, 8, 3, 1, 1));
+    model.add_layer(make_dense("fc", 64 * 8 * 8, 10));
+    return model;
+}
+
+Model
+make_har_cnn()
+{
+    // 1-D convolutions over a 128-sample window of 9 IMU channels.
+    Model model("har", {9, 128, 1}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 9, 16, 128, 1, 5));
+    model.add_layer(make_pool("pool1", 16, 124, 1, 2, 2));
+    model.add_layer(make_conv2d("conv2", 16, 16, 62, 1, 5));
+    model.add_layer(make_pool("pool2", 16, 58, 1, 2, 2));
+    model.add_layer(make_dense("fc1", 16 * 29, 16));
+    model.add_layer(make_dense("fc2", 16, 6));
+    return model;
+}
+
+Model
+make_kws_mlp()
+{
+    Model model("kws", {250, 1, 1}, /*element_bytes=*/2);
+    model.add_layer(make_dense("fc1", 250, 128));
+    model.add_layer(make_dense("fc2", 128, 96));
+    model.add_layer(make_dense("fc3", 96, 32));
+    model.add_layer(make_dense("fc4", 32, 32));
+    model.add_layer(make_dense("fc5", 32, 12));
+    return model;
+}
+
+Model
+make_mnist_cnn()
+{
+    Model model("mnist", {1, 28, 28}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 1, 16, 28, 28, 3));
+    model.add_layer(make_pool("pool1", 16, 26, 26, 2, 2));
+    model.add_layer(make_conv2d("conv2", 16, 32, 13, 13, 3));
+    model.add_layer(make_pool("pool2", 32, 11, 11, 2, 2));
+    model.add_layer(make_dense("fc", 32 * 5 * 5, 10));
+    return model;
+}
+
+Model
+make_cnn_b()
+{
+    // HAWAII's larger CNN: same topology class as the MNIST CNN but wider.
+    Model model("cnn_b", {1, 28, 28}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 1, 32, 28, 28, 3));
+    model.add_layer(make_pool("pool1", 32, 26, 26, 2, 2));
+    model.add_layer(make_conv2d("conv2", 32, 64, 13, 13, 3));
+    model.add_layer(make_pool("pool2", 64, 11, 11, 2, 2));
+    model.add_layer(make_dense("fc1", 64 * 5 * 5, 64));
+    model.add_layer(make_dense("fc2", 64, 10));
+    return model;
+}
+
+Model
+make_cnn_s()
+{
+    Model model("cnn_s", {1, 28, 28}, /*element_bytes=*/2);
+    model.add_layer(make_conv2d("conv1", 1, 8, 28, 28, 3));
+    model.add_layer(make_pool("pool1", 8, 26, 26, 2, 2));
+    model.add_layer(make_conv2d("conv2", 8, 8, 13, 13, 3));
+    model.add_layer(make_pool("pool2", 8, 11, 11, 2, 2));
+    model.add_layer(make_dense("fc", 8 * 5 * 5, 10));
+    return model;
+}
+
+Model
+make_fc_app()
+{
+    Model model("fc", {1, 28, 28}, /*element_bytes=*/2);
+    model.add_layer(make_dense("fc1", 784, 64));
+    model.add_layer(make_dense("fc2", 64, 10));
+    return model;
+}
+
+Model
+make_alexnet()
+{
+    Model model("alexnet", {3, 224, 224}, /*element_bytes=*/1);
+    model.add_layer(make_conv2d("conv1", 3, 96, 224, 224, 11, 4, 2));
+    model.add_layer(make_pool("pool1", 96, 55, 55, 3, 2));
+    model.add_layer(make_conv2d("conv2", 96, 256, 27, 27, 5, 1, 2));
+    model.add_layer(make_pool("pool2", 256, 27, 27, 3, 2));
+    model.add_layer(make_conv2d("conv3", 256, 384, 13, 13, 3, 1, 1));
+    model.add_layer(make_conv2d("conv4", 384, 384, 13, 13, 3, 1, 1));
+    model.add_layer(make_conv2d("conv5", 384, 256, 13, 13, 3, 1, 1));
+    model.add_layer(make_pool("pool5", 256, 13, 13, 3, 2));
+    model.add_layer(make_dense("fc6", 256 * 6 * 6, 4096));
+    model.add_layer(make_dense("fc7", 4096, 4096));
+    model.add_layer(make_dense("fc8", 4096, 1000));
+    return model;
+}
+
+Model
+make_vgg16()
+{
+    Model model("vgg16", {3, 224, 224}, /*element_bytes=*/1);
+    struct Block { std::int64_t convs; std::int64_t channels; };
+    static constexpr Block kBlocks[] = {
+        {2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+    };
+    std::int64_t in_c = 3;
+    std::int64_t size = 224;
+    int index = 1;
+    for (const auto& block : kBlocks) {
+        for (std::int64_t i = 0; i < block.convs; ++i) {
+            model.add_layer(make_conv2d(
+                "conv" + std::to_string(index++), in_c, block.channels,
+                size, size, 3, 1, 1));
+            in_c = block.channels;
+        }
+        model.add_layer(make_pool("pool" + std::to_string(index - 1),
+                                  in_c, size, size, 2, 2));
+        size /= 2;
+    }
+    model.add_layer(make_dense("fc1", 512 * 7 * 7, 4096));
+    model.add_layer(make_dense("fc2", 4096, 4096));
+    model.add_layer(make_dense("fc3", 4096, 1000));
+    return model;
+}
+
+Model
+make_resnet18()
+{
+    Model model("resnet18", {3, 224, 224}, /*element_bytes=*/1);
+    model.add_layer(make_conv2d("conv1", 3, 64, 224, 224, 7, 2, 3));
+    model.add_layer(make_pool("pool1", 64, 112, 112, 3, 2));
+
+    // Four stages of two basic blocks each; the first block of stages 2-4
+    // downsamples with stride 2 and adds a 1x1 projection shortcut.
+    struct Stage { std::int64_t channels; std::int64_t stride; };
+    static constexpr Stage kStages[] = {
+        {64, 1}, {128, 2}, {256, 2}, {512, 2},
+    };
+    std::int64_t in_c = 64;
+    std::int64_t size = 56;  // after 3x3/2 max-pool on 112x112
+    int index = 2;
+    for (const auto& stage : kStages) {
+        for (int block = 0; block < 2; ++block) {
+            const std::int64_t stride = block == 0 ? stage.stride : 1;
+            const std::int64_t out_size = size / stride;
+            model.add_layer(make_conv2d(
+                "conv" + std::to_string(index++), in_c, stage.channels,
+                size, size, 3, stride, 1));
+            model.add_layer(make_conv2d(
+                "conv" + std::to_string(index++), stage.channels,
+                stage.channels, out_size, out_size, 3, 1, 1));
+            if (block == 0 && (stride != 1 || in_c != stage.channels)) {
+                model.add_layer(make_conv2d(
+                    "proj" + std::to_string(index - 2), in_c,
+                    stage.channels, size, size, 1, stride, 0));
+            }
+            in_c = stage.channels;
+            size = out_size;
+        }
+    }
+    model.add_layer(make_dense("fc", 512, 1000));
+    return model;
+}
+
+Model
+make_bert_tiny()
+{
+    // 5 encoder blocks, d_model=768, d_ff=3072, 12 heads, sequence 18.
+    // With the 27.6k-token embedding table this lands at ~56.6M params and
+    // ~0.64G MACs (1.28 GFLOPs), matching Table V.
+    constexpr std::int64_t kSeq = 18;
+    constexpr std::int64_t kModel = 768;
+    constexpr std::int64_t kFf = 3072;
+    constexpr std::int64_t kHeads = 12;
+    constexpr std::int64_t kHeadDim = kModel / kHeads;
+    constexpr std::int64_t kVocab = 27600;
+
+    Model model("bert", {kModel, 1, 1}, /*element_bytes=*/1);
+    model.add_layer(make_embedding("embed", kVocab, kModel, kSeq));
+    for (int block = 1; block <= 5; ++block) {
+        const std::string prefix = "enc" + std::to_string(block) + ".";
+        model.add_layer(make_dense(prefix + "q", kModel, kModel, kSeq));
+        model.add_layer(make_dense(prefix + "k", kModel, kModel, kSeq));
+        model.add_layer(make_dense(prefix + "v", kModel, kModel, kSeq));
+        model.add_layer(make_matmul(prefix + "qk", kHeads, kSeq, kHeadDim,
+                                    kSeq));
+        model.add_layer(make_matmul(prefix + "av", kHeads, kSeq, kSeq,
+                                    kHeadDim));
+        model.add_layer(make_dense(prefix + "proj", kModel, kModel, kSeq));
+        model.add_layer(make_dense(prefix + "ff1", kModel, kFf, kSeq));
+        model.add_layer(make_dense(prefix + "ff2", kFf, kModel, kSeq));
+    }
+    return model;
+}
+
+Model
+make_mobilenet_tiny()
+{
+    Model model("mobilenet_tiny", {3, 96, 96}, /*element_bytes=*/1);
+    model.add_layer(make_conv2d("conv1", 3, 16, 96, 96, 3, 2, 1));
+    // Depthwise-separable blocks: dw 3x3 then pointwise 1x1.
+    struct Block { std::int64_t in_c, out_c, stride; };
+    static constexpr Block kBlocks[] = {
+        {16, 32, 1}, {32, 64, 2}, {64, 64, 1}, {64, 128, 2},
+        {128, 128, 1},
+    };
+    std::int64_t size = 48;
+    int index = 1;
+    for (const auto& block : kBlocks) {
+        model.add_layer(make_depthwise(
+            "dw" + std::to_string(index), block.in_c, size, size, 3,
+            block.stride, 1));
+        size = block.stride == 2 ? size / 2 : size;
+        model.add_layer(make_conv2d(
+            "pw" + std::to_string(index), block.in_c, block.out_c, size,
+            size, 1));
+        ++index;
+    }
+    model.add_layer(make_pool("gap", 128, size, size, size, size));
+    model.add_layer(make_dense("fc", 128, 10));
+    return model;
+}
+
+Model
+make_model(const std::string& zoo_name)
+{
+    const std::string key = to_lower(zoo_name);
+    if (key == "simple_conv")
+        return make_simple_conv();
+    if (key == "cifar10")
+        return make_cifar10_cnn();
+    if (key == "har")
+        return make_har_cnn();
+    if (key == "kws")
+        return make_kws_mlp();
+    if (key == "mnist")
+        return make_mnist_cnn();
+    if (key == "cnn_b")
+        return make_cnn_b();
+    if (key == "cnn_s")
+        return make_cnn_s();
+    if (key == "fc")
+        return make_fc_app();
+    if (key == "alexnet")
+        return make_alexnet();
+    if (key == "vgg16")
+        return make_vgg16();
+    if (key == "resnet18")
+        return make_resnet18();
+    if (key == "bert")
+        return make_bert_tiny();
+    if (key == "mobilenet_tiny")
+        return make_mobilenet_tiny();
+    fatal("make_model: unknown workload '", zoo_name, "'");
+}
+
+const std::vector<std::string>&
+table4_workloads()
+{
+    static const std::vector<std::string> kNames = {
+        "simple_conv", "cifar10", "har", "kws",
+    };
+    return kNames;
+}
+
+const std::vector<std::string>&
+table5_workloads()
+{
+    static const std::vector<std::string> kNames = {
+        "bert", "alexnet", "vgg16", "resnet18",
+    };
+    return kNames;
+}
+
+}  // namespace chrysalis::dnn

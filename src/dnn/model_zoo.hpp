@@ -1,0 +1,84 @@
+/// \file
+/// The workloads evaluated in the paper.
+///
+/// Table IV (existing-AuT setup, MSP430 16-bit fixed point): Simple Conv,
+/// CIFAR-10 CNN, HAR, KWS. Table V (future-AuT setup, int8 accelerators):
+/// BERT, AlexNet, VGG16, ResNet18. Figure 2 additionally uses a MNIST CNN
+/// (HAWAII motivation row) and the three HAWAII applications CNN_b / CNN_s
+/// / FC. Architectures follow their standard published definitions;
+/// parameter/FLOP counts land close to the paper's table values, and
+/// `bench_table4`/`bench_table5` print achieved-vs-paper numbers. (The
+/// paper mixes FLOPs = MACs and FLOPs = 2*MACs conventions across tables;
+/// we always report both.)
+
+#ifndef CHRYSALIS_DNN_MODEL_ZOO_HPP
+#define CHRYSALIS_DNN_MODEL_ZOO_HPP
+
+#include "dnn/model.hpp"
+
+namespace chrysalis::dnn {
+
+// --- Table IV workloads (existing AuT, MSP430) ---------------------------
+
+/// Single 5x5 convolution on a (3,32,32) input (~1.2k params).
+Model make_simple_conv();
+
+/// 7-layer CIFAR-10 CNN: 4 conv + 2 pool + 1 dense (~77k params).
+Model make_cifar10_cnn();
+
+/// Human-activity-recognition 1-D CNN on a 9-channel IMU window
+/// (~9k params).
+Model make_har_cnn();
+
+/// Keyword-spotting MLP on a 250-sample feature vector (~49k params,
+/// 5 dense layers).
+Model make_kws_mlp();
+
+// --- Figure 2 workloads ----------------------------------------------------
+
+/// MNIST CNN used by the HAWAII/MSP430 motivation row of Fig. 2(a).
+Model make_mnist_cnn();
+
+/// HAWAII's larger CNN application (Fig. 2(b) "CNN_b").
+Model make_cnn_b();
+
+/// HAWAII's smaller CNN application (Fig. 2(b) "CNN_s").
+Model make_cnn_s();
+
+/// HAWAII's fully-connected application (Fig. 2(b) "FC").
+Model make_fc_app();
+
+// --- Table V workloads (future AuT, int8 accelerators) --------------------
+
+/// AlexNet on (3,224,224): 5 conv + 3 dense (~61M params).
+Model make_alexnet();
+
+/// VGG16 on (3,224,224): 13 conv + 3 dense (~138M params).
+Model make_vgg16();
+
+/// ResNet18 on (3,224,224): 20 weight layers (~11.7M params).
+Model make_resnet18();
+
+/// 5-block BERT encoder, d_model=768, ff=3072, seq=18 (~56.6M params
+/// including the token-embedding table).
+Model make_bert_tiny();
+
+/// Depthwise-separable CNN (MobileNet-style) on a (3,96,96) input —
+/// exercises the kDepthwise cost-model path end to end and provides a
+/// modern edge-vision workload beyond the paper's table (extension).
+Model make_mobilenet_tiny();
+
+/// Returns the model with the given zoo name ("simple_conv", "cifar10",
+/// "har", "kws", "mnist", "cnn_b", "cnn_s", "fc", "alexnet", "vgg16",
+/// "resnet18", "bert"); fatal() on unknown names.
+Model make_model(const std::string& zoo_name);
+
+/// All Table IV workload names in paper order.
+const std::vector<std::string>& table4_workloads();
+
+/// All Table V workload names in paper order.
+const std::vector<std::string>& table5_workloads();
+
+}  // namespace chrysalis::dnn
+
+#endif  // CHRYSALIS_DNN_MODEL_ZOO_HPP

@@ -1,0 +1,117 @@
+#include "energy/capacitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::energy {
+
+Capacitor::Capacitor(const Config& config)
+    : config_(config), voltage_(config.initial_voltage_v)
+{
+    if (config_.capacitance_f <= 0.0)
+        fatal("Capacitor: capacitance must be > 0, got ",
+              config_.capacitance_f);
+    if (config_.rated_voltage_v <= 0.0)
+        fatal("Capacitor: rated voltage must be > 0, got ",
+              config_.rated_voltage_v);
+    if (config_.k_cap < 0.0)
+        fatal("Capacitor: leakage coefficient must be >= 0, got ",
+              config_.k_cap);
+    if (voltage_ < 0.0 || voltage_ > config_.rated_voltage_v)
+        fatal("Capacitor: initial voltage ", voltage_,
+              " outside [0, ", config_.rated_voltage_v, "]");
+}
+
+double
+Capacitor::stored_energy() const
+{
+    return 0.5 * config_.capacitance_f * voltage_ * voltage_;
+}
+
+double
+Capacitor::effective_k_cap() const
+{
+    return config_.k_cap *
+           std::exp2((config_.temperature_c - 25.0) /
+                     config_.leakage_doubling_c);
+}
+
+void
+Capacitor::set_temperature(double temperature_c)
+{
+    if (temperature_c < -273.15)
+        fatal("Capacitor::set_temperature: below absolute zero");
+    config_.temperature_c = temperature_c;
+}
+
+double
+Capacitor::leakage_current() const
+{
+    return effective_k_cap() * config_.capacitance_f * voltage_;  // Eq. 2
+}
+
+double
+Capacitor::leakage_power() const
+{
+    return leakage_current() * voltage_;
+}
+
+double
+Capacitor::charge(double energy_j)
+{
+    if (energy_j < 0.0)
+        panic("Capacitor::charge: negative energy ", energy_j);
+    const double ceiling = energy_between(0.0, config_.rated_voltage_v);
+    const double absorbed =
+        std::min(energy_j, std::max(0.0, ceiling - stored_energy()));
+    const double new_energy = stored_energy() + absorbed;
+    voltage_ = std::sqrt(2.0 * new_energy / config_.capacitance_f);
+    voltage_ = std::min(voltage_, config_.rated_voltage_v);
+    return absorbed;
+}
+
+double
+Capacitor::discharge(double energy_j)
+{
+    if (energy_j < 0.0)
+        panic("Capacitor::discharge: negative energy ", energy_j);
+    const double delivered = std::min(energy_j, stored_energy());
+    const double new_energy = stored_energy() - delivered;
+    voltage_ = std::sqrt(std::max(0.0, 2.0 * new_energy /
+                                           config_.capacitance_f));
+    return delivered;
+}
+
+double
+Capacitor::apply_leakage(double dt_s)
+{
+    if (dt_s < 0.0)
+        panic("Capacitor::apply_leakage: negative dt ", dt_s);
+    // Leakage power at the step's starting voltage; the paper simplifies
+    // identically ("the leakage energy is simplified as the voltage is
+    // unchanged", §III-B1).
+    const double lost = std::min(leakage_power() * dt_s, stored_energy());
+    return discharge(lost);
+}
+
+void
+Capacitor::set_voltage(double voltage_v)
+{
+    if (voltage_v < 0.0 || voltage_v > config_.rated_voltage_v)
+        fatal("Capacitor::set_voltage: ", voltage_v, " outside [0, ",
+              config_.rated_voltage_v, "]");
+    voltage_ = voltage_v;
+}
+
+double
+Capacitor::energy_between(double v_lo, double v_hi) const
+{
+    if (v_lo < 0.0 || v_hi < v_lo)
+        fatal("Capacitor::energy_between: invalid range [", v_lo, ", ",
+              v_hi, "]");
+    return 0.5 * config_.capacitance_f * (v_hi * v_hi - v_lo * v_lo);
+}
+
+}  // namespace chrysalis::energy

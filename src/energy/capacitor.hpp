@@ -1,0 +1,81 @@
+/// \file
+/// Electrolytic-capacitor energy-storage model (Eq. 2 and the E = 1/2 C V^2
+/// terms of Eq. 3).
+///
+/// The capacitor buffers harvested energy; its leakage current grows with
+/// capacitance and voltage, I_R = k_cap * C * U (Eq. 2), which is the
+/// mechanism behind the paper's "larger capacitors cause obvious leakage
+/// energy / unavailability" observations (Figs. 2b and 9).
+
+#ifndef CHRYSALIS_ENERGY_CAPACITOR_HPP
+#define CHRYSALIS_ENERGY_CAPACITOR_HPP
+
+namespace chrysalis::energy {
+
+/// Stateful capacitor model; voltage is the single state variable.
+class Capacitor
+{
+  public:
+    /// Physical parameters of the capacitor.
+    struct Config {
+        double capacitance_f = 100e-6;  ///< C [F]
+        double rated_voltage_v = 5.0;   ///< U_rated [V], hard ceiling
+        double k_cap = 0.01;            ///< leakage coefficient [1/s], Eq. 2
+        double initial_voltage_v = 0.0; ///< starting voltage [V]
+        /// Temperature model (§III-D: "considerations such as temperature
+        /// ... can be incorporated"): electrolytic leakage roughly
+        /// doubles every `leakage_doubling_c` above the 25 C reference.
+        double temperature_c = 25.0;
+        double leakage_doubling_c = 10.0;
+    };
+
+    explicit Capacitor(const Config& config);
+
+    /// Current terminal voltage [V].
+    double voltage() const { return voltage_; }
+
+    /// Effective leakage coefficient at the configured temperature:
+    /// k_cap * 2^((T - 25 C) / doubling).
+    double effective_k_cap() const;
+
+    /// Updates the operating temperature (affects leakage only).
+    void set_temperature(double temperature_c);
+
+    /// Stored energy 1/2 C V^2 [J].
+    double stored_energy() const;
+
+    /// Leakage current at the present voltage, I_R = k_cap * C * U [A].
+    double leakage_current() const;
+
+    /// Leakage power at the present voltage, U * I_R [W].
+    double leakage_power() const;
+
+    /// Adds \p energy_j joules (clipped at the rated-voltage ceiling).
+    /// \returns the energy actually absorbed; the remainder is "wasted"
+    /// harvest (tracked by the caller for the system-efficiency metric).
+    double charge(double energy_j);
+
+    /// Removes up to \p energy_j joules, never driving voltage below 0.
+    /// \returns the energy actually delivered.
+    double discharge(double energy_j);
+
+    /// Applies leakage over \p dt_s seconds; \returns the energy lost [J].
+    double apply_leakage(double dt_s);
+
+    /// Forces the voltage (used when initializing experiment scenarios).
+    /// \pre 0 <= voltage_v <= rated voltage.
+    void set_voltage(double voltage_v);
+
+    /// Energy capacity between two voltages: 1/2 C (hi^2 - lo^2) [J].
+    double energy_between(double v_lo, double v_hi) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+    double voltage_;
+};
+
+}  // namespace chrysalis::energy
+
+#endif  // CHRYSALIS_ENERGY_CAPACITOR_HPP

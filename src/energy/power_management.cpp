@@ -1,0 +1,41 @@
+#include "energy/power_management.hpp"
+
+#include "common/logging.hpp"
+
+namespace chrysalis::energy {
+
+PowerManagementIc::PowerManagementIc(const Config& config) : config_(config)
+{
+    if (config_.v_off <= 0.0 || config_.v_on <= config_.v_off)
+        fatal("PowerManagementIc: require 0 < v_off < v_on, got v_on=",
+              config_.v_on, " v_off=", config_.v_off);
+    if (config_.charge_efficiency <= 0.0 || config_.charge_efficiency > 1.0)
+        fatal("PowerManagementIc: charge efficiency must lie in (0, 1], got ",
+              config_.charge_efficiency);
+    if (config_.discharge_efficiency <= 0.0 ||
+        config_.discharge_efficiency > 1.0) {
+        fatal("PowerManagementIc: discharge efficiency must lie in (0, 1], "
+              "got ", config_.discharge_efficiency);
+    }
+    if (config_.quiescent_power_w < 0.0)
+        fatal("PowerManagementIc: quiescent power must be >= 0");
+}
+
+double
+PowerManagementIc::capacitor_energy_for_load(double load_energy_j) const
+{
+    if (load_energy_j < 0.0)
+        panic("capacitor_energy_for_load: negative energy ", load_energy_j);
+    return load_energy_j / config_.discharge_efficiency;
+}
+
+double
+PowerManagementIc::load_energy_from_capacitor(double capacitor_energy_j) const
+{
+    if (capacitor_energy_j < 0.0)
+        panic("load_energy_from_capacitor: negative energy ",
+              capacitor_energy_j);
+    return capacitor_energy_j * config_.discharge_efficiency;
+}
+
+}  // namespace chrysalis::energy

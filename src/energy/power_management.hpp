@@ -1,0 +1,62 @@
+/// \file
+/// Power-management IC model (BQ25570-style).
+///
+/// The PMIC defines the system's operating thresholds (U_on / U_off in
+/// Eq. 3), conversion efficiencies on the charge and discharge paths, and a
+/// small quiescent draw. Together with the capacitor it determines the
+/// usable energy per energy cycle, E_store = 1/2 C (U_on^2 - U_off^2).
+
+#ifndef CHRYSALIS_ENERGY_POWER_MANAGEMENT_HPP
+#define CHRYSALIS_ENERGY_POWER_MANAGEMENT_HPP
+
+namespace chrysalis::energy {
+
+/// Threshold/efficiency model of an energy-harvesting PMIC.
+class PowerManagementIc
+{
+  public:
+    /// PMIC electrical parameters; defaults follow the TI BQ25570
+    /// datasheet operating point used by the paper's real platform.
+    struct Config {
+        double v_on = 3.5;              ///< U_on: turn-on threshold [V]
+        double v_off = 2.2;             ///< U_off: brown-out threshold [V]
+        double charge_efficiency = 0.90;    ///< boost-charger efficiency
+        double discharge_efficiency = 0.85; ///< buck-regulator efficiency
+        double quiescent_power_w = 0.5e-6;  ///< IC self-consumption [W]
+    };
+
+    explicit PowerManagementIc(const Config& config);
+
+    /// Turn-on threshold U_on [V].
+    double v_on() const { return config_.v_on; }
+
+    /// Brown-out threshold U_off [V].
+    double v_off() const { return config_.v_off; }
+
+    /// Fraction of harvested energy that reaches the capacitor.
+    double charge_efficiency() const { return config_.charge_efficiency; }
+
+    /// Fraction of capacitor energy that reaches the load.
+    double discharge_efficiency() const
+    {
+        return config_.discharge_efficiency;
+    }
+
+    /// Constant self-consumption of the IC [W].
+    double quiescent_power() const { return config_.quiescent_power_w; }
+
+    /// Capacitor energy needed to deliver \p load_energy_j to the load [J].
+    double capacitor_energy_for_load(double load_energy_j) const;
+
+    /// Load energy deliverable from \p capacitor_energy_j of storage [J].
+    double load_energy_from_capacitor(double capacitor_energy_j) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace chrysalis::energy
+
+#endif  // CHRYSALIS_ENERGY_POWER_MANAGEMENT_HPP

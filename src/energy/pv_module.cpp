@@ -1,0 +1,166 @@
+#include "energy/pv_module.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::energy {
+
+PvModule::PvModule(const Config& config) : config_(config)
+{
+    if (config_.area_cm2 <= 0.0)
+        fatal("PvModule: area must be > 0");
+    if (config_.isc_ref_a <= 0.0)
+        fatal("PvModule: reference short-circuit current must be > 0");
+    if (config_.voc_ref_v <= 0.0)
+        fatal("PvModule: reference open-circuit voltage must be > 0");
+    if (config_.thermal_voltage_v <= 0.0)
+        fatal("PvModule: thermal voltage must be > 0");
+    if (config_.k_eh_ref <= 0.0)
+        fatal("PvModule: reference irradiance must be > 0");
+}
+
+double
+PvModule::open_circuit_voltage(double k_eh) const
+{
+    if (k_eh <= 0.0)
+        return 0.0;
+    // V_oc drifts logarithmically with irradiance.
+    return std::max(0.0, config_.voc_ref_v +
+                             config_.thermal_voltage_v *
+                                 std::log(k_eh / config_.k_eh_ref));
+}
+
+double
+PvModule::current(double v, double k_eh) const
+{
+    if (k_eh <= 0.0 || v < 0.0)
+        return 0.0;
+    const double isc = config_.isc_ref_a * (k_eh / config_.k_eh_ref);
+    const double voc = open_circuit_voltage(k_eh);
+    if (voc <= 0.0)
+        return 0.0;
+    const double current =
+        isc * (1.0 -
+               std::exp((v - voc) / config_.thermal_voltage_v));
+    return std::max(0.0, current);
+}
+
+double
+PvModule::power(double v, double k_eh) const
+{
+    return v * current(v, k_eh);
+}
+
+double
+PvModule::max_power_voltage(double k_eh) const
+{
+    const double voc = open_circuit_voltage(k_eh);
+    if (voc <= 0.0)
+        return 0.0;
+    // Golden-section search on the unimodal P(V) curve.
+    constexpr double kPhi = 0.6180339887498949;
+    double lo = 0.0;
+    double hi = voc;
+    for (int i = 0; i < 80; ++i) {
+        const double a = hi - (hi - lo) * kPhi;
+        const double b = lo + (hi - lo) * kPhi;
+        if (power(a, k_eh) < power(b, k_eh))
+            lo = a;
+        else
+            hi = b;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+PvModule::max_power(double k_eh) const
+{
+    return power(max_power_voltage(k_eh), k_eh);
+}
+
+PerturbObserveTracker::PerturbObserveTracker(const Config& config)
+    : config_(config), voltage_(config.initial_voltage_v)
+{
+    if (config_.step_v <= 0.0)
+        fatal("PerturbObserveTracker: step must be > 0");
+    if (config_.initial_voltage_v < config_.min_voltage_v)
+        fatal("PerturbObserveTracker: initial voltage below minimum");
+}
+
+double
+PerturbObserveTracker::step(const PvModule& module, double k_eh)
+{
+    // Perturb in the current direction, observe, and keep going if power
+    // improved; otherwise reverse (classic P&O [19]).
+    const double candidate =
+        std::max(config_.min_voltage_v,
+                 voltage_ + direction_ * config_.step_v);
+    const double p_new = module.power(candidate, k_eh);
+    if (p_new >= last_power_) {
+        voltage_ = candidate;
+    } else {
+        direction_ = -direction_;
+        voltage_ = std::max(config_.min_voltage_v,
+                            voltage_ + direction_ * config_.step_v);
+    }
+    last_power_ = module.power(voltage_, k_eh);
+    return last_power_;
+}
+
+void
+PerturbObserveTracker::reset()
+{
+    voltage_ = config_.initial_voltage_v;
+    last_power_ = 0.0;
+    direction_ = 1.0;
+}
+
+MpptSolarPanel::MpptSolarPanel(
+    PvModule module, PerturbObserveTracker tracker,
+    std::shared_ptr<const SolarEnvironment> environment,
+    int iterations_per_query)
+    : module_(std::move(module)), tracker_(std::move(tracker)),
+      environment_(std::move(environment)),
+      iterations_per_query_(iterations_per_query)
+{
+    if (!environment_)
+        fatal("MpptSolarPanel: environment must not be null");
+    if (iterations_per_query_ < 1)
+        fatal("MpptSolarPanel: iterations per query must be >= 1");
+}
+
+double
+MpptSolarPanel::power(double t_s) const
+{
+    const double k_eh = environment_->k_eh(t_s);
+    double delivered = 0.0;
+    for (int i = 0; i < iterations_per_query_; ++i)
+        delivered = tracker_.step(module_, k_eh);
+    return delivered;
+}
+
+std::string
+MpptSolarPanel::name() const
+{
+    return "mppt-solar-panel(" + environment_->name() + ")";
+}
+
+std::unique_ptr<EnergyHarvester>
+MpptSolarPanel::clone() const
+{
+    return std::make_unique<MpptSolarPanel>(*this);
+}
+
+double
+MpptSolarPanel::tracking_efficiency(double t_s) const
+{
+    const double k_eh = environment_->k_eh(t_s);
+    const double ideal = module_.max_power(k_eh);
+    if (ideal <= 0.0)
+        return 0.0;
+    return module_.power(tracker_.voltage(), k_eh) / ideal;
+}
+
+}  // namespace chrysalis::energy

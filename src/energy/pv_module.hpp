@@ -1,0 +1,133 @@
+/// \file
+/// Photovoltaic module electrical model and MPPT.
+///
+/// The plain SolarPanel abstracts the panel as P = A * k_eh, which assumes
+/// the converter always operates the cell at its maximum power point. This
+/// module models the step below that abstraction: a single-diode-style
+/// I-V curve (per King et al. [39] / Sera et al. [60] datasheet models)
+/// and a perturb-and-observe MPPT controller (Femia et al. [19], surveyed
+/// by Esram & Chapman [17]). `MpptSolarPanel` packages both behind the
+/// EnergyHarvester interface, so the rest of the framework can swap the
+/// ideal panel for a tracked one and quantify MPPT tracking losses.
+
+#ifndef CHRYSALIS_ENERGY_PV_MODULE_HPP
+#define CHRYSALIS_ENERGY_PV_MODULE_HPP
+
+#include <memory>
+
+#include "energy/harvester.hpp"
+#include "energy/solar_environment.hpp"
+
+namespace chrysalis::energy {
+
+/// Electrical model of a PV module under a given irradiance.
+///
+/// Simplified single-diode form: I(V) = I_sc * (1 - exp((V - V_oc)/V_t)),
+/// with the short-circuit current proportional to irradiance and the
+/// open-circuit voltage drifting logarithmically with irradiance.
+class PvModule
+{
+  public:
+    /// Datasheet-style parameters at the reference irradiance.
+    struct Config {
+        double area_cm2 = 8.0;       ///< module area
+        double isc_ref_a = 30e-3;    ///< short-circuit current @ ref
+        double voc_ref_v = 2.2;      ///< open-circuit voltage @ ref
+        double thermal_voltage_v = 0.12;  ///< diode curve sharpness
+        double k_eh_ref = 2.0e-3;    ///< reference irradiance [W/cm^2]
+    };
+
+    explicit PvModule(const Config& config);
+
+    /// Output current at terminal voltage \p v under irradiance \p k_eh
+    /// [A]; clamped at >= 0.
+    double current(double v, double k_eh) const;
+
+    /// Output power at terminal voltage \p v [W].
+    double power(double v, double k_eh) const;
+
+    /// Open-circuit voltage under irradiance \p k_eh.
+    double open_circuit_voltage(double k_eh) const;
+
+    /// True maximum power under \p k_eh (golden-section search; used by
+    /// tests and to measure tracking efficiency).
+    double max_power(double k_eh) const;
+
+    /// Voltage achieving max_power under \p k_eh.
+    double max_power_voltage(double k_eh) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+/// Perturb-and-observe MPPT controller: walks the operating voltage in
+/// fixed steps, reversing direction when the observed power drops.
+class PerturbObserveTracker
+{
+  public:
+    /// Controller parameters.
+    struct Config {
+        double step_v = 0.02;        ///< perturbation step
+        double initial_voltage_v = 1.5;
+        double min_voltage_v = 0.0;
+    };
+
+    explicit PerturbObserveTracker(const Config& config);
+
+    /// One P&O iteration against \p module under \p k_eh; returns the
+    /// power at the new operating point.
+    double step(const PvModule& module, double k_eh);
+
+    /// Current operating voltage.
+    double voltage() const { return voltage_; }
+
+    /// Resets to the initial operating point.
+    void reset();
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+    double voltage_;
+    double last_power_ = 0.0;
+    double direction_ = 1.0;
+};
+
+/// An EnergyHarvester that runs P&O tracking over a PvModule. Each call
+/// to power() advances the tracker a few iterations (modelling a
+/// converter whose control loop is much faster than the simulation
+/// step), so the delivered power converges to within a small margin of
+/// the true MPP and re-converges after irradiance changes.
+class MpptSolarPanel final : public EnergyHarvester
+{
+  public:
+    /// \param module PV electrical model.
+    /// \param tracker P&O controller.
+    /// \param environment ambient-light model; must not be null.
+    /// \param iterations_per_query control-loop steps per power() call.
+    MpptSolarPanel(PvModule module, PerturbObserveTracker tracker,
+                   std::shared_ptr<const SolarEnvironment> environment,
+                   int iterations_per_query = 8);
+
+    double power(double t_s) const override;
+    double area_cm2() const override { return module_.config().area_cm2; }
+    std::string name() const override;
+    std::unique_ptr<EnergyHarvester> clone() const override;
+
+    /// Tracking efficiency observed at time \p t_s: delivered / MPP.
+    double tracking_efficiency(double t_s) const;
+
+    const PvModule& module() const { return module_; }
+
+  private:
+    PvModule module_;
+    mutable PerturbObserveTracker tracker_;
+    std::shared_ptr<const SolarEnvironment> environment_;
+    int iterations_per_query_;
+};
+
+}  // namespace chrysalis::energy
+
+#endif  // CHRYSALIS_ENERGY_PV_MODULE_HPP

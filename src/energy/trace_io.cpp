@@ -1,0 +1,69 @@
+#include "energy/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+
+namespace chrysalis::energy {
+
+TraceSolarEnvironment
+parse_irradiance_csv(std::istream& input, std::string label)
+{
+    std::vector<double> times;
+    std::vector<double> values;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        const std::string text = trim(line);
+        if (text.empty() || text.front() == '#')
+            continue;
+        if (line_no == 1 && to_lower(text) == "time_s,k_eh")
+            continue;  // header
+        const auto fields = split(text, ',');
+        if (fields.size() != 2) {
+            fatal("irradiance CSV line ", line_no, ": expected 2 fields, "
+                  "got ", fields.size());
+        }
+        try {
+            std::size_t used = 0;
+            const double t = std::stod(trim(fields[0]), &used);
+            const double k = std::stod(trim(fields[1]));
+            (void)used;
+            times.push_back(t);
+            values.push_back(k);
+        } catch (const std::exception&) {
+            fatal("irradiance CSV line ", line_no,
+                  ": cannot parse '", text, "'");
+        }
+    }
+    if (times.empty())
+        fatal("irradiance CSV: no samples found");
+    return TraceSolarEnvironment(std::move(times), std::move(values),
+                                 std::move(label));
+}
+
+TraceSolarEnvironment
+load_irradiance_csv(const std::string& path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("load_irradiance_csv: cannot open '", path, "'");
+    return parse_irradiance_csv(file, path);
+}
+
+void
+write_irradiance_csv(std::ostream& output,
+                     const SolarEnvironment& environment, double start_s,
+                     double end_s, double step_s)
+{
+    if (end_s <= start_s || step_s <= 0.0)
+        fatal("write_irradiance_csv: invalid range/step");
+    output << "time_s,k_eh\n";
+    for (double t = start_s; t <= end_s; t += step_s)
+        output << t << ',' << environment.k_eh(t) << '\n';
+}
+
+}  // namespace chrysalis::energy

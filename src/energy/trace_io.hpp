@@ -1,0 +1,37 @@
+/// \file
+/// Irradiance-trace I/O: load recorded (time, k_eh) traces from CSV so
+/// deployments can replay measured light conditions through
+/// TraceSolarEnvironment, and write traces back out for inspection.
+///
+/// CSV format: one `time_s,k_eh_w_per_cm2` pair per line; `#`-prefixed
+/// lines and blank lines are ignored; an optional one-line header of the
+/// exact form `time_s,k_eh` is skipped.
+
+#ifndef CHRYSALIS_ENERGY_TRACE_IO_HPP
+#define CHRYSALIS_ENERGY_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "energy/solar_environment.hpp"
+
+namespace chrysalis::energy {
+
+/// Parses a trace from an input stream; fatal() on malformed content.
+/// \param label name given to the resulting environment.
+TraceSolarEnvironment parse_irradiance_csv(std::istream& input,
+                                           std::string label = "trace");
+
+/// Loads a trace from a file; fatal() if the file cannot be opened.
+TraceSolarEnvironment load_irradiance_csv(const std::string& path);
+
+/// Writes an environment sampled at fixed intervals to CSV (with the
+/// `time_s,k_eh` header), e.g. to export a diurnal profile for plotting.
+/// \pre end_s > start_s, step_s > 0.
+void write_irradiance_csv(std::ostream& output,
+                          const SolarEnvironment& environment,
+                          double start_s, double end_s, double step_s);
+
+}  // namespace chrysalis::energy
+
+#endif  // CHRYSALIS_ENERGY_TRACE_IO_HPP

@@ -1,0 +1,124 @@
+#include "hw/accelerator.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/string_utils.hpp"
+
+namespace chrysalis::hw {
+
+std::string
+to_string(AcceleratorArch arch)
+{
+    switch (arch) {
+      case AcceleratorArch::kTpu: return "tpu";
+      case AcceleratorArch::kEyeriss: return "eyeriss";
+    }
+    return "?";
+}
+
+AcceleratorArch
+accelerator_arch_from_string(const std::string& text)
+{
+    const std::string key = to_lower(text);
+    if (key == "tpu")
+        return AcceleratorArch::kTpu;
+    if (key == "eyeriss")
+        return AcceleratorArch::kEyeriss;
+    fatal("accelerator_arch_from_string: unknown architecture '", text, "'");
+}
+
+ReconfigurableAccelerator::ReconfigurableAccelerator(const Config& config)
+    : config_(config)
+{
+    if (config_.n_pe < kMinPe || config_.n_pe > kMaxPe)
+        fatal("ReconfigurableAccelerator: PE count ", config_.n_pe,
+              " outside [", kMinPe, ", ", kMaxPe, "]");
+    if (config_.cache_bytes_per_pe < kMinCacheBytes ||
+        config_.cache_bytes_per_pe > kMaxCacheBytes) {
+        fatal("ReconfigurableAccelerator: cache size ",
+              config_.cache_bytes_per_pe, " B outside [", kMinCacheBytes,
+              ", ", kMaxCacheBytes, "]");
+    }
+}
+
+std::string
+ReconfigurableAccelerator::name() const
+{
+    return to_string(config_.arch);
+}
+
+dataflow::CostParams
+ReconfigurableAccelerator::cost_params() const
+{
+    // Array-size energy scaling: operands traverse O(sqrt(N)) NoC hops in
+    // an N-PE array, so per-MAC and per-byte energies grow with the array
+    // dimension. The factors are normalized to 1.0 at the 168-PE
+    // calibration point (Fig. 2a), making small arrays energy-cheaper per
+    // operation — the energy/latency tradeoff the PE-count knob trades.
+    const double dim_ratio =
+        std::sqrt(static_cast<double>(config_.n_pe) /
+                  static_cast<double>(kMaxPe));
+    const double mac_scale = 0.6 + 0.4 * dim_ratio;
+    const double wire_scale = 0.4 + 0.6 * dim_ratio;
+
+    dataflow::CostParams params;
+    params.n_pe = config_.n_pe;
+    params.vm_bytes_per_pe = config_.cache_bytes_per_pe;
+    params.element_bytes = 1;       // int8 inference
+    params.overlap_transfers = true;  // double-buffered DMA
+    params.exception_rate = config_.exception_rate;
+
+    // External byte-addressable NVM (FRAM/MRAM class) shared by both
+    // presets: reads are cheap, writes are ~3x more expensive.
+    params.e_nvm_read_byte_j = 100e-12;
+    params.e_nvm_write_byte_j = 300e-12;
+    params.nvm_bytes_per_s = 1e9;
+
+    switch (config_.arch) {
+      case AcceleratorArch::kTpu:
+        // Systolic array: very cheap MACs, but operand movement through
+        // the array costs more per byte and each PE is simpler.
+        params.e_mac_j = 8e-12 * mac_scale;
+        params.macs_per_s_per_pe = 1.0e8;
+        params.e_vm_byte_j = 15e-12 * wire_scale;
+        params.p_mem_w_per_byte = 1.5e-9;
+        params.p_pe_static_w = 0.3e-3;
+        break;
+      case AcceleratorArch::kEyeriss:
+        // Row-stationary array with per-PE scratchpads: slightly costlier
+        // MACs, cheaper local accesses. Calibrated so 168 PEs reproduce
+        // the AlexNet row of Fig. 2(a) (~115 ms, ~278 mW).
+        params.e_mac_j = 20e-12 * mac_scale;
+        params.macs_per_s_per_pe = 3.7e7;
+        params.e_vm_byte_j = 10e-12 * wire_scale;
+        params.p_mem_w_per_byte = 2e-9;
+        params.p_pe_static_w = 0.5e-3;
+        break;
+    }
+    return params;
+}
+
+std::vector<dataflow::Dataflow>
+ReconfigurableAccelerator::supported_dataflows() const
+{
+    switch (config_.arch) {
+      case AcceleratorArch::kTpu:
+        return {dataflow::Dataflow::kWeightStationary,
+                dataflow::Dataflow::kOutputStationary};
+      case AcceleratorArch::kEyeriss:
+        return {dataflow::Dataflow::kRowStationary,
+                dataflow::Dataflow::kWeightStationary,
+                dataflow::Dataflow::kOutputStationary,
+                dataflow::Dataflow::kInputStationary};
+    }
+    panic("supported_dataflows: invalid architecture");
+}
+
+std::unique_ptr<InferenceHardware>
+ReconfigurableAccelerator::clone() const
+{
+    return std::make_unique<ReconfigurableAccelerator>(*this);
+}
+
+}  // namespace chrysalis::hw

@@ -1,0 +1,65 @@
+/// \file
+/// Reconfigurable AI accelerator model: the "future AuT setup" of
+/// Table III (CHRYSALIS-MAESTRO / CHRYSALIS-GAMMA path).
+///
+/// Two base architectures are provided (Table V "Architecture" row):
+///   - TPU-style weight-stationary systolic array;
+///   - Eyeriss-style row-stationary array (per-PE scratchpads).
+/// PE count (1..168) and per-PE cache size (128 B..2 KiB) are the
+/// hardware-level design-space knobs. Per-architecture energy constants
+/// are calibrated so the Eyeriss preset at 168 PEs reproduces the
+/// AlexNet row of Figure 2(a) (~115 ms, ~278 mW, non-intermittent).
+
+#ifndef CHRYSALIS_HW_ACCELERATOR_HPP
+#define CHRYSALIS_HW_ACCELERATOR_HPP
+
+#include "hw/inference_hardware.hpp"
+
+namespace chrysalis::hw {
+
+/// Base accelerator architecture.
+enum class AcceleratorArch {
+    kTpu,      ///< systolic, weight-stationary, cheap MACs
+    kEyeriss,  ///< row-stationary, flexible, cheap local buffers
+};
+
+/// Returns "tpu" or "eyeriss".
+std::string to_string(AcceleratorArch arch);
+
+/// Parses "tpu"/"eyeriss" (case-insensitive); fatal() otherwise.
+AcceleratorArch accelerator_arch_from_string(const std::string& text);
+
+/// Parameterized accelerator hardware model.
+class ReconfigurableAccelerator final : public InferenceHardware
+{
+  public:
+    /// Design-space configuration (Table V rows).
+    struct Config {
+        AcceleratorArch arch = AcceleratorArch::kEyeriss;
+        std::int64_t n_pe = 168;          ///< 1 .. 168
+        std::int64_t cache_bytes_per_pe = 512;  ///< 128 B .. 2 KiB
+        double exception_rate = 0.05;     ///< r_exc default
+    };
+
+    /// Design-space bounds from Table V.
+    static constexpr std::int64_t kMinPe = 1;
+    static constexpr std::int64_t kMaxPe = 168;
+    static constexpr std::int64_t kMinCacheBytes = 128;
+    static constexpr std::int64_t kMaxCacheBytes = 2048;
+
+    explicit ReconfigurableAccelerator(const Config& config);
+
+    std::string name() const override;
+    dataflow::CostParams cost_params() const override;
+    std::vector<dataflow::Dataflow> supported_dataflows() const override;
+    std::unique_ptr<InferenceHardware> clone() const override;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace chrysalis::hw
+
+#endif  // CHRYSALIS_HW_ACCELERATOR_HPP

@@ -1,0 +1,40 @@
+#include "hw/custom_hardware.hpp"
+
+#include "common/logging.hpp"
+
+namespace chrysalis::hw {
+
+CustomHardware::CustomHardware(std::string name,
+                               dataflow::CostParams params,
+                               std::vector<dataflow::Dataflow> dataflows)
+    : name_(std::move(name)), params_(params),
+      dataflows_(std::move(dataflows))
+{
+    if (name_.empty())
+        fatal("CustomHardware: name must not be empty");
+    if (dataflows_.empty())
+        fatal("CustomHardware: at least one dataflow required");
+    if (params_.n_pe < 1)
+        fatal("CustomHardware: n_pe must be >= 1");
+    if (params_.vm_bytes_per_pe < 1)
+        fatal("CustomHardware: vm_bytes_per_pe must be >= 1");
+    if (params_.e_mac_j < 0.0 || params_.e_vm_byte_j < 0.0 ||
+        params_.e_nvm_read_byte_j < 0.0 ||
+        params_.e_nvm_write_byte_j < 0.0) {
+        fatal("CustomHardware: energies must be >= 0");
+    }
+    if (params_.macs_per_s_per_pe <= 0.0)
+        fatal("CustomHardware: throughput must be > 0");
+    if (params_.nvm_bytes_per_s <= 0.0)
+        fatal("CustomHardware: NVM bandwidth must be > 0");
+    if (params_.element_bytes < 1)
+        fatal("CustomHardware: element_bytes must be >= 1");
+}
+
+std::unique_ptr<InferenceHardware>
+CustomHardware::clone() const
+{
+    return std::make_unique<CustomHardware>(*this);
+}
+
+}  // namespace chrysalis::hw

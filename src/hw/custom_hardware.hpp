@@ -1,0 +1,44 @@
+/// \file
+/// User-defined inference hardware: wraps an arbitrary CostParams set and
+/// dataflow list behind the InferenceHardware interface. This is the
+/// component-substitution hook of §III-D ("the substitution of any
+/// component within CHRYSALIS, enabling the evaluation of AuTs with
+/// different structures") — e.g. to evaluate an in-memory-computing
+/// crossbar (ResiRCA-style) one supplies its measured per-MAC and
+/// per-byte energies without writing a new class.
+
+#ifndef CHRYSALIS_HW_CUSTOM_HARDWARE_HPP
+#define CHRYSALIS_HW_CUSTOM_HARDWARE_HPP
+
+#include "hw/inference_hardware.hpp"
+
+namespace chrysalis::hw {
+
+/// InferenceHardware defined entirely by data.
+class CustomHardware final : public InferenceHardware
+{
+  public:
+    /// \param name identifier used in reports; must be non-empty.
+    /// \param params technology constants (validated: positive rates,
+    ///        non-negative energies).
+    /// \param dataflows supported taxonomies; must be non-empty.
+    CustomHardware(std::string name, dataflow::CostParams params,
+                   std::vector<dataflow::Dataflow> dataflows);
+
+    std::string name() const override { return name_; }
+    dataflow::CostParams cost_params() const override { return params_; }
+    std::vector<dataflow::Dataflow> supported_dataflows() const override
+    {
+        return dataflows_;
+    }
+    std::unique_ptr<InferenceHardware> clone() const override;
+
+  private:
+    std::string name_;
+    dataflow::CostParams params_;
+    std::vector<dataflow::Dataflow> dataflows_;
+};
+
+}  // namespace chrysalis::hw
+
+#endif  // CHRYSALIS_HW_CUSTOM_HARDWARE_HPP

@@ -1,0 +1,37 @@
+#include "hw/inference_hardware.hpp"
+
+#include <sstream>
+
+#include "common/string_utils.hpp"
+
+namespace chrysalis::hw {
+
+double
+InferenceHardware::active_power_w() const
+{
+    const dataflow::CostParams p = cost_params();
+    const double compute_power =
+        p.e_mac_j * p.macs_per_s_per_pe * static_cast<double>(p.n_pe);
+    // Local buffer traffic at roughly one access per MAC on average.
+    const double vm_power =
+        p.e_vm_byte_j * static_cast<double>(p.element_bytes) *
+        p.macs_per_s_per_pe * static_cast<double>(p.n_pe);
+    const double static_power =
+        static_cast<double>(p.vm_total_bytes()) * p.p_mem_w_per_byte +
+        static_cast<double>(p.n_pe) * p.p_pe_static_w;
+    return compute_power + vm_power + static_power;
+}
+
+std::string
+InferenceHardware::describe() const
+{
+    const dataflow::CostParams p = cost_params();
+    std::ostringstream os;
+    os << name() << ": " << p.n_pe << " PE x "
+       << format_si(p.macs_per_s_per_pe, "MAC/s") << ", VM "
+       << format_si(static_cast<double>(p.vm_bytes_per_pe), "B") << "/PE, "
+       << format_si(active_power_w(), "W") << " active";
+    return os.str();
+}
+
+}  // namespace chrysalis::hw

@@ -1,0 +1,57 @@
+/// \file
+/// Inference-hardware abstraction (Table III "Infer" rows).
+///
+/// A hardware model supplies the technology constants the dataflow cost
+/// model consumes (CostParams), declares which dataflow taxonomies it can
+/// execute, and reports its average active power draw — which the energy
+/// controller uses as the load during intermittent execution. Hardware is
+/// substituted through this interface ("interface-oriented approach",
+/// §III-D).
+
+#ifndef CHRYSALIS_HW_INFERENCE_HARDWARE_HPP
+#define CHRYSALIS_HW_INFERENCE_HARDWARE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/cost_model.hpp"
+#include "dataflow/mapping.hpp"
+
+namespace chrysalis::hw {
+
+/// Interface implemented by every inference-hardware model.
+class InferenceHardware
+{
+  public:
+    virtual ~InferenceHardware() = default;
+
+    /// Short identifier, e.g. "msp430fr5994", "tpu", "eyeriss".
+    virtual std::string name() const = 0;
+
+    /// Technology constants for the analytical cost model.
+    virtual dataflow::CostParams cost_params() const = 0;
+
+    /// Dataflow taxonomies this hardware can execute.
+    virtual std::vector<dataflow::Dataflow> supported_dataflows() const = 0;
+
+    /// Average power drawn from the energy subsystem while computing [W].
+    /// Derived from the cost parameters: MAC power at full rate plus
+    /// static memory and PE power.
+    virtual double active_power_w() const;
+
+    /// Non-volatile storage capacity [bytes]; weights, inter-layer
+    /// activations and checkpoints must fit. 0 means unlimited (external
+    /// NVM can be provisioned to the workload).
+    virtual std::int64_t nvm_capacity_bytes() const { return 0; }
+
+    /// Deep copy.
+    virtual std::unique_ptr<InferenceHardware> clone() const = 0;
+
+    /// One-line human-readable description for reports.
+    virtual std::string describe() const;
+};
+
+}  // namespace chrysalis::hw
+
+#endif  // CHRYSALIS_HW_INFERENCE_HARDWARE_HPP

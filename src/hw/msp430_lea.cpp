@@ -1,0 +1,50 @@
+#include "hw/msp430_lea.hpp"
+
+#include "common/logging.hpp"
+
+namespace chrysalis::hw {
+
+Msp430Lea::Msp430Lea(const Config& config) : config_(config)
+{
+    if (config_.macs_per_s <= 0.0)
+        fatal("Msp430Lea: throughput must be > 0");
+    if (config_.sram_bytes < 1024)
+        fatal("Msp430Lea: SRAM must be at least 1 KiB");
+}
+
+dataflow::CostParams
+Msp430Lea::cost_params() const
+{
+    dataflow::CostParams params;
+    params.e_mac_j = config_.e_mac_j;
+    params.macs_per_s_per_pe = config_.macs_per_s;
+    params.n_pe = 1;  // the LEA acts as a single vector PE
+    params.vm_bytes_per_pe = config_.sram_bytes;
+    params.e_vm_byte_j = config_.e_sram_byte_j;
+    params.p_mem_w_per_byte = config_.p_sram_w_per_byte;
+    params.e_nvm_read_byte_j = config_.e_fram_read_byte_j;
+    params.e_nvm_write_byte_j = config_.e_fram_write_byte_j;
+    params.nvm_bytes_per_s = config_.fram_bytes_per_s;
+    params.p_pe_static_w = config_.p_mcu_static_w;
+    params.element_bytes = 2;  // 16-bit fixed point
+    params.overlap_transfers = false;  // MCU serializes DMA and compute
+    params.exception_rate = config_.exception_rate;
+    return params;
+}
+
+std::vector<dataflow::Dataflow>
+Msp430Lea::supported_dataflows() const
+{
+    // The LEA streams vectors through a MAC unit: weight-stationary and
+    // output-stationary schedules are the ones its DMA supports.
+    return {dataflow::Dataflow::kWeightStationary,
+            dataflow::Dataflow::kOutputStationary};
+}
+
+std::unique_ptr<InferenceHardware>
+Msp430Lea::clone() const
+{
+    return std::make_unique<Msp430Lea>(*this);
+}
+
+}  // namespace chrysalis::hw

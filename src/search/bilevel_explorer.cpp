@@ -1,0 +1,222 @@
+#include "search/bilevel_explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+
+namespace chrysalis::search {
+
+BiLevelExplorer::BiLevelExplorer(dnn::Model model, DesignSpace space,
+                                 Objective objective,
+                                 ExplorerOptions options)
+    : model_(std::move(model)), space_(std::move(space)),
+      objective_(objective), options_(std::move(options))
+{
+    if (options_.k_eh_envs.empty())
+        fatal("BiLevelExplorer: at least one environment required");
+    for (double k_eh : options_.k_eh_envs) {
+        if (k_eh <= 0.0)
+            fatal("BiLevelExplorer: k_eh must be > 0, got ", k_eh);
+    }
+}
+
+std::vector<sim::EnergyEnv>
+BiLevelExplorer::environments(const HwCandidate& candidate) const
+{
+    std::vector<sim::EnergyEnv> envs;
+    envs.reserve(options_.k_eh_envs.size());
+    for (double k_eh : options_.k_eh_envs) {
+        sim::EnergyEnv env;
+        env.p_eh_w = candidate.solar_cm2 * k_eh;  // Eq. 1
+        env.capacitor = options_.capacitor_base;
+        env.capacitor.capacitance_f = candidate.capacitance_f;
+        env.pmic = options_.pmic;
+        envs.push_back(env);
+    }
+    return envs;
+}
+
+EvaluatedDesign
+BiLevelExplorer::evaluate(const HwCandidate& raw_candidate) const
+{
+    EvaluatedDesign design;
+    design.candidate = space_.clamp(raw_candidate);
+    const auto hardware = design.candidate.build_hardware();
+    const auto envs = environments(design.candidate);
+
+    design.mapping =
+        search_mappings(model_, *hardware, envs, options_.inner);
+
+    design.feasible = design.mapping.feasible;
+    double latency_sum = 0.0;
+    double violation = design.mapping.violation_j;
+    for (const auto& env : envs) {
+        sim::AnalyticResult eval =
+            sim::analytic_evaluate(design.mapping.cost, env);
+        if (eval.feasible) {
+            latency_sum += eval.latency_s;
+        } else {
+            design.feasible = false;
+            violation += std::max(
+                0.0, eval.max_tile_energy_j - eval.cycle_energy_j);
+        }
+        design.per_env.push_back(std::move(eval));
+    }
+
+    if (design.feasible) {
+        design.mean_latency_s =
+            latency_sum / static_cast<double>(envs.size());
+        design.score = objective_.score(design.mean_latency_s,
+                                        design.candidate.solar_cm2);
+    } else {
+        design.mean_latency_s = 0.0;
+        design.score = objective_.infeasible_score(violation);
+    }
+    return design;
+}
+
+HwCandidate
+BiLevelExplorer::decode(const std::vector<double>& genes) const
+{
+    if (genes.size() != static_cast<std::size_t>(kGeneCount))
+        panic("BiLevelExplorer::decode: expected ", kGeneCount,
+              " genes, got ", genes.size());
+    const auto lerp_log = [](double gene, double lo, double hi) {
+        return lo * std::pow(hi / lo, gene);
+    };
+
+    HwCandidate candidate;
+    candidate.family = space_.family;
+    candidate.solar_cm2 =
+        space_.solar_min_cm2 +
+        genes[0] * (space_.solar_max_cm2 - space_.solar_min_cm2);
+    candidate.capacitance_f =
+        lerp_log(genes[1], space_.cap_min_f, space_.cap_max_f);
+    candidate.arch = genes[2] < 0.5 ? hw::AcceleratorArch::kTpu
+                                    : hw::AcceleratorArch::kEyeriss;
+    candidate.n_pe = static_cast<std::int64_t>(std::llround(
+        lerp_log(genes[3], static_cast<double>(space_.pe_min),
+                 static_cast<double>(space_.pe_max))));
+    candidate.cache_bytes = static_cast<std::int64_t>(std::llround(
+        lerp_log(genes[4], static_cast<double>(space_.cache_min_bytes),
+                 static_cast<double>(space_.cache_max_bytes))));
+    return space_.clamp(candidate);
+}
+
+std::vector<double>
+BiLevelExplorer::encode(const HwCandidate& raw) const
+{
+    const HwCandidate candidate = space_.clamp(raw);
+    const auto unlerp_log = [](double value, double lo, double hi) {
+        return clamp(std::log(value / lo) / std::log(hi / lo), 0.0, 1.0);
+    };
+    std::vector<double> genes(static_cast<std::size_t>(kGeneCount), 0.5);
+    genes[0] = clamp((candidate.solar_cm2 - space_.solar_min_cm2) /
+                         (space_.solar_max_cm2 - space_.solar_min_cm2),
+                     0.0, 1.0);
+    genes[1] = unlerp_log(candidate.capacitance_f, space_.cap_min_f,
+                          space_.cap_max_f);
+    genes[2] = candidate.arch == hw::AcceleratorArch::kTpu ? 0.25 : 0.75;
+    genes[3] = unlerp_log(static_cast<double>(candidate.n_pe),
+                          static_cast<double>(space_.pe_min),
+                          static_cast<double>(space_.pe_max));
+    genes[4] = unlerp_log(static_cast<double>(candidate.cache_bytes),
+                          static_cast<double>(space_.cache_min_bytes),
+                          static_cast<double>(space_.cache_max_bytes));
+    return genes;
+}
+
+ExplorationResult
+BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
+{
+    ExplorationResult result;
+    result.history.reserve(static_cast<std::size_t>(
+        options_.outer.population * options_.outer.generations));
+
+    const FitnessFn fitness = [&](const std::vector<double>& genes) {
+        EvaluatedDesign design = evaluate(decode(genes));
+        const double score = design.score;
+        result.history.push_back(std::move(design));
+        return score;
+    };
+
+    // Warm-start with the space's frozen defaults so a search over a
+    // superset space never scores worse than the frozen configuration,
+    // plus any caller-provided portfolio seeds.
+    OptimizerOptions outer = options_.outer;
+    outer.seed_genes.push_back(encode(space_.defaults));
+    for (const auto& candidate : warm_starts)
+        outer.seed_genes.push_back(encode(candidate));
+
+    const OptimizeResult opt =
+        optimize(options_.strategy, kGeneCount, outer, fitness);
+    result.evaluations = opt.evaluations;
+
+    // Recover the best design from the history (scores match 1:1).
+    const auto best_it = std::min_element(
+        result.history.begin(), result.history.end(),
+        [](const EvaluatedDesign& a, const EvaluatedDesign& b) {
+            return a.score < b.score;
+        });
+    if (best_it == result.history.end())
+        panic("BiLevelExplorer::explore: empty history");
+    result.best = *best_it;
+
+    // Pareto front over feasible designs: (solar panel, latency).
+    std::vector<ParetoPoint> points;
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+        const auto& design = result.history[i];
+        if (design.feasible) {
+            points.push_back({design.candidate.solar_cm2,
+                              design.mean_latency_s, i});
+        }
+    }
+    result.pareto = pareto_front(std::move(points));
+    return result;
+}
+
+std::vector<EvaluatedDesign>
+BiLevelExplorer::explore_pareto() const
+{
+    std::vector<EvaluatedDesign> history;
+    history.reserve(static_cast<std::size_t>(
+        options_.outer.population * options_.outer.generations));
+
+    constexpr double kInfeasible = 1e12;
+    const BiFitnessFn fitness =
+        [&](const std::vector<double>& genes) -> std::array<double, 2> {
+        EvaluatedDesign design = evaluate(decode(genes));
+        std::array<double, 2> objectives{kInfeasible, kInfeasible};
+        if (design.feasible) {
+            objectives = {design.candidate.solar_cm2,
+                          design.mean_latency_s};
+        }
+        history.push_back(std::move(design));
+        return objectives;
+    };
+
+    OptimizerOptions outer = options_.outer;
+    outer.seed_genes.push_back(encode(space_.defaults));
+    const Nsga2Result result =
+        optimize_nsga2(kGeneCount, outer, fitness);
+
+    // Map front points back to the evaluated designs (history order ==
+    // evaluation order == result.history order).
+    std::vector<EvaluatedDesign> front;
+    for (const auto& point : result.front) {
+        if (point.objectives[0] >= kInfeasible)
+            continue;
+        // Find the matching history entry by objectives + genes.
+        for (std::size_t i = 0; i < result.history.size(); ++i) {
+            if (result.history[i].genes == point.genes) {
+                front.push_back(history[i]);
+                break;
+            }
+        }
+    }
+    return front;
+}
+
+}  // namespace chrysalis::search

@@ -1,0 +1,119 @@
+/// \file
+/// The CHRYSALIS Explorer: bi-level search over the joint EA/IA design
+/// space (§III-C).
+///
+/// The HW-level optimizer (genetic by default) proposes hardware
+/// configurations; for each, the SW-level mapping search finds the best
+/// intermittent mapping, and the analytic evaluator scores the resulting
+/// design against the objective function in each target environment
+/// (average latency across the brighter/darker environments, feasibility
+/// required in both, as in §V-A). The explorer returns the best design,
+/// the full evaluation history and the (solar-panel-size, latency) Pareto
+/// front used by Figure 6.
+
+#ifndef CHRYSALIS_SEARCH_BILEVEL_EXPLORER_HPP
+#define CHRYSALIS_SEARCH_BILEVEL_EXPLORER_HPP
+
+#include <vector>
+
+#include "dnn/model.hpp"
+#include "energy/capacitor.hpp"
+#include "energy/power_management.hpp"
+#include "search/design_space.hpp"
+#include "search/mapping_search.hpp"
+#include "search/objective.hpp"
+#include "search/optimizer.hpp"
+#include "search/nsga2.hpp"
+#include "search/pareto.hpp"
+#include "sim/analytic_evaluator.hpp"
+
+namespace chrysalis::search {
+
+/// Explorer controls.
+struct ExplorerOptions {
+    OptimizerStrategy strategy = OptimizerStrategy::kGenetic;
+    OptimizerOptions outer;           ///< HW-level optimizer budget
+    MappingSearchOptions inner;       ///< SW-level search controls
+    /// Target environments' light coefficients k_eh [W/cm^2]; the paper's
+    /// evaluation uses a brighter and a darker preset.
+    std::vector<double> k_eh_envs = {2.0e-3, 0.5e-3};
+    /// Capacitor technology (capacitance is overridden per candidate).
+    energy::Capacitor::Config capacitor_base;
+    /// PMIC model shared by all candidates.
+    energy::PowerManagementIc::Config pmic;
+};
+
+/// One fully evaluated design point.
+struct EvaluatedDesign {
+    HwCandidate candidate;
+    MappingSearchResult mapping;
+    std::vector<sim::AnalyticResult> per_env;  ///< one per environment
+    double mean_latency_s = 0.0;  ///< average across environments
+    double score = 0.0;           ///< objective score (lower better)
+    bool feasible = false;        ///< feasible in every environment
+};
+
+/// Result of a full exploration.
+struct ExplorationResult {
+    EvaluatedDesign best;
+    std::vector<EvaluatedDesign> history;  ///< every evaluated design
+    std::vector<ParetoPoint> pareto;  ///< (sp, lat) front over history
+    int evaluations = 0;
+};
+
+/// Bi-level explorer: owns the workload, design space and objective.
+class BiLevelExplorer
+{
+  public:
+    BiLevelExplorer(dnn::Model model, DesignSpace space, Objective objective,
+                    ExplorerOptions options);
+
+    /// Builds the per-candidate energy environments (one per k_eh).
+    std::vector<sim::EnergyEnv> environments(const HwCandidate& candidate)
+        const;
+
+    /// Evaluates one candidate end-to-end (mapping search + scoring).
+    EvaluatedDesign evaluate(const HwCandidate& candidate) const;
+
+    /// Runs the full bi-level search. \p warm_starts are additional
+    /// candidates injected into the initial population (beyond the
+    /// space's defaults, which are always seeded) — e.g. portfolio
+    /// seeding with solutions found in subspaces.
+    ExplorationResult explore(
+        const std::vector<HwCandidate>& warm_starts = {}) const;
+
+    /// Runs a dedicated multi-objective (NSGA-II) search for the
+    /// (solar-panel size, latency) Pareto front instead of optimizing a
+    /// scalar objective. Returns the evaluated designs on the final
+    /// non-dominated front, sorted by panel size. The scalar objective's
+    /// constraints are ignored; infeasible designs never enter the front.
+    std::vector<EvaluatedDesign> explore_pareto() const;
+
+    /// Decodes a normalized gene vector into a (clamped) candidate.
+    /// Gene order: [solar, log-capacitance, arch, log-PE, log-cache].
+    HwCandidate decode(const std::vector<double>& genes) const;
+
+    /// Encodes a candidate back into normalized genes (inverse of
+    /// decode, up to clamping); used to warm-start the GA with the
+    /// space's frozen defaults.
+    std::vector<double> encode(const HwCandidate& candidate) const;
+
+    /// Number of genes used by the encoding (always 5; frozen knobs are
+    /// ignored during decode).
+    static constexpr int kGeneCount = 5;
+
+    const dnn::Model& model() const { return model_; }
+    const DesignSpace& space() const { return space_; }
+    const Objective& objective() const { return objective_; }
+    const ExplorerOptions& options() const { return options_; }
+
+  private:
+    dnn::Model model_;
+    DesignSpace space_;
+    Objective objective_;
+    ExplorerOptions options_;
+};
+
+}  // namespace chrysalis::search
+
+#endif  // CHRYSALIS_SEARCH_BILEVEL_EXPLORER_HPP

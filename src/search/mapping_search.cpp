@@ -1,0 +1,231 @@
+#include "search/mapping_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "dataflow/tiling.hpp"
+
+namespace chrysalis::search {
+
+namespace {
+
+/// Worst-case Eq. 8 overshoot of a layer's tiles across all environments;
+/// 0 when the layer is feasible everywhere.
+double
+layer_violation(const dataflow::LayerCost& cost,
+                const std::vector<sim::EnergyEnv>& envs)
+{
+    if (!cost.feasible)
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (const auto& env : envs) {
+        if (sim::effective_power(env) <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        const double budget = sim::cycle_budget(env, cost.tile_time_s());
+        worst = std::max(worst, cost.tile_energy_j() - budget);
+    }
+    return std::max(0.0, worst);
+}
+
+/// Scores one (layer, mapping): first by feasibility, then by energy.
+struct ScoredMapping {
+    dataflow::LayerMapping mapping;
+    dataflow::LayerCost cost;
+    double violation = std::numeric_limits<double>::infinity();
+
+    bool
+    better_than(const ScoredMapping& other) const
+    {
+        // Feasible dominates infeasible; then lower violation; then lower
+        // energy; then fewer tiles (less checkpoint pressure headroom).
+        if ((violation == 0.0) != (other.violation == 0.0))
+            return violation == 0.0;
+        if (violation != other.violation)
+            return violation < other.violation;
+        const double mine = cost.total_energy_j();
+        const double theirs = other.cost.total_energy_j();
+        if (mine != theirs)
+            return mine < theirs;
+        return cost.n_tile < other.cost.n_tile;
+    }
+};
+
+ScoredMapping
+score_mapping(const dnn::Layer& layer, const dataflow::LayerMapping& mapping,
+              const dataflow::CostParams& params,
+              const std::vector<sim::EnergyEnv>& envs)
+{
+    ScoredMapping scored;
+    scored.mapping = mapping;
+    scored.cost = dataflow::analyze_layer(layer, mapping, params);
+    scored.violation = scored.cost.feasible
+        ? layer_violation(scored.cost, envs)
+        : std::numeric_limits<double>::infinity();
+    return scored;
+}
+
+ScoredMapping
+search_layer_exhaustive(const dnn::Layer& layer,
+                        const std::vector<dataflow::Dataflow>& dataflows,
+                        const dataflow::CostParams& params,
+                        const std::vector<sim::EnergyEnv>& envs,
+                        const MappingSearchOptions& options,
+                        std::int64_t& evaluations)
+{
+    const auto candidates = dataflow::enumerate_mappings(
+        layer, dataflows, options.max_candidates_per_dim);
+    ScoredMapping best;
+    bool first = true;
+    for (const auto& mapping : candidates) {
+        ScoredMapping scored = score_mapping(layer, mapping, params, envs);
+        ++evaluations;
+        if (first || scored.better_than(best)) {
+            best = std::move(scored);
+            first = false;
+        }
+    }
+    if (first)
+        panic("search_layer_exhaustive: no candidates for ", layer.name);
+    return best;
+}
+
+ScoredMapping
+search_layer_genetic(const dnn::Layer& layer,
+                     const std::vector<dataflow::Dataflow>& dataflows,
+                     const dataflow::CostParams& params,
+                     const std::vector<sim::EnergyEnv>& envs,
+                     const MappingSearchOptions& options,
+                     std::int64_t& evaluations, Rng& rng)
+{
+    // GAMMA-style: individuals are (dataflow index, chunk-count exponents).
+    const auto random_mapping = [&]() {
+        dataflow::LayerMapping mapping;
+        mapping.dataflow = dataflows[static_cast<std::size_t>(
+            rng.uniform_int(0,
+                            static_cast<std::int64_t>(dataflows.size()) -
+                                1))];
+        mapping.tiles_k = rng.uniform_int(1, layer.dims.k);
+        mapping.tiles_y = rng.uniform_int(1, layer.dims.y);
+        mapping.tiles_n = rng.uniform_int(1, layer.dims.n);
+        return mapping;
+    };
+    const auto mutate = [&](dataflow::LayerMapping mapping) {
+        switch (rng.uniform_int(0, 3)) {
+          case 0:
+            mapping.dataflow = dataflows[static_cast<std::size_t>(
+                rng.uniform_int(
+                    0, static_cast<std::int64_t>(dataflows.size()) - 1))];
+            break;
+          case 1:
+            mapping.tiles_k = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       std::llround(static_cast<double>(mapping.tiles_k) *
+                                    rng.uniform(0.5, 2.0))));
+            break;
+          case 2:
+            mapping.tiles_y = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       std::llround(static_cast<double>(mapping.tiles_y) *
+                                    rng.uniform(0.5, 2.0))));
+            break;
+          default:
+            mapping.tiles_n = std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       std::llround(static_cast<double>(mapping.tiles_n) *
+                                    rng.uniform(0.5, 2.0))));
+            break;
+        }
+        mapping.clamp_to(layer);
+        return mapping;
+    };
+
+    std::vector<ScoredMapping> population;
+    population.reserve(static_cast<std::size_t>(options.ga_population));
+    for (int i = 0; i < options.ga_population; ++i) {
+        population.push_back(
+            score_mapping(layer, random_mapping(), params, envs));
+        ++evaluations;
+    }
+    const auto better = [](const ScoredMapping& a, const ScoredMapping& b) {
+        return a.better_than(b);
+    };
+    for (int gen = 1; gen < options.ga_generations; ++gen) {
+        std::sort(population.begin(), population.end(), better);
+        const std::size_t keep = population.size() / 2;
+        for (std::size_t i = keep; i < population.size(); ++i) {
+            const auto& parent =
+                population[static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(keep) - 1))];
+            population[i] =
+                score_mapping(layer, mutate(parent.mapping), params, envs);
+            ++evaluations;
+        }
+    }
+    return *std::min_element(population.begin(), population.end(), better);
+}
+
+}  // namespace
+
+MappingSearchResult
+search_mappings(const dnn::Model& model,
+                const hw::InferenceHardware& hardware,
+                const std::vector<sim::EnergyEnv>& envs,
+                const MappingSearchOptions& options)
+{
+    if (envs.empty())
+        fatal("search_mappings: at least one energy environment required");
+
+    const dataflow::CostParams params = hardware.cost_params();
+    const auto dataflows = hardware.supported_dataflows();
+    if (dataflows.empty())
+        panic("search_mappings: hardware supports no dataflows");
+
+    Rng rng(options.seed);
+    MappingSearchResult result;
+    result.mappings.reserve(model.layer_count());
+    result.feasible = true;
+
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+        const dnn::Layer& layer = model.layer(i);
+        ScoredMapping best =
+            options.strategy == MappingSearchOptions::Strategy::kExhaustive
+                ? search_layer_exhaustive(layer, dataflows, params, envs,
+                                          options, result.evaluations)
+                : search_layer_genetic(layer, dataflows, params, envs,
+                                       options, result.evaluations, rng);
+        if (best.violation > 0.0) {
+            result.feasible = false;
+            result.violation_j += std::isfinite(best.violation)
+                ? best.violation
+                : 1e6;
+        }
+        result.mappings.push_back(best.mapping);
+    }
+
+    result.cost = dataflow::analyze_model(model, result.mappings, params);
+
+    // NVM capacity: weights, the worst inter-layer activation pair and
+    // the largest checkpoint must all reside in non-volatile storage.
+    const std::int64_t capacity = hardware.nvm_capacity_bytes();
+    if (capacity > 0) {
+        std::int64_t peak_ckpt = 0;
+        for (const auto& layer : result.cost.layers)
+            peak_ckpt = std::max(peak_ckpt, layer.ckpt_bytes);
+        const std::int64_t footprint = model.total_weight_bytes() +
+                                       model.peak_activation_bytes() +
+                                       peak_ckpt;
+        if (footprint > capacity) {
+            result.feasible = false;
+            result.failure_note =
+                "model footprint " + std::to_string(footprint) +
+                " B exceeds NVM capacity " + std::to_string(capacity) +
+                " B";
+        }
+    }
+    return result;
+}
+
+}  // namespace chrysalis::search

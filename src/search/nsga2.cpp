@@ -1,0 +1,252 @@
+#include "search/nsga2.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+
+namespace chrysalis::search {
+
+bool
+bi_dominates(const std::array<double, 2>& a, const std::array<double, 2>& b)
+{
+    return a[0] <= b[0] && a[1] <= b[1] &&
+           (a[0] < b[0] || a[1] < b[1]);
+}
+
+std::vector<int>
+non_dominated_ranks(const std::vector<std::array<double, 2>>& objectives)
+{
+    const std::size_t n = objectives.size();
+    std::vector<int> ranks(n, -1);
+    std::vector<int> domination_count(n, 0);
+    std::vector<std::vector<std::size_t>> dominated(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (bi_dominates(objectives[i], objectives[j])) {
+                dominated[i].push_back(j);
+                ++domination_count[j];
+            } else if (bi_dominates(objectives[j], objectives[i])) {
+                dominated[j].push_back(i);
+                ++domination_count[i];
+            }
+        }
+    }
+
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (domination_count[i] == 0) {
+            ranks[i] = 0;
+            current.push_back(i);
+        }
+    }
+    int rank = 0;
+    while (!current.empty()) {
+        std::vector<std::size_t> next;
+        for (std::size_t i : current) {
+            for (std::size_t j : dominated[i]) {
+                if (--domination_count[j] == 0) {
+                    ranks[j] = rank + 1;
+                    next.push_back(j);
+                }
+            }
+        }
+        current = std::move(next);
+        ++rank;
+    }
+    return ranks;
+}
+
+std::vector<double>
+crowding_distances(const std::vector<std::array<double, 2>>& objectives)
+{
+    const std::size_t n = objectives.size();
+    std::vector<double> distance(n, 0.0);
+    if (n <= 2) {
+        std::fill(distance.begin(), distance.end(),
+                  std::numeric_limits<double>::infinity());
+        return distance;
+    }
+    for (int objective = 0; objective < 2; ++objective) {
+        std::vector<std::size_t> order(n);
+        for (std::size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return objectives[a][static_cast<std::size_t>(
+                                 objective)] <
+                             objectives[b][static_cast<std::size_t>(
+                                 objective)];
+                  });
+        const double span =
+            objectives[order.back()][static_cast<std::size_t>(objective)] -
+            objectives[order.front()][static_cast<std::size_t>(objective)];
+        distance[order.front()] =
+            std::numeric_limits<double>::infinity();
+        distance[order.back()] = std::numeric_limits<double>::infinity();
+        if (span <= 0.0)
+            continue;
+        for (std::size_t k = 1; k + 1 < n; ++k) {
+            const double gap =
+                objectives[order[k + 1]][static_cast<std::size_t>(
+                    objective)] -
+                objectives[order[k - 1]][static_cast<std::size_t>(
+                    objective)];
+            distance[order[k]] += gap / span;
+        }
+    }
+    return distance;
+}
+
+Nsga2Result
+optimize_nsga2(int gene_count, const OptimizerOptions& opts,
+               const BiFitnessFn& fitness)
+{
+    if (gene_count < 1)
+        fatal("optimize_nsga2: gene_count must be >= 1");
+    if (opts.population < 4)
+        fatal("optimize_nsga2: population must be >= 4");
+    if (opts.generations < 1)
+        fatal("optimize_nsga2: generations must be >= 1");
+
+    Rng rng(opts.seed);
+    Nsga2Result result;
+
+    struct Individual {
+        std::vector<double> genes;
+        std::array<double, 2> objectives{0.0, 0.0};
+        int rank = 0;
+        double crowding = 0.0;
+    };
+
+    const auto evaluate = [&](std::vector<double> genes) {
+        Individual individual;
+        individual.objectives = fitness(genes);
+        individual.genes = std::move(genes);
+        ++result.evaluations;
+        result.history.push_back(
+            {individual.genes, individual.objectives});
+        return individual;
+    };
+
+    const auto random_genes = [&]() {
+        std::vector<double> genes(static_cast<std::size_t>(gene_count));
+        for (auto& gene : genes)
+            gene = rng.uniform();
+        return genes;
+    };
+
+    // Initial population (warm-start seeds honoured).
+    std::vector<Individual> population;
+    population.reserve(static_cast<std::size_t>(opts.population));
+    for (int i = 0; i < opts.population; ++i) {
+        if (static_cast<std::size_t>(i) < opts.seed_genes.size()) {
+            if (opts.seed_genes[static_cast<std::size_t>(i)].size() !=
+                static_cast<std::size_t>(gene_count)) {
+                fatal("optimize_nsga2: seed individual has wrong gene "
+                      "count");
+            }
+            population.push_back(evaluate(
+                opts.seed_genes[static_cast<std::size_t>(i)]));
+        } else {
+            population.push_back(evaluate(random_genes()));
+        }
+    }
+
+    const auto assign_ranks = [&](std::vector<Individual>& pool) {
+        std::vector<std::array<double, 2>> objectives;
+        objectives.reserve(pool.size());
+        for (const auto& individual : pool)
+            objectives.push_back(individual.objectives);
+        const auto ranks = non_dominated_ranks(objectives);
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            pool[i].rank = ranks[i];
+        // Crowding per front.
+        int max_rank = 0;
+        for (int rank : ranks)
+            max_rank = std::max(max_rank, rank);
+        for (int front = 0; front <= max_rank; ++front) {
+            std::vector<std::size_t> members;
+            std::vector<std::array<double, 2>> member_objectives;
+            for (std::size_t i = 0; i < pool.size(); ++i) {
+                if (pool[i].rank == front) {
+                    members.push_back(i);
+                    member_objectives.push_back(pool[i].objectives);
+                }
+            }
+            const auto distances = crowding_distances(member_objectives);
+            for (std::size_t k = 0; k < members.size(); ++k)
+                pool[members[k]].crowding = distances[k];
+        }
+    };
+    assign_ranks(population);
+
+    const auto better = [](const Individual& a, const Individual& b) {
+        if (a.rank != b.rank)
+            return a.rank < b.rank;
+        return a.crowding > b.crowding;
+    };
+    const auto tournament = [&]() -> const Individual& {
+        const auto& a = population[static_cast<std::size_t>(
+            rng.uniform_int(0, opts.population - 1))];
+        const auto& b = population[static_cast<std::size_t>(
+            rng.uniform_int(0, opts.population - 1))];
+        return better(a, b) ? a : b;
+    };
+
+    for (int gen = 1; gen < opts.generations; ++gen) {
+        // Offspring via crossover + mutation.
+        std::vector<Individual> offspring;
+        offspring.reserve(population.size());
+        while (offspring.size() < population.size()) {
+            std::vector<double> genes = tournament().genes;
+            if (rng.bernoulli(opts.crossover_rate)) {
+                const auto& other = tournament().genes;
+                for (std::size_t g = 0; g < genes.size(); ++g) {
+                    if (rng.bernoulli(0.5))
+                        genes[g] = other[g];
+                }
+            }
+            for (auto& gene : genes) {
+                if (rng.bernoulli(opts.mutation_rate)) {
+                    gene = clamp(gene + rng.gaussian(
+                                            0.0, opts.mutation_sigma),
+                                 0.0, 1.0);
+                }
+            }
+            offspring.push_back(evaluate(std::move(genes)));
+        }
+
+        // Environmental selection from the combined pool.
+        std::vector<Individual> pool = std::move(population);
+        pool.insert(pool.end(),
+                    std::make_move_iterator(offspring.begin()),
+                    std::make_move_iterator(offspring.end()));
+        assign_ranks(pool);
+        std::sort(pool.begin(), pool.end(), better);
+        pool.resize(static_cast<std::size_t>(opts.population));
+        population = std::move(pool);
+        assign_ranks(population);
+    }
+
+    // Extract the final front, sorted by the first objective.
+    std::vector<Individual> front_members;
+    for (const auto& individual : population) {
+        if (individual.rank == 0)
+            front_members.push_back(individual);
+    }
+    std::sort(front_members.begin(), front_members.end(),
+              [](const Individual& a, const Individual& b) {
+                  return a.objectives[0] < b.objectives[0];
+              });
+    for (auto& individual : front_members) {
+        result.front.push_back(
+            {std::move(individual.genes), individual.objectives});
+    }
+    return result;
+}
+
+}  // namespace chrysalis::search

@@ -1,0 +1,75 @@
+#include "search/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::search {
+
+namespace {
+
+/// Base score assigned to any constraint-violating or infeasible point;
+/// large enough to dominate every feasible score in practice.
+constexpr double kPenaltyBase = 1e9;
+
+}  // namespace
+
+std::string
+to_string(ObjectiveKind kind)
+{
+    switch (kind) {
+      case ObjectiveKind::kLatency: return "lat";
+      case ObjectiveKind::kSolarPanel: return "sp";
+      case ObjectiveKind::kLatSp: return "lat*sp";
+    }
+    return "?";
+}
+
+double
+Objective::score(double latency_s, double solar_cm2) const
+{
+    if (latency_s < 0.0 || solar_cm2 <= 0.0)
+        panic("Objective::score: invalid point lat=", latency_s, " sp=",
+              solar_cm2);
+    switch (kind) {
+      case ObjectiveKind::kLatency:
+        if (solar_cm2 > sp_limit_cm2) {
+            // Graded but capped so infeasible_score always ranks worse.
+            return kPenaltyBase *
+                   (1.0 + std::min(8.0, (solar_cm2 - sp_limit_cm2) /
+                                            sp_limit_cm2));
+        }
+        return latency_s;
+      case ObjectiveKind::kSolarPanel:
+        if (latency_s > lat_limit_s) {
+            return kPenaltyBase *
+                   (1.0 + std::min(8.0, (latency_s - lat_limit_s) /
+                                            lat_limit_s));
+        }
+        return solar_cm2;
+      case ObjectiveKind::kLatSp:
+        return latency_s * solar_cm2;
+    }
+    panic("Objective::score: invalid kind");
+}
+
+double
+Objective::infeasible_score(double violation_magnitude) const
+{
+    return 10.0 * kPenaltyBase *
+           (1.0 + std::min(violation_magnitude, 1e6));
+}
+
+bool
+Objective::satisfies_constraint(double latency_s, double solar_cm2) const
+{
+    switch (kind) {
+      case ObjectiveKind::kLatency: return solar_cm2 <= sp_limit_cm2;
+      case ObjectiveKind::kSolarPanel: return latency_s <= lat_limit_s;
+      case ObjectiveKind::kLatSp: return true;
+    }
+    return false;
+}
+
+}  // namespace chrysalis::search

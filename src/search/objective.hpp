@@ -1,0 +1,50 @@
+/// \file
+/// Objective functions π (§IV): the three design targets evaluated in the
+/// paper — minimize latency under a solar-panel-size constraint ("lat"),
+/// minimize solar-panel size under a latency constraint ("sp"), and
+/// minimize the latency x panel-size product ("lat*sp", the space-time
+/// cost / throughput-per-area metric).
+///
+/// All objectives are scored lower-is-better; constraint violations and
+/// infeasibility are handled with graded penalties so the genetic search
+/// can climb back into the feasible region.
+
+#ifndef CHRYSALIS_SEARCH_OBJECTIVE_HPP
+#define CHRYSALIS_SEARCH_OBJECTIVE_HPP
+
+#include <string>
+
+namespace chrysalis::search {
+
+/// The three objective kinds of §IV.
+enum class ObjectiveKind {
+    kLatency,     ///< min latency s.t. solar panel <= sp_limit
+    kSolarPanel,  ///< min solar panel s.t. latency <= lat_limit
+    kLatSp,       ///< min latency * solar panel
+};
+
+/// Short label: "lat", "sp", "lat*sp".
+std::string to_string(ObjectiveKind kind);
+
+/// Objective demand function π with its constraint parameters.
+struct Objective {
+    ObjectiveKind kind = ObjectiveKind::kLatSp;
+    double sp_limit_cm2 = 20.0;  ///< constraint for kLatency
+    double lat_limit_s = 10.0;   ///< constraint for kSolarPanel
+
+    /// Lower-is-better score for a feasible design point.
+    /// \param latency_s mean end-to-end inference latency
+    /// \param solar_cm2 solar-panel area
+    double score(double latency_s, double solar_cm2) const;
+
+    /// Score for an infeasible point: a large base penalty plus the
+    /// infeasibility magnitude so the optimizer can still rank failures.
+    double infeasible_score(double violation_magnitude) const;
+
+    /// True when the point satisfies the objective's hard constraint.
+    bool satisfies_constraint(double latency_s, double solar_cm2) const;
+};
+
+}  // namespace chrysalis::search
+
+#endif  // CHRYSALIS_SEARCH_OBJECTIVE_HPP

@@ -1,0 +1,230 @@
+#include "search/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+
+namespace chrysalis::search {
+
+namespace {
+
+void
+check_inputs(int gene_count, const OptimizerOptions& opts)
+{
+    if (gene_count < 1)
+        fatal("optimizer: gene_count must be >= 1, got ", gene_count);
+    if (opts.population < 2)
+        fatal("optimizer: population must be >= 2, got ", opts.population);
+    if (opts.generations < 1)
+        fatal("optimizer: generations must be >= 1, got ", opts.generations);
+    if (opts.elitism < 0 || opts.elitism >= opts.population)
+        fatal("optimizer: elitism must lie in [0, population), got ",
+              opts.elitism);
+    if (opts.tournament_size < 1 || opts.tournament_size > opts.population)
+        fatal("optimizer: tournament size out of range");
+}
+
+std::vector<double>
+random_genes(Rng& rng, int gene_count)
+{
+    std::vector<double> genes(static_cast<std::size_t>(gene_count));
+    for (auto& gene : genes)
+        gene = rng.uniform();
+    return genes;
+}
+
+}  // namespace
+
+std::string
+to_string(OptimizerStrategy strategy)
+{
+    switch (strategy) {
+      case OptimizerStrategy::kGenetic: return "ga";
+      case OptimizerStrategy::kRandom: return "random";
+      case OptimizerStrategy::kGrid: return "grid";
+    }
+    return "?";
+}
+
+OptimizeResult
+optimize_genetic(int gene_count, const OptimizerOptions& opts,
+                 const FitnessFn& fitness)
+{
+    check_inputs(gene_count, opts);
+    Rng rng(opts.seed);
+
+    struct Individual {
+        std::vector<double> genes;
+        double score = 0.0;
+    };
+
+    OptimizeResult result;
+    const auto evaluate = [&](const std::vector<double>& genes) {
+        const double score = fitness(genes);
+        ++result.evaluations;
+        result.history.push_back({genes, score});
+        return score;
+    };
+
+    // Initial population: warm-start seeds first, then random fill.
+    std::vector<Individual> population(
+        static_cast<std::size_t>(opts.population));
+    for (std::size_t i = 0; i < population.size(); ++i) {
+        if (i < opts.seed_genes.size()) {
+            if (opts.seed_genes[i].size() !=
+                static_cast<std::size_t>(gene_count)) {
+                fatal("optimizer: seed individual has ",
+                      opts.seed_genes[i].size(), " genes, expected ",
+                      gene_count);
+            }
+            population[i].genes = opts.seed_genes[i];
+        } else {
+            population[i].genes = random_genes(rng, gene_count);
+        }
+        population[i].score = evaluate(population[i].genes);
+    }
+
+    const auto by_score = [](const Individual& a, const Individual& b) {
+        return a.score < b.score;
+    };
+    const auto tournament = [&]() -> const Individual& {
+        const Individual* best = nullptr;
+        for (int i = 0; i < opts.tournament_size; ++i) {
+            const auto& contender = population[static_cast<std::size_t>(
+                rng.uniform_int(0, opts.population - 1))];
+            if (best == nullptr || contender.score < best->score)
+                best = &contender;
+        }
+        return *best;
+    };
+
+    for (int gen = 1; gen < opts.generations; ++gen) {
+        std::sort(population.begin(), population.end(), by_score);
+        std::vector<Individual> next;
+        next.reserve(population.size());
+        for (int e = 0; e < opts.elitism; ++e)
+            next.push_back(population[static_cast<std::size_t>(e)]);
+
+        while (next.size() < population.size()) {
+            const Individual& parent_a = tournament();
+            const Individual& parent_b = tournament();
+            Individual child;
+            child.genes = parent_a.genes;
+            if (rng.bernoulli(opts.crossover_rate)) {
+                // Uniform crossover.
+                for (std::size_t g = 0; g < child.genes.size(); ++g) {
+                    if (rng.bernoulli(0.5))
+                        child.genes[g] = parent_b.genes[g];
+                }
+            }
+            for (auto& gene : child.genes) {
+                if (rng.bernoulli(opts.mutation_rate)) {
+                    gene = clamp(gene + rng.gaussian(0.0,
+                                                     opts.mutation_sigma),
+                                 0.0, 1.0);
+                }
+            }
+            child.score = evaluate(child.genes);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+
+    const auto best = std::min_element(population.begin(), population.end(),
+                                       by_score);
+    result.best_genes = best->genes;
+    result.best_score = best->score;
+    // The elite may have been superseded by a historical point if the last
+    // generation regressed; take the global best from the history.
+    for (const auto& point : result.history) {
+        if (point.score < result.best_score) {
+            result.best_score = point.score;
+            result.best_genes = point.genes;
+        }
+    }
+    return result;
+}
+
+OptimizeResult
+optimize_random(int gene_count, const OptimizerOptions& opts,
+                const FitnessFn& fitness)
+{
+    check_inputs(gene_count, opts);
+    Rng rng(opts.seed);
+    OptimizeResult result;
+    result.best_score = 0.0;
+    const int budget = opts.population * opts.generations;
+    for (int i = 0; i < budget; ++i) {
+        std::vector<double> genes = random_genes(rng, gene_count);
+        const double score = fitness(genes);
+        ++result.evaluations;
+        result.history.push_back({genes, score});
+        if (i == 0 || score < result.best_score) {
+            result.best_score = score;
+            result.best_genes = std::move(genes);
+        }
+    }
+    return result;
+}
+
+OptimizeResult
+optimize_grid(int gene_count, const OptimizerOptions& opts,
+              const FitnessFn& fitness)
+{
+    check_inputs(gene_count, opts);
+    const int budget = opts.population * opts.generations;
+    const int resolution = std::max(
+        2, static_cast<int>(std::floor(std::pow(
+               static_cast<double>(budget),
+               1.0 / static_cast<double>(gene_count)))));
+
+    OptimizeResult result;
+    std::vector<int> index(static_cast<std::size_t>(gene_count), 0);
+    std::vector<double> genes(static_cast<std::size_t>(gene_count), 0.0);
+    bool first = true;
+    while (true) {
+        for (std::size_t g = 0; g < genes.size(); ++g) {
+            genes[g] = static_cast<double>(index[g]) /
+                       static_cast<double>(resolution - 1);
+        }
+        const double score = fitness(genes);
+        ++result.evaluations;
+        result.history.push_back({genes, score});
+        if (first || score < result.best_score) {
+            result.best_score = score;
+            result.best_genes = genes;
+            first = false;
+        }
+        // Odometer increment.
+        std::size_t g = 0;
+        while (g < index.size()) {
+            if (++index[g] < resolution)
+                break;
+            index[g] = 0;
+            ++g;
+        }
+        if (g == index.size())
+            break;
+    }
+    return result;
+}
+
+OptimizeResult
+optimize(OptimizerStrategy strategy, int gene_count,
+         const OptimizerOptions& opts, const FitnessFn& fitness)
+{
+    switch (strategy) {
+      case OptimizerStrategy::kGenetic:
+        return optimize_genetic(gene_count, opts, fitness);
+      case OptimizerStrategy::kRandom:
+        return optimize_random(gene_count, opts, fitness);
+      case OptimizerStrategy::kGrid:
+        return optimize_grid(gene_count, opts, fitness);
+    }
+    panic("optimize: invalid strategy");
+}
+
+}  // namespace chrysalis::search

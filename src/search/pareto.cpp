@@ -1,0 +1,56 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::search {
+
+bool
+dominates(const ParetoPoint& a, const ParetoPoint& b)
+{
+    return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+std::vector<ParetoPoint>
+pareto_front(std::vector<ParetoPoint> points)
+{
+    if (points.empty())
+        return points;
+    // Sort by x ascending, y ascending for ties; then sweep keeping the
+    // running y-minimum.
+    std::sort(points.begin(), points.end(),
+              [](const ParetoPoint& a, const ParetoPoint& b) {
+                  return a.x != b.x ? a.x < b.x : a.y < b.y;
+              });
+    std::vector<ParetoPoint> front;
+    double best_y = points.front().y + 1.0;
+    for (const auto& point : points) {
+        if (point.y < best_y) {
+            // Same-x duplicates: the sort guarantees the first (smallest
+            // y) wins; later equal-x points have y >= best_y and drop out.
+            front.push_back(point);
+            best_y = point.y;
+        }
+    }
+    return front;
+}
+
+double
+hypervolume(const std::vector<ParetoPoint>& front, double ref_x,
+            double ref_y)
+{
+    double volume = 0.0;
+    double prev_x = ref_x;
+    // Iterate right-to-left (largest x first); each point contributes a
+    // rectangle up to the previous point's x.
+    for (auto it = front.rbegin(); it != front.rend(); ++it) {
+        if (it->x > ref_x || it->y > ref_y)
+            panic("hypervolume: front point outside reference box");
+        volume += (prev_x - it->x) * (ref_y - it->y);
+        prev_x = it->x;
+    }
+    return volume;
+}
+
+}  // namespace chrysalis::search

@@ -1,0 +1,37 @@
+/// \file
+/// Pareto-front utilities for the (latency, solar-panel-size) tradeoff
+/// plots of Figure 6.
+
+#ifndef CHRYSALIS_SEARCH_PARETO_HPP
+#define CHRYSALIS_SEARCH_PARETO_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace chrysalis::search {
+
+/// A 2-D point where *both* coordinates are minimized; `tag` links back to
+/// the originating design (e.g. an index into an evaluation history).
+struct ParetoPoint {
+    double x = 0.0;       ///< e.g. solar-panel size [cm^2]
+    double y = 0.0;       ///< e.g. latency [s]
+    std::size_t tag = 0;  ///< caller-defined back-reference
+};
+
+/// True when \p a dominates \p b (a <= b in both coords, < in at least
+/// one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+/// Extracts the Pareto-optimal subset (min-min), sorted by ascending x.
+/// Duplicate points keep a single representative.
+std::vector<ParetoPoint> pareto_front(std::vector<ParetoPoint> points);
+
+/// Hypervolume indicator w.r.t. a reference point (both coords of every
+/// front point must be <= the reference). A larger value means a better
+/// front. \pre points form a valid front (use pareto_front first).
+double hypervolume(const std::vector<ParetoPoint>& front, double ref_x,
+                   double ref_y);
+
+}  // namespace chrysalis::search
+
+#endif  // CHRYSALIS_SEARCH_PARETO_HPP

@@ -1,0 +1,115 @@
+/// \file
+/// Step-based intermittent-inference simulator (§III-D).
+///
+/// Unlike statistical simulators that "simply sum up the energy or time of
+/// individual components", the step-based simulator advances wall-clock
+/// time in small steps; in each step the *energy controller* updates
+/// harvest/leakage/storage and the *inference controller* advances the
+/// current tile's execution with the energy actually delivered. Power
+/// interruptions, checkpoint saves/restores, energy exceptions (r_exc) and
+/// charge latency all emerge from the interaction of the two controllers,
+/// reproducing the execution model of Figure 4:
+///
+///   read tile from NVM -> compute partial sums -> write tile to NVM,
+///   checkpoint on brown-out, resume when energy returns.
+
+#ifndef CHRYSALIS_SIM_INTERMITTENT_SIMULATOR_HPP
+#define CHRYSALIS_SIM_INTERMITTENT_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dataflow/cost_model.hpp"
+#include "energy/energy_controller.hpp"
+
+namespace chrysalis::sim {
+
+/// When checkpoints are written (Table III "Strategy" row variants).
+enum class CheckpointPolicy {
+    /// HAWAII-style: save at every tile boundary plus on brown-outs.
+    /// Restarts are cheap; steady-state checkpoint energy is higher.
+    kEagerBoundary,
+    /// QUICKRECALL/JIT-style: save only when power is about to fail.
+    /// Cheaper under stable power; identical exposure to r_exc losses.
+    kOnDemand,
+};
+
+/// Simulation controls.
+struct SimConfig {
+    double step_s = 0.05;            ///< simulation step length [s]
+    double max_sim_time_s = 3.0e5;   ///< give up after this much sim time
+    double start_time_s = 10 * 3600; ///< wall-clock start (for diurnal env)
+    std::uint64_t seed = 1;          ///< seed for exception sampling
+    double exception_rate = 0.05;    ///< r_exc: P(exception) per tile
+    /// Drain the capacitor to U_off before every run (simulate_repeated
+    /// only): models duty-cycled requests that each pay the cold-start
+    /// charging latency, matching the analytic evaluator's E2E semantics.
+    bool drain_between_runs = false;
+    /// Checkpoint strategy; the analytic model assumes kEagerBoundary
+    /// (Eq. 5 charges one save per tile).
+    CheckpointPolicy checkpoint_policy = CheckpointPolicy::kEagerBoundary;
+    /// Optional oscilloscope probe: called after every simulation step
+    /// with (time, capacitor voltage, load active). Used to export the
+    /// "periodic energy cycles" traces the paper's Fig. 7 shows from a
+    /// real oscilloscope. Leave empty for no tracing.
+    std::function<void(double t_s, double voltage_v, bool active)> probe;
+};
+
+/// Outcome of simulating one full inference.
+struct SimResult {
+    bool completed = false;
+    std::string failure_reason;  ///< set when !completed
+
+    double latency_s = 0.0;      ///< end-to-end wall-clock (E2ELat)
+    double active_time_s = 0.0;  ///< time with the load actually running
+    std::int64_t tiles_total = 0;
+    std::int64_t tiles_executed = 0;  ///< includes re-executions
+    std::int64_t exceptions = 0;      ///< energy exceptions encountered
+    std::int64_t energy_cycles = 0;   ///< charge->active transitions
+
+    // Load-side energy breakdown (joules at the load).
+    double e_infer_j = 0.0;   ///< compute + local buffers (E_infer)
+    double e_nvm_j = 0.0;     ///< NVM data movement
+    double e_static_j = 0.0;  ///< static memory/PE energy
+    double e_ckpt_j = 0.0;    ///< checkpoint save/restore
+
+    energy::EnergyLedger ledger;  ///< energy-subsystem accounting
+
+    /// E_infer / E_eh — the paper's system-efficiency metric (Figs. 8/11).
+    double system_efficiency() const
+    {
+        return ledger.harvested_j > 0.0 ? e_infer_j / ledger.harvested_j
+                                        : 0.0;
+    }
+
+    /// Total load-side energy (comparable to the analytic E_all).
+    double e_all_j() const
+    {
+        return e_infer_j + e_nvm_j + e_static_j + e_ckpt_j;
+    }
+};
+
+/// Runs one inference to completion (or failure) under intermittent power.
+///
+/// \param cost per-layer cost breakdown from the dataflow model; defines
+///        the tile work list (n_tile tiles per layer with its per-tile
+///        energy/time and checkpoint footprint).
+/// \param controller energy subsystem (consumed: simulation mutates it).
+/// \param config simulation controls.
+SimResult simulate_inference(const dataflow::ModelCost& cost,
+                             energy::EnergyController& controller,
+                             const SimConfig& config);
+
+/// Convenience overload: repeats the inference \p runs times (fresh
+/// exception sampling each run, continuing wall-clock time) and returns
+/// per-run results. Useful for diurnal environments where k_eh changes
+/// between inferences.
+std::vector<SimResult> simulate_repeated(const dataflow::ModelCost& cost,
+                                         energy::EnergyController& controller,
+                                         const SimConfig& config, int runs);
+
+}  // namespace chrysalis::sim
+
+#endif  // CHRYSALIS_SIM_INTERMITTENT_SIMULATOR_HPP

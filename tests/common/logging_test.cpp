@@ -1,0 +1,78 @@
+/// \file
+/// Tests for log-level gating and fatal/panic termination behaviour.
+
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = log_level(); }
+    void TearDown() override { set_log_level(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips)
+{
+    set_log_level(LogLevel::kDebug);
+    EXPECT_EQ(log_level(), LogLevel::kDebug);
+    set_log_level(LogLevel::kSilent);
+    EXPECT_EQ(log_level(), LogLevel::kSilent);
+}
+
+TEST_F(LoggingTest, WarnPrintsAtWarnLevel)
+{
+    set_log_level(LogLevel::kWarn);
+    ::testing::internal::CaptureStderr();
+    warn("capacitor ", 100, " uF leaks");
+    const std::string output = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(output.find("[chrysalis:warn]"), std::string::npos);
+    EXPECT_NE(output.find("capacitor 100 uF leaks"), std::string::npos);
+}
+
+TEST_F(LoggingTest, InformSuppressedAtWarnLevel)
+{
+    set_log_level(LogLevel::kWarn);
+    ::testing::internal::CaptureStderr();
+    inform("should not appear");
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, InformPrintsAtInformLevel)
+{
+    set_log_level(LogLevel::kInform);
+    ::testing::internal::CaptureStderr();
+    inform("search finished");
+    const std::string output = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(output.find("search finished"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SilentSuppressesEverything)
+{
+    set_log_level(LogLevel::kSilent);
+    ::testing::internal::CaptureStderr();
+    warn("hidden");
+    debug("hidden");
+    inform("hidden");
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config: ", 42), ::testing::ExitedWithCode(1),
+                "bad config: 42");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant violated"), "invariant violated");
+}
+
+}  // namespace
+}  // namespace chrysalis

@@ -1,0 +1,216 @@
+/// \file
+/// Unit and statistical tests for the deterministic RNG.
+
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace chrysalis {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanIsCentered)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.5, 7.5);
+        ASSERT_GE(v, -2.5);
+        ASSERT_LT(v, 7.5);
+    }
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive)
+{
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniform_int(3, 8));
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(*seen.begin(), 3);
+    EXPECT_EQ(*seen.rbegin(), 8);
+}
+
+TEST(RngTest, UniformIntSingleton)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntIsUnbiased)
+{
+    Rng rng(13);
+    constexpr int kBuckets = 5;
+    constexpr int kN = 50000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kN; ++i)
+        ++counts[rng.uniform_int(0, kBuckets - 1)];
+    for (int count : counts)
+        EXPECT_NEAR(count, kN / kBuckets, kN / kBuckets * 0.1);
+}
+
+TEST(RngTest, LogUniformStaysInRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.log_uniform(1e-6, 1e-2);
+        ASSERT_GE(v, 1e-6);
+        ASSERT_LE(v, 1e-2);
+    }
+}
+
+TEST(RngTest, LogUniformMedianIsGeometricCenter)
+{
+    Rng rng(19);
+    std::vector<double> samples;
+    for (int i = 0; i < 10001; ++i)
+        samples.push_back(rng.log_uniform(1e-6, 1e-2));
+    std::nth_element(samples.begin(), samples.begin() + 5000,
+                     samples.end());
+    // Geometric center of [1e-6, 1e-2] is 1e-4.
+    EXPECT_NEAR(std::log10(samples[5000]), -4.0, 0.1);
+}
+
+TEST(RngTest, GaussianMomentsMatch)
+{
+    Rng rng(23);
+    constexpr int kN = 100000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < kN; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / kN, 0.0, 0.02);
+    EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaleAndShift)
+{
+    Rng rng(29);
+    constexpr int kN = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-0.5));
+        EXPECT_TRUE(rng.bernoulli(1.5));
+    }
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(37);
+    constexpr int kN = 100000;
+    int hits = 0;
+    for (int i = 0; i < kN; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights)
+{
+    Rng rng(41);
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    constexpr int kN = 60000;
+    int counts[3] = {};
+    for (int i = 0; i < kN; ++i)
+        ++counts[rng.weighted_index(weights)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform)
+{
+    Rng rng(43);
+    const std::vector<double> weights = {0.0, 0.0, 0.0, 0.0};
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.weighted_index(weights));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(47);
+    std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = items;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated)
+{
+    Rng parent(53);
+    Rng child_a = parent.fork(0);
+    Rng child_b = parent.fork(1);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (child_a.next_u64() == child_b.next_u64())
+            ++equal;
+    }
+    EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsRepeatable)
+{
+    Rng parent(59);
+    Rng a = parent.fork(5);
+    Rng b = parent.fork(5);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace chrysalis

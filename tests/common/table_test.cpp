@@ -1,0 +1,86 @@
+/// \file
+/// Tests for the text-table renderer and CSV export.
+
+#include "common/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace chrysalis {
+namespace {
+
+TEST(TextTableTest, RendersHeadersAndRows)
+{
+    TextTable table({"name", "value"});
+    table.add_row({"alpha", "1"});
+    table.add_row({"beta", "22"});
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, TitleAppearsFirst)
+{
+    TextTable table({"a"});
+    table.set_title("Figure 9: capacitor sweep");
+    table.add_row({"x"});
+    const std::string out = table.to_string();
+    EXPECT_EQ(out.find("Figure 9"), 0u);
+}
+
+TEST(TextTableTest, ColumnsWidenToLongestCell)
+{
+    TextTable table({"h"});
+    table.add_row({"a-very-long-cell-value"});
+    const std::string out = table.to_string();
+    // Every rendered line should have the same width.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(TextTableTest, ShortRowsArePadded)
+{
+    TextTable table({"a", "b", "c"});
+    table.add_row({"only-one"});
+    EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(TextTableTest, CsvOutput)
+{
+    TextTable table({"x", "y"});
+    table.add_row({"1", "2"});
+    table.add_row({"3", "4"});
+    std::ostringstream os;
+    table.print_csv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters)
+{
+    TextTable table({"field"});
+    table.add_row({"has,comma"});
+    table.add_row({"has\"quote"});
+    std::ostringstream os;
+    table.print_csv(os);
+    EXPECT_EQ(os.str(),
+              "field\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader)
+{
+    TextTable table({"lonely"});
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("lonely"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chrysalis

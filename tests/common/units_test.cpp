@@ -1,0 +1,51 @@
+/// \file
+/// Sanity checks for the unit constants — cheap insurance against a
+/// transposed exponent silently corrupting every physical quantity.
+
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::units {
+namespace {
+
+TEST(UnitsTest, PrefixLadder)
+{
+    EXPECT_DOUBLE_EQ(kGiga, 1e9);
+    EXPECT_DOUBLE_EQ(kMega * kMicro, 1.0);
+    EXPECT_DOUBLE_EQ(kKilo * kMilli, 1.0);
+    EXPECT_DOUBLE_EQ(kNano * kGiga, 1.0);
+    EXPECT_DOUBLE_EQ(kPico, 1e-12);
+}
+
+TEST(UnitsTest, TimeConversions)
+{
+    EXPECT_DOUBLE_EQ(kMinute, 60.0 * kSecond);
+    EXPECT_DOUBLE_EQ(kHour, 60.0 * kMinute);
+    EXPECT_DOUBLE_EQ(kMillisecond * 1000.0, kSecond);
+}
+
+TEST(UnitsTest, EnergyAndPowerAreConsistent)
+{
+    // 1 mW for 1 s is 1 mJ.
+    EXPECT_DOUBLE_EQ(1.0 * kMilliWatt * kSecond, 1.0 * kMilliJoule);
+    EXPECT_DOUBLE_EQ(kMicroJoule * kMega, kJoule);
+}
+
+TEST(UnitsTest, DataSizes)
+{
+    EXPECT_DOUBLE_EQ(kKiB, 1024.0);
+    EXPECT_DOUBLE_EQ(kMiB, 1024.0 * kKiB);
+}
+
+TEST(UnitsTest, PaperScaleSpotChecks)
+{
+    // Table IV ranges expressed through the constants.
+    EXPECT_DOUBLE_EQ(10.0 * kMilliFarad / (1.0 * kMicroFarad), 1e4);
+    // A 100 uF capacitor at 5 V stores 1.25 mJ.
+    const double energy = 0.5 * (100 * kMicroFarad) * 5.0 * 5.0;
+    EXPECT_NEAR(energy, 1.25 * kMilliJoule, 1e-12);
+}
+
+}  // namespace
+}  // namespace chrysalis::units

@@ -1,0 +1,104 @@
+/// \file
+/// Tests for the Chrysalis facade: generation, candidate evaluation,
+/// description and step-simulation validation.
+
+#include "core/chrysalis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::core {
+namespace {
+
+ChrysalisInputs
+small_inputs()
+{
+    ChrysalisInputs inputs{
+        dnn::make_simple_conv(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        search::ExplorerOptions{},
+    };
+    inputs.options.outer.population = 10;
+    inputs.options.outer.generations = 5;
+    inputs.options.outer.seed = 77;
+    inputs.options.inner.max_candidates_per_dim = 4;
+    return inputs;
+}
+
+TEST(ChrysalisTest, GenerateProducesFeasibleSolution)
+{
+    const Chrysalis tool(small_inputs());
+    const AuTSolution solution = tool.generate();
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_GT(solution.mean_latency_s, 0.0);
+    EXPECT_NEAR(solution.lat_sp,
+                solution.mean_latency_s * solution.hardware.solar_cm2,
+                1e-12);
+    EXPECT_GT(solution.evaluations, 0);
+    EXPECT_FALSE(solution.pareto.empty());
+    EXPECT_EQ(solution.mappings.size(), 1u);  // single-layer workload
+}
+
+TEST(ChrysalisTest, EvaluateCandidateMatchesObjective)
+{
+    const Chrysalis tool(small_inputs());
+    search::HwCandidate candidate;
+    candidate.solar_cm2 = 8.0;
+    candidate.capacitance_f = 100e-6;
+    const AuTSolution solution = tool.evaluate_candidate(candidate);
+    ASSERT_TRUE(solution.feasible);
+    EXPECT_NEAR(solution.score, solution.lat_sp, 1e-9);
+    EXPECT_EQ(solution.evaluations, 0);  // no exploration performed
+}
+
+TEST(ChrysalisTest, GeneratedBeatsArbitraryCandidate)
+{
+    const Chrysalis tool(small_inputs());
+    const AuTSolution best = tool.generate();
+    search::HwCandidate clunker;
+    clunker.solar_cm2 = 30.0;
+    clunker.capacitance_f = 5e-3;
+    const AuTSolution reference = tool.evaluate_candidate(clunker);
+    ASSERT_TRUE(best.feasible);
+    if (reference.feasible) {
+        EXPECT_LE(best.score, reference.score * (1.0 + 1e-9));
+    }
+}
+
+TEST(ChrysalisTest, DescribeContainsLoopNest)
+{
+    const Chrysalis tool(small_inputs());
+    const AuTSolution solution = tool.generate();
+    const std::string report =
+        solution.describe(tool.inputs().model);
+    EXPECT_NE(report.find("solar panel"), std::string::npos);
+    EXPECT_NE(report.find("capacitor"), std::string::npos);
+    EXPECT_NE(report.find("SpatialMap"), std::string::npos);
+    EXPECT_NE(report.find("simple_conv"), std::string::npos);
+}
+
+TEST(ChrysalisTest, ValidationAgreesWithAnalytic)
+{
+    const Chrysalis tool(small_inputs());
+    const AuTSolution solution = tool.generate();
+    ASSERT_TRUE(solution.feasible);
+    const ValidationResult validation =
+        tool.validate(solution, /*k_eh=*/2e-3, sim::SimConfig{}, 8);
+    ASSERT_TRUE(validation.sim.completed)
+        << validation.sim.failure_reason;
+    EXPECT_GT(validation.mean_sim_latency_s, 0.0);
+    EXPECT_LT(validation.relative_error, 0.40);
+}
+
+TEST(ChrysalisDeathTest, ZeroValidationRunsIsFatal)
+{
+    const Chrysalis tool(small_inputs());
+    const AuTSolution solution = tool.generate();
+    EXPECT_EXIT(tool.validate(solution, 2e-3, sim::SimConfig{}, 0),
+                ::testing::ExitedWithCode(1), "runs");
+}
+
+}  // namespace
+}  // namespace chrysalis::core

@@ -1,0 +1,169 @@
+/// \file
+/// Tests for multi-day deployment studies (and the Markov weather model
+/// they typically use).
+
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::core {
+namespace {
+
+AuTSolution
+small_solution()
+{
+    ChrysalisInputs inputs{
+        dnn::make_kws_mlp(),
+        search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        search::ExplorerOptions{},
+    };
+    inputs.options.outer.population = 10;
+    inputs.options.outer.generations = 5;
+    inputs.options.outer.seed = 17;
+    inputs.options.inner.max_candidates_per_dim = 4;
+    const Chrysalis tool(std::move(inputs));
+    return tool.generate();
+}
+
+DeploymentConfig
+study_config()
+{
+    DeploymentConfig config;
+    config.days = 1;
+    config.request_interval_s = 2 * 3600.0;  // 12 requests per day
+    config.deadline_s = 120.0;
+    config.sim.step_s = 0.1;
+    return config;
+}
+
+TEST(DeploymentTest, SunnyDayServesDaytimeRequests)
+{
+    const AuTSolution solution = small_solution();
+    ASSERT_TRUE(solution.feasible);
+    energy::DiurnalSolarEnvironment::Config env_config;
+    const energy::DiurnalSolarEnvironment env(env_config);
+    const DeploymentReport report = simulate_deployment(
+        solution, env, energy::PowerManagementIc::Config{},
+        study_config());
+
+    EXPECT_EQ(report.requests.size(), 12u);
+    EXPECT_EQ(report.days.size(), 1u);
+    // Night requests fail, daytime ones succeed: completion strictly
+    // between 0 and 1, and at least the midday requests complete.
+    EXPECT_GT(report.completion_rate, 0.2);
+    EXPECT_LT(report.completion_rate, 1.0);
+    bool midday_completed = false;
+    for (const auto& request : report.requests) {
+        const double hour = request.issue_time_s / 3600.0;
+        if (hour >= 10 && hour <= 14 && request.completed)
+            midday_completed = true;
+        if (hour < 5 && request.attempted) {
+            EXPECT_FALSE(request.completed) << "hour " << hour;
+        }
+    }
+    EXPECT_TRUE(midday_completed);
+    EXPECT_GT(report.total_harvested_j, 0.0);
+}
+
+TEST(DeploymentTest, StatsAreInternallyConsistent)
+{
+    const AuTSolution solution = small_solution();
+    ASSERT_TRUE(solution.feasible);
+    const energy::DiurnalSolarEnvironment env(
+        energy::DiurnalSolarEnvironment::Config{});
+    const DeploymentReport report = simulate_deployment(
+        solution, env, energy::PowerManagementIc::Config{},
+        study_config());
+
+    int completed = 0, met = 0, requests = 0;
+    for (const auto& day : report.days) {
+        requests += day.requests;
+        completed += day.completed;
+        met += day.deadline_met;
+        EXPECT_LE(day.deadline_met, day.completed);
+        EXPECT_LE(day.completed, day.requests);
+    }
+    EXPECT_EQ(requests, static_cast<int>(report.requests.size()));
+    EXPECT_NEAR(report.completion_rate,
+                static_cast<double>(completed) / requests, 1e-12);
+    EXPECT_NEAR(report.deadline_rate,
+                static_cast<double>(met) / requests, 1e-12);
+}
+
+TEST(DeploymentTest, OvercastWeatherDegradesService)
+{
+    const AuTSolution solution = small_solution();
+    ASSERT_TRUE(solution.feasible);
+
+    energy::MarkovWeatherEnvironment::Config sunny_config;
+    // Force permanently sunny vs permanently overcast via the chain.
+    for (int from = 0; from < 3; ++from) {
+        sunny_config.transition[from][0] = 1.0;
+        sunny_config.transition[from][1] = 0.0;
+        sunny_config.transition[from][2] = 0.0;
+    }
+    auto overcast_config = sunny_config;
+    for (int from = 0; from < 3; ++from) {
+        overcast_config.transition[from][0] = 0.0;
+        overcast_config.transition[from][2] = 1.0;
+    }
+    // Overcast chains still start sunny in slot 0; attenuate globally
+    // instead for determinism of the first slot.
+    overcast_config.sunny_factor = overcast_config.overcast_factor;
+
+    const energy::MarkovWeatherEnvironment sunny(sunny_config);
+    const energy::MarkovWeatherEnvironment overcast(overcast_config);
+    const auto sunny_report = simulate_deployment(
+        solution, sunny, energy::PowerManagementIc::Config{},
+        study_config());
+    const auto overcast_report = simulate_deployment(
+        solution, overcast, energy::PowerManagementIc::Config{},
+        study_config());
+    EXPECT_GE(sunny_report.completion_rate,
+              overcast_report.completion_rate);
+    EXPECT_GT(sunny_report.total_harvested_j,
+              overcast_report.total_harvested_j);
+}
+
+TEST(DeploymentTest, SummaryMentionsEveryDay)
+{
+    const AuTSolution solution = small_solution();
+    ASSERT_TRUE(solution.feasible);
+    DeploymentConfig config = study_config();
+    config.days = 2;
+    const energy::DiurnalSolarEnvironment env(
+        energy::DiurnalSolarEnvironment::Config{});
+    const DeploymentReport report = simulate_deployment(
+        solution, env, energy::PowerManagementIc::Config{}, config);
+    const std::string summary = report.summary();
+    EXPECT_NE(summary.find("day 0"), std::string::npos);
+    EXPECT_NE(summary.find("day 1"), std::string::npos);
+    EXPECT_NE(summary.find("completed"), std::string::npos);
+}
+
+TEST(DeploymentDeathTest, ValidatesInputs)
+{
+    const AuTSolution solution = small_solution();
+    const energy::DiurnalSolarEnvironment env(
+        energy::DiurnalSolarEnvironment::Config{});
+    DeploymentConfig config = study_config();
+    config.days = 0;
+    EXPECT_EXIT(simulate_deployment(solution, env,
+                                    energy::PowerManagementIc::Config{},
+                                    config),
+                ::testing::ExitedWithCode(1), "days");
+
+    config = study_config();
+    AuTSolution broken = solution;
+    broken.feasible = false;
+    EXPECT_EXIT(simulate_deployment(broken, env,
+                                    energy::PowerManagementIc::Config{},
+                                    config),
+                ::testing::ExitedWithCode(1), "feasible");
+}
+
+}  // namespace
+}  // namespace chrysalis::core

@@ -1,0 +1,70 @@
+/// \file
+/// Tests for the named scenario presets.
+
+#include "core/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::core {
+namespace {
+
+TEST(ScenariosTest, AllScenariosAreWellFormed)
+{
+    const auto scenarios = all_scenarios();
+    ASSERT_EQ(scenarios.size(), 4u);
+    for (const auto& scenario : scenarios) {
+        EXPECT_FALSE(scenario.name.empty());
+        EXPECT_FALSE(scenario.description.empty());
+        EXPECT_GT(scenario.inputs.model.layer_count(), 0u);
+        EXPECT_FALSE(scenario.inputs.options.k_eh_envs.empty());
+    }
+}
+
+TEST(ScenariosTest, WearableUsesLatencyObjectiveWithPanelBudget)
+{
+    const Scenario scenario = make_wearable_kws_scenario();
+    EXPECT_EQ(scenario.inputs.objective.kind,
+              search::ObjectiveKind::kLatency);
+    EXPECT_DOUBLE_EQ(scenario.inputs.objective.sp_limit_cm2, 6.0);
+    EXPECT_EQ(scenario.inputs.model.name(), "kws");
+    // Indoor environments are dimmer than the outdoor defaults.
+    for (double k_eh : scenario.inputs.options.k_eh_envs)
+        EXPECT_LT(k_eh, 1e-3);
+}
+
+TEST(ScenariosTest, MonitorMinimizesPanelUnderDeadline)
+{
+    const Scenario scenario = make_environment_monitor_scenario();
+    EXPECT_EQ(scenario.inputs.objective.kind,
+              search::ObjectiveKind::kSolarPanel);
+    EXPECT_DOUBLE_EQ(scenario.inputs.objective.lat_limit_s, 30.0);
+    EXPECT_EQ(scenario.inputs.model.name(), "har");
+}
+
+TEST(ScenariosTest, VisionNodeTargetsFutureAut)
+{
+    const Scenario scenario = make_vision_node_scenario();
+    EXPECT_EQ(scenario.inputs.space.family,
+              search::HardwareFamily::kAccelerator);
+    EXPECT_EQ(scenario.inputs.model.name(), "alexnet");
+}
+
+TEST(ScenariosTest, QuickstartIsSmall)
+{
+    const Scenario scenario = make_quickstart_scenario();
+    EXPECT_EQ(scenario.inputs.model.layer_count(), 1u);
+    EXPECT_LE(scenario.inputs.options.outer.population *
+                  scenario.inputs.options.outer.generations,
+              100);
+}
+
+TEST(ScenariosTest, QuickstartRunsEndToEnd)
+{
+    const Scenario scenario = make_quickstart_scenario();
+    const Chrysalis tool(scenario.inputs);
+    const AuTSolution solution = tool.generate();
+    EXPECT_TRUE(solution.feasible);
+}
+
+}  // namespace
+}  // namespace chrysalis::core

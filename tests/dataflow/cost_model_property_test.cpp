@@ -1,0 +1,219 @@
+/// \file
+/// Property-based tests for the cost model: the invariants the DSE relies
+/// on must hold across broad sweeps of layers, mappings and hardware
+/// parameters.
+///
+///  - More intermittent tiles never reduce NVM traffic or checkpoint
+///    energy (Eq. 5's rationale for minimizing N_tile).
+///  - More PEs never increase a layer's compute time (Eq. 6).
+///  - A larger per-PE cache never increases total energy (pass-count
+///    monotonicity).
+///  - Energy components are non-negative and sum consistently.
+
+#include "dataflow/cost_model.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::dataflow {
+namespace {
+
+CostParams
+base_params()
+{
+    CostParams params;
+    params.e_mac_j = 10e-12;
+    params.macs_per_s_per_pe = 1e8;
+    params.n_pe = 8;
+    params.vm_bytes_per_pe = 512;
+    params.e_vm_byte_j = 1e-12;
+    params.p_mem_w_per_byte = 1e-9;
+    params.e_nvm_read_byte_j = 100e-12;
+    params.e_nvm_write_byte_j = 300e-12;
+    params.nvm_bytes_per_s = 1e9;
+    params.p_pe_static_w = 1e-4;
+    params.element_bytes = 1;
+    return params;
+}
+
+std::vector<dnn::Layer>
+probe_layers()
+{
+    return {
+        dnn::make_conv2d("conv_s1", 16, 32, 16, 16, 3, 1, 1),
+        dnn::make_conv2d("conv_s2", 3, 96, 224, 224, 11, 4, 2),
+        dnn::make_conv2d("conv_1d", 9, 16, 128, 1, 5),
+        dnn::make_dense("dense", 512, 256),
+        dnn::make_dense("dense_seq", 768, 768, 18),
+        dnn::make_pool("pool", 32, 16, 16, 2, 2),
+        dnn::make_depthwise("dw", 32, 28, 28, 3, 1, 1),
+    };
+}
+
+using SweepParam = std::tuple<std::size_t /*layer index*/, Dataflow>;
+
+class CostSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    dnn::Layer layer_ = probe_layers()[std::get<0>(GetParam())];
+    Dataflow dataflow_ = std::get<1>(GetParam());
+};
+
+TEST_P(CostSweepTest, EnergyComponentsNonNegativeAndConsistent)
+{
+    LayerMapping mapping;
+    mapping.dataflow = dataflow_;
+    const LayerCost cost = analyze_layer(layer_, mapping, base_params());
+    EXPECT_GE(cost.e_compute_j, 0.0);
+    EXPECT_GE(cost.e_vm_j, 0.0);
+    EXPECT_GE(cost.e_nvm_j, 0.0);
+    EXPECT_GE(cost.e_static_j, 0.0);
+    EXPECT_GE(cost.e_ckpt_j, 0.0);
+    EXPECT_NEAR(cost.total_energy_j(),
+                cost.e_compute_j + cost.e_vm_j + cost.e_nvm_j +
+                    cost.e_static_j + cost.e_ckpt_j,
+                1e-18);
+    EXPECT_GT(cost.time_s, 0.0);
+    EXPECT_GE(cost.utilization, 0.0);
+    EXPECT_LE(cost.utilization, 1.0);
+}
+
+TEST_P(CostSweepTest, MoreTilesNeverReduceCheckpointVolumeOrWrites)
+{
+    // Note: finer tiling CAN reduce NVM re-streaming (smaller tiles shrink
+    // the stationary working set, like extra cache); what tiling always
+    // costs is checkpoint state. Outputs are committed exactly once
+    // regardless of tiling.
+    const CostParams params = base_params();
+    LayerMapping coarse;
+    coarse.dataflow = dataflow_;
+    LayerCost prev = analyze_layer(layer_, coarse, params);
+    for (std::int64_t splits : {2, 4, 8}) {
+        LayerMapping fine;
+        fine.dataflow = dataflow_;
+        fine.tiles_k = splits;
+        fine.tiles_y = 2;
+        fine.clamp_to(layer_);
+        const LayerCost cost = analyze_layer(layer_, fine, params);
+        if (fine.tile_count() <= prev.n_tile)
+            continue;  // clamped away for small layers
+        // Outputs are committed once regardless of tiling; the cost model
+        // sizes every tile like the largest one, so ragged splits may
+        // overcount by up to one tile's worth.
+        EXPECT_GE(cost.nvm_write_bytes, prev.nvm_write_bytes)
+            << "splits=" << splits;
+        EXPECT_LE(static_cast<double>(cost.nvm_write_bytes),
+                  static_cast<double>(prev.nvm_write_bytes) * 1.25)
+            << "splits=" << splits;
+        // Total checkpointed bytes N_tile * N_ckpt never shrink.
+        EXPECT_GE(cost.n_tile * cost.ckpt_bytes,
+                  static_cast<std::int64_t>(
+                      0.99 * static_cast<double>(prev.n_tile *
+                                                 prev.ckpt_bytes)))
+            << "splits=" << splits;
+        prev = cost;
+    }
+}
+
+TEST_P(CostSweepTest, MorePesNeverSlowDown)
+{
+    LayerMapping mapping;
+    mapping.dataflow = dataflow_;
+    double prev_time = 1e300;
+    for (std::int64_t pes : {1, 2, 4, 16, 64, 168}) {
+        CostParams params = base_params();
+        params.n_pe = pes;
+        const LayerCost cost = analyze_layer(layer_, mapping, params);
+        EXPECT_LE(cost.compute_time_s, prev_time * (1.0 + 1e-9))
+            << "pes=" << pes;
+        prev_time = cost.compute_time_s;
+    }
+}
+
+TEST_P(CostSweepTest, BiggerCacheNeverIncreasesTrafficEnergy)
+{
+    // A bigger cache legitimately costs more static power AND bigger
+    // checkpoints (more live state to save); what must be monotone is the
+    // data-movement energy (VM + NVM re-streaming).
+    LayerMapping mapping;
+    mapping.dataflow = dataflow_;
+    double prev_energy = 1e300;
+    for (std::int64_t cache : {128, 256, 512, 1024, 2048}) {
+        CostParams params = base_params();
+        params.vm_bytes_per_pe = cache;
+        const LayerCost cost = analyze_layer(layer_, mapping, params);
+        const double traffic = cost.e_vm_j + cost.e_nvm_j;
+        EXPECT_LE(traffic, prev_energy * (1.0 + 1e-9))
+            << "cache=" << cache;
+        prev_energy = traffic;
+    }
+}
+
+TEST_P(CostSweepTest, HigherExceptionRateRaisesCkptEnergy)
+{
+    LayerMapping mapping;
+    mapping.dataflow = dataflow_;
+    mapping.tiles_k = 2;
+    mapping.clamp_to(layer_);
+    CostParams params = base_params();
+    params.exception_rate = 0.0;
+    const double low =
+        analyze_layer(layer_, mapping, params).e_ckpt_j;
+    params.exception_rate = 0.5;
+    const double high =
+        analyze_layer(layer_, mapping, params).e_ckpt_j;
+    EXPECT_GT(high, low);
+}
+
+TEST_P(CostSweepTest, TileEnergyTimesCountEqualsTotal)
+{
+    LayerMapping mapping;
+    mapping.dataflow = dataflow_;
+    mapping.tiles_k = 4;
+    mapping.tiles_y = 2;
+    mapping.clamp_to(layer_);
+    const LayerCost cost = analyze_layer(layer_, mapping, base_params());
+    EXPECT_NEAR(cost.tile_energy_j() *
+                    static_cast<double>(cost.n_tile),
+                cost.total_energy_j(), cost.total_energy_j() * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LayersAndDataflows, CostSweepTest,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 7),
+                       ::testing::Values(Dataflow::kWeightStationary,
+                                         Dataflow::kOutputStationary,
+                                         Dataflow::kInputStationary,
+                                         Dataflow::kRowStationary)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+        return probe_layers()[std::get<0>(info.param)].name + "_" +
+               to_string(std::get<1>(info.param));
+    });
+
+TEST(CostModelWholeModelProperty, TilingWholeModelRaisesEnergyButShrinksTiles)
+{
+    const dnn::Model model = dnn::make_cifar10_cnn();
+    CostParams params = base_params();
+    params.element_bytes = model.element_bytes();
+
+    const ModelCost untiled =
+        analyze_model_untiled(model, Dataflow::kWeightStationary, params);
+
+    std::vector<LayerMapping> tiled(model.layer_count());
+    for (std::size_t i = 0; i < tiled.size(); ++i) {
+        tiled[i].tiles_k = 4;
+        tiled[i].tiles_y = 4;
+        tiled[i].clamp_to(model.layer(i));
+    }
+    const ModelCost fine = analyze_model(model, tiled, params);
+
+    EXPECT_GT(fine.n_tile, untiled.n_tile);
+    EXPECT_GE(fine.total_energy_j(), untiled.total_energy_j());
+    EXPECT_LT(fine.max_tile_energy_j(), untiled.max_tile_energy_j());
+}
+
+}  // namespace
+}  // namespace chrysalis::dataflow

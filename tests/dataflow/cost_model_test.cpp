@@ -1,0 +1,218 @@
+/// \file
+/// Unit tests for the analytical cost model (Eqs. 4-6).
+
+#include "dataflow/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::dataflow {
+namespace {
+
+dnn::Layer
+conv_layer()
+{
+    return dnn::make_conv2d("conv", 16, 32, 16, 16, 3, 1, 1);
+}
+
+CostParams
+accel_params()
+{
+    CostParams params;
+    params.e_mac_j = 10e-12;
+    params.macs_per_s_per_pe = 1e8;
+    params.n_pe = 16;
+    params.vm_bytes_per_pe = 512;
+    params.e_vm_byte_j = 1e-12;
+    params.p_mem_w_per_byte = 1e-9;
+    params.e_nvm_read_byte_j = 100e-12;
+    params.e_nvm_write_byte_j = 300e-12;
+    params.nvm_bytes_per_s = 1e9;
+    params.p_pe_static_w = 1e-4;
+    params.element_bytes = 1;
+    params.overlap_transfers = true;
+    params.exception_rate = 0.05;
+    return params;
+}
+
+TEST(CostModelTest, MacsMatchLayer)
+{
+    const dnn::Layer layer = conv_layer();
+    const LayerCost cost = analyze_layer(layer, LayerMapping{},
+                                         accel_params());
+    EXPECT_EQ(cost.macs, layer.macs());
+    EXPECT_TRUE(cost.feasible);
+}
+
+TEST(CostModelTest, ComputeEnergyIsMacsTimesEnergy)
+{
+    const dnn::Layer layer = conv_layer();
+    const CostParams params = accel_params();
+    const LayerCost cost = analyze_layer(layer, LayerMapping{}, params);
+    EXPECT_NEAR(cost.e_compute_j,
+                static_cast<double>(layer.macs()) * params.e_mac_j,
+                1e-15);
+}
+
+TEST(CostModelTest, ComputeTimeFollowsEq6)
+{
+    const dnn::Layer layer = conv_layer();
+    const CostParams params = accel_params();
+    LayerMapping mapping;
+    mapping.dataflow = Dataflow::kWeightStationary;  // spatial over K=32
+    const LayerCost cost = analyze_layer(layer, mapping, params);
+    // K=32 over 16 PEs: two full waves, utilization 1.
+    EXPECT_DOUBLE_EQ(cost.utilization, 1.0);
+    EXPECT_NEAR(cost.compute_time_s,
+                static_cast<double>(layer.macs()) /
+                    (params.macs_per_s_per_pe * 16.0),
+                1e-12);
+}
+
+TEST(CostModelTest, PartialWaveLowersUtilization)
+{
+    const dnn::Layer layer = conv_layer();
+    CostParams params = accel_params();
+    params.n_pe = 24;
+    LayerMapping mapping;
+    mapping.dataflow = Dataflow::kWeightStationary;
+    const LayerCost cost = analyze_layer(layer, mapping, params);
+    // WS folds the K x C = 32*16 = 512 grid onto 24 PEs:
+    // 22 waves of 24 slots = 528, utilization 512/528.
+    EXPECT_NEAR(cost.utilization, 512.0 / 528.0, 1e-12);
+}
+
+TEST(CostModelTest, TileCountPropagates)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    mapping.tiles_y = 2;
+    const LayerCost cost = analyze_layer(layer, mapping, accel_params());
+    EXPECT_EQ(cost.n_tile, 8);
+    EXPECT_NEAR(cost.tile_energy_j() * 8.0, cost.total_energy_j(), 1e-12);
+}
+
+TEST(CostModelTest, CheckpointEnergyFollowsEq5)
+{
+    const dnn::Layer layer = conv_layer();
+    const CostParams params = accel_params();
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    const LayerCost cost = analyze_layer(layer, mapping, params);
+    // E_ckpt = N_tile (1 + r_exc) N_ckpt (e_r + e_w).
+    const double expected =
+        4.0 * 1.05 * static_cast<double>(cost.ckpt_bytes) *
+        (params.e_nvm_read_byte_j + params.e_nvm_write_byte_j);
+    EXPECT_NEAR(cost.e_ckpt_j, expected, expected * 1e-9);
+}
+
+TEST(CostModelTest, NvmWritesEqualOutputs)
+{
+    const dnn::Layer layer = conv_layer();
+    const LayerCost cost = analyze_layer(layer, LayerMapping{},
+                                         accel_params());
+    EXPECT_EQ(cost.nvm_write_bytes, layer.output_elems());  // 1 B/elem
+}
+
+TEST(CostModelTest, OverlapReducesTime)
+{
+    const dnn::Layer layer = conv_layer();
+    CostParams params = accel_params();
+    params.overlap_transfers = true;
+    const LayerCost overlapped =
+        analyze_layer(layer, LayerMapping{}, params);
+    params.overlap_transfers = false;
+    const LayerCost serial = analyze_layer(layer, LayerMapping{}, params);
+    EXPECT_LT(overlapped.time_s, serial.time_s);
+    EXPECT_NEAR(serial.time_s,
+                serial.compute_time_s + serial.nvm_time_s +
+                    serial.ckpt_time_s,
+                1e-12);
+}
+
+TEST(CostModelTest, PoolOpsAreCheaperThanMacs)
+{
+    // Pooling windows are compare/accumulate ops; at equal loop volume a
+    // pool layer must cost pool_op_scale of a conv's compute energy.
+    const CostParams params = accel_params();
+    const dnn::Layer pool = dnn::make_pool("p", 32, 16, 16, 2, 2);
+    const LayerCost cost = analyze_layer(pool, LayerMapping{}, params);
+    EXPECT_NEAR(cost.e_compute_j,
+                static_cast<double>(pool.macs()) * params.pool_op_scale *
+                    params.e_mac_j,
+                1e-18);
+}
+
+TEST(CostModelTest, EmbeddingIsPureStreaming)
+{
+    const dnn::Layer layer = dnn::make_embedding("emb", 1000, 64, 4);
+    const LayerCost cost = analyze_layer(layer, LayerMapping{},
+                                         accel_params());
+    EXPECT_EQ(cost.macs, 0);
+    EXPECT_DOUBLE_EQ(cost.e_compute_j, 0.0);
+    EXPECT_GT(cost.e_nvm_j, 0.0);
+    // Only the 4 indexed rows are touched, not the whole table.
+    EXPECT_EQ(cost.nvm_read_bytes, 4 * 64);
+}
+
+TEST(CostModelTest, InfeasibleWhenStreamBufferExceedsVm)
+{
+    // A dense layer with a huge reduction cannot stream through 1 PE with
+    // a 128 B cache.
+    const dnn::Layer layer = dnn::make_dense("fc", 100000, 10);
+    CostParams params = accel_params();
+    params.n_pe = 1;
+    params.vm_bytes_per_pe = 128;
+    const LayerCost cost = analyze_layer(layer, LayerMapping{}, params);
+    EXPECT_FALSE(cost.feasible);
+}
+
+TEST(CostModelTest, ModelCostAggregatesLayers)
+{
+    const dnn::Model model = dnn::make_cifar10_cnn();
+    CostParams params = accel_params();
+    params.element_bytes = model.element_bytes();
+    const ModelCost cost =
+        analyze_model_untiled(model, Dataflow::kWeightStationary, params);
+    ASSERT_EQ(cost.layers.size(), model.layer_count());
+    double sum = 0.0;
+    for (const auto& layer : cost.layers)
+        sum += layer.total_energy_j();
+    EXPECT_NEAR(cost.total_energy_j(), sum, sum * 1e-12);
+    EXPECT_EQ(cost.n_tile, static_cast<std::int64_t>(model.layer_count()));
+}
+
+TEST(CostModelTest, MaxTileEnergyIsMaxOverLayers)
+{
+    const dnn::Model model = dnn::make_cifar10_cnn();
+    CostParams params = accel_params();
+    params.element_bytes = model.element_bytes();
+    const ModelCost cost =
+        analyze_model_untiled(model, Dataflow::kWeightStationary, params);
+    double peak = 0.0;
+    for (const auto& layer : cost.layers)
+        peak = std::max(peak, layer.tile_energy_j());
+    EXPECT_DOUBLE_EQ(cost.max_tile_energy_j(), peak);
+}
+
+TEST(CostModelDeathTest, MappingCountMismatchIsFatal)
+{
+    const dnn::Model model = dnn::make_cifar10_cnn();
+    std::vector<LayerMapping> mappings(2);  // wrong count
+    EXPECT_EXIT(analyze_model(model, mappings, accel_params()),
+                ::testing::ExitedWithCode(1), "mappings for");
+}
+
+TEST(CostModelDeathTest, BadParamsAreFatal)
+{
+    const dnn::Layer layer = conv_layer();
+    CostParams params = accel_params();
+    params.n_pe = 0;
+    EXPECT_EXIT(analyze_layer(layer, LayerMapping{}, params),
+                ::testing::ExitedWithCode(1), "n_pe");
+}
+
+}  // namespace
+}  // namespace chrysalis::dataflow

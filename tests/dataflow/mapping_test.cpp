@@ -1,0 +1,135 @@
+/// \file
+/// Tests for mapping directives and the Fig. 4 loop-nest expansion.
+
+#include "dataflow/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::dataflow {
+namespace {
+
+dnn::Layer
+conv_layer()
+{
+    return dnn::make_conv2d("conv", 16, 32, 16, 16, 3, 1, 1);
+}
+
+TEST(MappingTest, DataflowNames)
+{
+    EXPECT_EQ(to_string(Dataflow::kWeightStationary), "WS");
+    EXPECT_EQ(to_string(Dataflow::kOutputStationary), "OS");
+    EXPECT_EQ(to_string(Dataflow::kInputStationary), "IS");
+    EXPECT_EQ(to_string(Dataflow::kRowStationary), "RS");
+    EXPECT_EQ(all_dataflows().size(), 4u);
+}
+
+TEST(MappingTest, DirectiveToString)
+{
+    MappingDirective directive{MappingDirective::Kind::kInterTemp,
+                               dnn::Dim::kK, 4};
+    EXPECT_EQ(directive.to_string(), "InterTempMap(K, 4)");
+    directive.kind = MappingDirective::Kind::kSpatial;
+    directive.dim = dnn::Dim::kY;
+    EXPECT_EQ(directive.to_string(), "SpatialMap(Y, 4)");
+}
+
+TEST(MappingTest, TileCountIsProduct)
+{
+    LayerMapping mapping;
+    mapping.tiles_k = 2;
+    mapping.tiles_y = 3;
+    mapping.tiles_n = 1;
+    EXPECT_EQ(mapping.tile_count(), 6);
+}
+
+TEST(MappingTest, ValidityBounds)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    EXPECT_TRUE(mapping.valid_for(layer));  // all-1 is always valid
+    mapping.tiles_k = 32;
+    EXPECT_TRUE(mapping.valid_for(layer));
+    mapping.tiles_k = 33;  // exceeds K extent
+    EXPECT_FALSE(mapping.valid_for(layer));
+    mapping.tiles_k = 0;
+    EXPECT_FALSE(mapping.valid_for(layer));
+}
+
+TEST(MappingTest, ClampBringsCountsIntoRange)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 1000;
+    mapping.tiles_y = 0;
+    mapping.clamp_to(layer);
+    EXPECT_EQ(mapping.tiles_k, 32);
+    EXPECT_EQ(mapping.tiles_y, 1);
+    EXPECT_TRUE(mapping.valid_for(layer));
+}
+
+TEST(MappingTest, DirectivesPutInterTempOutermost)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    mapping.tiles_y = 2;
+    const auto nest = mapping.to_directives(layer);
+    ASSERT_GE(nest.size(), 3u);
+    EXPECT_EQ(nest[0].kind, MappingDirective::Kind::kInterTemp);
+    EXPECT_EQ(nest[0].dim, dnn::Dim::kK);
+    EXPECT_EQ(nest[0].tile, 4);
+    EXPECT_EQ(nest[1].kind, MappingDirective::Kind::kInterTemp);
+    EXPECT_EQ(nest[1].dim, dnn::Dim::kY);
+    // Exactly one spatial directive, right after the intermittent ones.
+    EXPECT_EQ(nest[2].kind, MappingDirective::Kind::kSpatial);
+}
+
+TEST(MappingTest, UntiledNestHasNoInterTemp)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    for (const auto& directive : mapping.to_directives(layer))
+        EXPECT_NE(directive.kind, MappingDirective::Kind::kInterTemp);
+}
+
+TEST(MappingTest, SpatialDimMatchesTaxonomy)
+{
+    EXPECT_EQ(spatial_dim(Dataflow::kWeightStationary), dnn::Dim::kK);
+    EXPECT_EQ(spatial_dim(Dataflow::kOutputStationary), dnn::Dim::kY);
+    EXPECT_EQ(spatial_dim(Dataflow::kInputStationary), dnn::Dim::kC);
+    EXPECT_EQ(spatial_dim(Dataflow::kRowStationary), dnn::Dim::kY);
+}
+
+TEST(MappingTest, NestCoversAllNonTrivialDims)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.dataflow = Dataflow::kWeightStationary;
+    const auto nest = mapping.to_directives(layer);
+    // K(spatial) + C, Y, X, R, S temporal = 6 directives (N is 1).
+    EXPECT_EQ(nest.size(), 6u);
+}
+
+TEST(MappingTest, DescribeMentionsLayerAndDataflow)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.dataflow = Dataflow::kRowStationary;
+    mapping.tiles_y = 2;
+    const std::string text = mapping.describe(layer);
+    EXPECT_NE(text.find("conv"), std::string::npos);
+    EXPECT_NE(text.find("RS"), std::string::npos);
+    EXPECT_NE(text.find("InterTempMap(Y, 2)"), std::string::npos);
+}
+
+TEST(MappingDeathTest, DirectivesOnInvalidMappingAreFatal)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 999;
+    EXPECT_EXIT(mapping.to_directives(layer), ::testing::ExitedWithCode(1),
+                "invalid chunk counts");
+}
+
+}  // namespace
+}  // namespace chrysalis::dataflow

@@ -1,0 +1,167 @@
+/// \file
+/// Tests for intermittent-tile geometry and mapping enumeration.
+
+#include "dataflow/tiling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::dataflow {
+namespace {
+
+dnn::Layer
+conv_layer()
+{
+    // 16 -> 32 channels, 16x16 output, 3x3 kernel, stride 1, pad 1.
+    return dnn::make_conv2d("conv", 16, 32, 16, 16, 3, 1, 1);
+}
+
+TEST(TileShapeTest, UntiledCoversWholeLayer)
+{
+    const dnn::Layer layer = conv_layer();
+    const TileShape tile = tile_shape(layer, LayerMapping{});
+    EXPECT_EQ(tile.k, 32);
+    EXPECT_EQ(tile.y, 16);
+    EXPECT_EQ(tile.x, 16);
+    EXPECT_EQ(tile.output_elems, 32 * 16 * 16);
+    EXPECT_EQ(tile.macs, layer.macs());
+    EXPECT_EQ(tile.weight_elems, 32 * 16 * 3 * 3);
+}
+
+TEST(TileShapeTest, KSplitDividesWeightsAndOutputs)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_EQ(tile.k, 8);
+    EXPECT_EQ(tile.output_elems, 8 * 16 * 16);
+    EXPECT_EQ(tile.weight_elems, 8 * 16 * 3 * 3);
+    // Inputs are not reduced by a K split (full feature map needed).
+    EXPECT_EQ(tile.input_elems, 16 * 16 * 16);
+}
+
+TEST(TileShapeTest, YSplitAddsHalo)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_y = 4;  // 4 output rows per tile
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_EQ(tile.y, 4);
+    // 4 output rows at stride 1 with a 3-tall kernel need 6 input rows.
+    EXPECT_EQ(tile.input_elems, 16 * 6 * 16);
+    // Weights are not reduced by a Y split.
+    EXPECT_EQ(tile.weight_elems, 32 * 16 * 3 * 3);
+}
+
+TEST(TileShapeTest, HaloClampsToInputHeight)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_y = 1;
+    const TileShape tile = tile_shape(layer, mapping);
+    // 16 output rows need 18 input rows, clamped to the 16 available.
+    EXPECT_EQ(tile.input_elems, 16 * 16 * 16);
+}
+
+TEST(TileShapeTest, RaggedSplitUsesCeil)
+{
+    const dnn::Layer layer = conv_layer();  // K = 32
+    LayerMapping mapping;
+    mapping.tiles_k = 5;  // 32/5 -> tiles of 7 (ceil)
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_EQ(tile.k, 7);
+}
+
+TEST(TileShapeTest, DenseTilesAlongN)
+{
+    const dnn::Layer layer = dnn::make_dense("fc", 768, 768, 18);
+    LayerMapping mapping;
+    mapping.tiles_n = 3;
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_EQ(tile.n, 6);
+    EXPECT_EQ(tile.input_elems, 6 * 768);
+    EXPECT_EQ(tile.weight_elems, 768 * 768);
+    EXPECT_EQ(tile.macs, 6LL * 768 * 768);
+}
+
+TEST(TileShapeTest, PoolTileUsesOwnChannels)
+{
+    const dnn::Layer layer = dnn::make_pool("p", 16, 32, 32, 2, 2);
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_EQ(tile.k, 4);
+    EXPECT_EQ(tile.weight_elems, 0);
+    EXPECT_EQ(tile.input_elems, 4 * 32 * 32);
+}
+
+TEST(TileShapeTest, MacsTimesTilesCoversLayer)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 4;
+    mapping.tiles_y = 2;
+    const TileShape tile = tile_shape(layer, mapping);
+    EXPECT_GE(tile.macs * mapping.tile_count(), layer.macs());
+}
+
+TEST(ChunkCandidatesTest, SmallExtentReturnsAllDivisors)
+{
+    EXPECT_EQ(chunk_candidates(12),
+              (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+}
+
+TEST(ChunkCandidatesTest, LargeExtentIsBoundedAndKeepsEndpoints)
+{
+    const auto candidates = chunk_candidates(720720, 8);
+    EXPECT_LE(candidates.size(), 8u);
+    EXPECT_EQ(candidates.front(), 1);
+    EXPECT_EQ(candidates.back(), 720720);
+    for (std::int64_t c : candidates)
+        EXPECT_EQ(720720 % c, 0);
+}
+
+TEST(ChunkCandidatesTest, ExtentOne)
+{
+    EXPECT_EQ(chunk_candidates(1), (std::vector<std::int64_t>{1}));
+}
+
+TEST(EnumerateMappingsTest, CountsAndValidity)
+{
+    const dnn::Layer layer = conv_layer();
+    const auto mappings = enumerate_mappings(
+        layer, {Dataflow::kWeightStationary, Dataflow::kOutputStationary},
+        4);
+    EXPECT_FALSE(mappings.empty());
+    for (const auto& mapping : mappings)
+        EXPECT_TRUE(mapping.valid_for(layer));
+    // 2 dataflows x |K cands| x |Y cands| x |N cands = 1|.
+    const auto ks = chunk_candidates(32, 4).size();
+    const auto ys = chunk_candidates(16, 4).size();
+    EXPECT_EQ(mappings.size(), 2 * ks * ys);
+}
+
+TEST(EnumerateMappingsTest, IncludesUntiledMapping)
+{
+    const dnn::Layer layer = conv_layer();
+    const auto mappings =
+        enumerate_mappings(layer, {Dataflow::kWeightStationary}, 4);
+    bool found_untiled = false;
+    for (const auto& mapping : mappings) {
+        if (mapping.tile_count() == 1)
+            found_untiled = true;
+    }
+    EXPECT_TRUE(found_untiled);
+}
+
+TEST(TilingDeathTest, InvalidMappingIsFatal)
+{
+    const dnn::Layer layer = conv_layer();
+    LayerMapping mapping;
+    mapping.tiles_k = 999;
+    EXPECT_EXIT(tile_shape(layer, mapping), ::testing::ExitedWithCode(1),
+                "invalid");
+}
+
+}  // namespace
+}  // namespace chrysalis::dataflow

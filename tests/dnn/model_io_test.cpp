@@ -1,0 +1,153 @@
+/// \file
+/// Tests for the plain-text model description format.
+
+#include "dnn/model_io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+
+namespace chrysalis::dnn {
+namespace {
+
+TEST(ModelIoTest, ParsesMinimalModel)
+{
+    std::istringstream input(
+        "model tiny 3 8 8 2\n"
+        "conv c1 3 4 8 8 3 1 1\n"
+        "dense fc 256 10\n");
+    const Model model = parse_model(input);
+    EXPECT_EQ(model.name(), "tiny");
+    EXPECT_EQ(model.input().c, 3);
+    EXPECT_EQ(model.element_bytes(), 2);
+    ASSERT_EQ(model.layer_count(), 2u);
+    EXPECT_EQ(model.layer(0).kind, LayerKind::kConv2d);
+    EXPECT_EQ(model.layer(0).dims.k, 4);
+    EXPECT_EQ(model.layer(1).dims.c, 256);
+}
+
+TEST(ModelIoTest, OptionalArgumentsDefault)
+{
+    std::istringstream input(
+        "model m 3 8 8 1\n"
+        "conv c 3 4 8 8 3\n"   // stride=1, pad=0
+        "dense d 16 4\n");     // seq=1
+    const Model model = parse_model(input);
+    EXPECT_EQ(model.layer(0).stride, 1);
+    EXPECT_EQ(model.layer(0).dims.y, 6);  // (8-3)/1+1
+    EXPECT_EQ(model.layer(1).dims.n, 1);
+}
+
+TEST(ModelIoTest, CommentsAndBlanksIgnored)
+{
+    std::istringstream input(
+        "# a test model\n"
+        "\n"
+        "model m 1 4 4 1\n"
+        "  # indented comment\n"
+        "dense d 16 2\n");
+    EXPECT_EQ(parse_model(input).layer_count(), 1u);
+}
+
+TEST(ModelIoTest, AllDirectiveKindsParse)
+{
+    std::istringstream input(
+        "model all 3 16 16 1\n"
+        "conv c 3 8 16 16 3 1 1\n"
+        "dwconv dw 8 16 16 3 1 1\n"
+        "pool p 8 16 16 2 2\n"
+        "dense d 512 64 4\n"
+        "matmul mm 2 4 8 4\n"
+        "embedding e 100 32 6\n");
+    const Model model = parse_model(input);
+    ASSERT_EQ(model.layer_count(), 6u);
+    EXPECT_EQ(model.layer(1).kind, LayerKind::kDepthwise);
+    EXPECT_EQ(model.layer(2).kind, LayerKind::kPool);
+    EXPECT_EQ(model.layer(4).kind, LayerKind::kMatmul);
+    EXPECT_EQ(model.layer(5).kind, LayerKind::kEmbedding);
+    EXPECT_EQ(model.layer(5).dims.n, 6);
+}
+
+class ZooRoundTripTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ZooRoundTripTest, WriteThenParsePreservesAccounting)
+{
+    const Model original = make_model(GetParam());
+    std::istringstream in(model_to_string(original));
+    const Model parsed = parse_model(in);
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.layer_count(), original.layer_count());
+    EXPECT_EQ(parsed.total_params(), original.total_params());
+    EXPECT_EQ(parsed.total_macs(), original.total_macs());
+    EXPECT_EQ(parsed.element_bytes(), original.element_bytes());
+    for (std::size_t i = 0; i < parsed.layer_count(); ++i) {
+        EXPECT_EQ(parsed.layer(i).kind, original.layer(i).kind) << i;
+        EXPECT_EQ(parsed.layer(i).dims.volume(),
+                  original.layer(i).dims.volume())
+            << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooRoundTripTest,
+    ::testing::Values("simple_conv", "cifar10", "har", "kws", "mnist",
+                      "alexnet", "resnet18", "vgg16", "bert",
+                      "mobilenet_tiny"));
+
+TEST(ModelIoDeathTest, ParseErrorsAreFatalWithLineNumbers)
+{
+    std::istringstream no_model("dense d 4 2\n");
+    EXPECT_EXIT(parse_model(no_model), ::testing::ExitedWithCode(1),
+                "'model' directive must come first");
+
+    std::istringstream dup(
+        "model a 1 1 1 1\nmodel b 1 1 1 1\n");
+    EXPECT_EXIT(parse_model(dup), ::testing::ExitedWithCode(1),
+                "duplicate");
+
+    std::istringstream bad_int("model m 1 4 4 1\ndense d x 2\n");
+    EXPECT_EXIT(parse_model(bad_int), ::testing::ExitedWithCode(1),
+                "not an integer");
+
+    std::istringstream unknown("model m 1 4 4 1\nlstm l 4 2\n");
+    EXPECT_EXIT(parse_model(unknown), ::testing::ExitedWithCode(1),
+                "unknown directive");
+
+    std::istringstream empty("model m 1 4 4 1\n");
+    EXPECT_EXIT(parse_model(empty), ::testing::ExitedWithCode(1),
+                "no layers");
+
+    std::istringstream missing_arg("model m 1 4 4 1\ndense d 4\n");
+    EXPECT_EXIT(parse_model(missing_arg), ::testing::ExitedWithCode(1),
+                "missing argument");
+}
+
+TEST(ModelIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(load_model("/nonexistent/model.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(MobilenetTinyTest, DepthwiseModelIsConsistent)
+{
+    const Model model = make_mobilenet_tiny();
+    EXPECT_GT(model.total_params(), 10000);
+    EXPECT_LT(model.total_params(), 100000);
+    bool has_depthwise = false;
+    for (const auto& layer : model.layers())
+        has_depthwise |= layer.kind == LayerKind::kDepthwise;
+    EXPECT_TRUE(has_depthwise);
+    // Depthwise layers are far cheaper than equivalent full convs.
+    for (const auto& layer : model.layers()) {
+        if (layer.kind == LayerKind::kDepthwise) {
+            EXPECT_EQ(layer.dims.c, 1);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace chrysalis::dnn

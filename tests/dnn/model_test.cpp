@@ -1,0 +1,100 @@
+/// \file
+/// Tests for model aggregation (params, MACs, activation footprints).
+
+#include "dnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::dnn {
+namespace {
+
+Model
+tiny_model()
+{
+    Model model("tiny", {3, 8, 8}, 2);
+    model.add_layer(make_conv2d("c1", 3, 4, 8, 8, 3, 1, 1));
+    model.add_layer(make_pool("p1", 4, 8, 8, 2, 2));
+    model.add_layer(make_dense("fc", 4 * 4 * 4, 2));
+    return model;
+}
+
+TEST(ModelTest, LayerBookkeeping)
+{
+    const Model model = tiny_model();
+    EXPECT_EQ(model.layer_count(), 3u);
+    EXPECT_EQ(model.weight_layer_count(), 2u);  // conv + dense
+    EXPECT_EQ(model.layer(0).name, "c1");
+    EXPECT_EQ(model.layer(2).kind, LayerKind::kDense);
+}
+
+TEST(ModelTest, TotalsAreSums)
+{
+    const Model model = tiny_model();
+    std::int64_t params = 0, macs = 0, flops = 0;
+    for (const auto& layer : model.layers()) {
+        params += layer.param_count();
+        macs += layer.macs();
+        flops += layer.flops();
+    }
+    EXPECT_EQ(model.total_params(), params);
+    EXPECT_EQ(model.total_macs(), macs);
+    EXPECT_EQ(model.total_flops(), flops);
+    EXPECT_EQ(model.total_weight_bytes(), params * 2);
+}
+
+TEST(ModelTest, PeakActivationCoversWorstLayer)
+{
+    const Model model = tiny_model();
+    std::int64_t worst = 0;
+    for (const auto& layer : model.layers()) {
+        worst = std::max(worst, (layer.input_elems() +
+                                 layer.output_elems()) * 2);
+    }
+    EXPECT_EQ(model.peak_activation_bytes(), worst);
+}
+
+TEST(ModelTest, TotalDataBytesIncludesWeights)
+{
+    const Model model = tiny_model();
+    EXPECT_GT(model.total_data_bytes(),
+              model.total_weight_bytes());
+}
+
+TEST(ModelTest, ElementBytesPropagates)
+{
+    Model int8_model("int8", {3, 8, 8}, 1);
+    int8_model.add_layer(make_dense("fc", 10, 10));
+    EXPECT_EQ(int8_model.total_weight_bytes(),
+              int8_model.total_params());
+}
+
+TEST(ModelTest, EmptyModelTotalsAreZero)
+{
+    Model model("empty", {1, 1, 1});
+    EXPECT_EQ(model.total_params(), 0);
+    EXPECT_EQ(model.total_macs(), 0);
+    EXPECT_EQ(model.weight_layer_count(), 0u);
+}
+
+TEST(ModelDeathTest, RejectsBadInputShape)
+{
+    EXPECT_EXIT(Model("bad", {0, 8, 8}), ::testing::ExitedWithCode(1),
+                "input shape");
+}
+
+TEST(ModelDeathTest, RejectsBadElementBytes)
+{
+    EXPECT_EXIT(Model("bad", {1, 1, 1}, 0), ::testing::ExitedWithCode(1),
+                "element_bytes");
+    EXPECT_EXIT(Model("bad", {1, 1, 1}, 16), ::testing::ExitedWithCode(1),
+                "element_bytes");
+}
+
+TEST(ModelDeathTest, LayerIndexOutOfRangePanics)
+{
+    const Model model = tiny_model();
+    EXPECT_DEATH(model.layer(99), "out of range");
+}
+
+}  // namespace
+}  // namespace chrysalis::dnn

@@ -1,0 +1,188 @@
+/// \file
+/// Validates the model zoo against the paper's Table IV / Table V
+/// parameter and FLOP counts. The paper mixes FLOPs = MACs (VGG16,
+/// ResNet18, KWS) and FLOPs = 2*MACs (BERT) conventions, so each
+/// expectation below targets whichever quantity the table reports.
+
+#include "dnn/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::dnn {
+namespace {
+
+void
+expect_within(double actual, double expected, double rel_tol,
+              const std::string& what)
+{
+    EXPECT_NEAR(actual, expected, expected * rel_tol)
+        << what << ": actual " << actual << " vs paper " << expected;
+}
+
+// --- Table IV -------------------------------------------------------------
+
+TEST(ModelZooTableIv, SimpleConvParams)
+{
+    const Model model = make_simple_conv();
+    expect_within(static_cast<double>(model.total_params()), 1.2e3, 0.15,
+                  "simple_conv params");
+    EXPECT_EQ(model.layer_count(), 1u);
+    EXPECT_EQ(model.input().c, 3);
+    EXPECT_EQ(model.input().h, 32);
+}
+
+TEST(ModelZooTableIv, Cifar10CnnMatchesPaper)
+{
+    const Model model = make_cifar10_cnn();
+    expect_within(static_cast<double>(model.total_params()), 77.5e3, 0.15,
+                  "cifar10 params");
+    // Paper: 9052.1 kFLOPs; our 2*MACs convention lands within ~25%.
+    expect_within(static_cast<double>(model.total_flops()), 9052.1e3, 0.30,
+                  "cifar10 flops");
+    EXPECT_EQ(model.layer_count(), 7u);  // "7 layers" in Table IV
+}
+
+TEST(ModelZooTableIv, HarCnnMatchesPaper)
+{
+    const Model model = make_har_cnn();
+    expect_within(static_cast<double>(model.total_params()), 9.4e3, 0.05,
+                  "har params");
+    // Table IV's 205.2 kFLOPs corresponds to MAC counting here.
+    expect_within(static_cast<double>(model.total_macs()), 205.2e3, 0.20,
+                  "har macs");
+}
+
+TEST(ModelZooTableIv, KwsMlpMatchesPaper)
+{
+    const Model model = make_kws_mlp();
+    expect_within(static_cast<double>(model.total_params()), 49.5e3, 0.10,
+                  "kws params");
+    // Table IV's 49.5 kFLOPs equals the parameter count: the paper counts
+    // one FLOP per MAC for this MLP.
+    expect_within(static_cast<double>(model.total_macs()), 49.5e3, 0.10,
+                  "kws macs");
+    EXPECT_EQ(model.layer_count(), 5u);
+    EXPECT_EQ(model.weight_layer_count(), 5u);
+}
+
+TEST(ModelZooTableIv, AllUse16BitElements)
+{
+    for (const auto& name : table4_workloads())
+        EXPECT_EQ(make_model(name).element_bytes(), 2) << name;
+}
+
+// --- Figure 2 workloads ----------------------------------------------------
+
+TEST(ModelZooFig2, MnistCnnOpsNearPaper)
+{
+    const Model model = make_mnist_cnn();
+    // Fig. 2(a): 1.608 MOPs for the MSP430 MNIST CNN.
+    expect_within(static_cast<double>(model.total_flops()), 1.608e6, 0.30,
+                  "mnist ops");
+}
+
+TEST(ModelZooFig2, HawaiiAppsAreOrdered)
+{
+    // CNN_b > CNN_s and FC is the smallest compute-wise.
+    EXPECT_GT(make_cnn_b().total_macs(), make_cnn_s().total_macs());
+    EXPECT_GT(make_cnn_s().total_macs(), make_fc_app().total_macs());
+}
+
+// --- Table V ----------------------------------------------------------------
+
+TEST(ModelZooTableV, AlexNetMatchesPaper)
+{
+    const Model model = make_alexnet();
+    // Standard (ungrouped) AlexNet is ~61M params; the paper lists 58.7M.
+    expect_within(static_cast<double>(model.total_params()), 58.7e6, 0.10,
+                  "alexnet params");
+    // Table V: 1.13 GFLOPs = GMACs for the ungrouped original topology.
+    expect_within(static_cast<double>(model.total_macs()), 1.13e9, 0.05,
+                  "alexnet macs");
+}
+
+TEST(ModelZooTableV, Vgg16MatchesPaper)
+{
+    const Model model = make_vgg16();
+    // Table V: 138.3M params, 15.47 GFLOPs (= GMACs, Simonyan counting).
+    expect_within(static_cast<double>(model.total_params()), 138.3e6, 0.02,
+                  "vgg16 params");
+    expect_within(static_cast<double>(model.total_macs()), 15.47e9, 0.05,
+                  "vgg16 macs");
+}
+
+TEST(ModelZooTableV, Resnet18MatchesPaper)
+{
+    const Model model = make_resnet18();
+    expect_within(static_cast<double>(model.total_params()), 11.7e6, 0.05,
+                  "resnet18 params");
+    expect_within(static_cast<double>(model.total_macs()), 1.81e9, 0.05,
+                  "resnet18 macs");
+    EXPECT_EQ(model.weight_layer_count(), 21u);  // 20 conv + fc
+}
+
+TEST(ModelZooTableV, BertTinyMatchesPaper)
+{
+    const Model model = make_bert_tiny();
+    expect_within(static_cast<double>(model.total_params()), 56.6e6, 0.05,
+                  "bert params");
+    // Table V: 1.28 GFLOPs with the 2*MACs convention.
+    expect_within(static_cast<double>(model.total_flops()), 1.28e9, 0.05,
+                  "bert flops");
+}
+
+TEST(ModelZooTableV, AllUseInt8Elements)
+{
+    for (const auto& name : table5_workloads())
+        EXPECT_EQ(make_model(name).element_bytes(), 1) << name;
+}
+
+// --- Lookup -----------------------------------------------------------------
+
+TEST(ModelZooLookup, NamesResolve)
+{
+    for (const auto& name : table4_workloads())
+        EXPECT_EQ(make_model(name).name(), name);
+    for (const auto& name : table5_workloads())
+        EXPECT_EQ(make_model(name).name(), name);
+}
+
+TEST(ModelZooLookup, LookupIsCaseInsensitive)
+{
+    EXPECT_EQ(make_model("VGG16").name(), "vgg16");
+    EXPECT_EQ(make_model("BeRt").name(), "bert");
+}
+
+TEST(ModelZooLookupDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(make_model("lenet-9000"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+class ZooConsistencyTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ZooConsistencyTest, EveryModelIsInternallyConsistent)
+{
+    const Model model = make_model(GetParam());
+    EXPECT_GT(model.layer_count(), 0u);
+    EXPECT_GT(model.total_params(), 0);
+    EXPECT_GE(model.total_flops(), model.total_macs());
+    EXPECT_GT(model.peak_activation_bytes(), 0);
+    // Every layer must have positive extents.
+    for (const auto& layer : model.layers()) {
+        EXPECT_GE(layer.dims.volume(), 1) << layer.name;
+        EXPECT_GE(layer.input_elems(), 1) << layer.name;
+        EXPECT_GE(layer.output_elems(), 1) << layer.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooConsistencyTest,
+    ::testing::Values("simple_conv", "cifar10", "har", "kws", "mnist",
+                      "cnn_b", "cnn_s", "fc", "alexnet", "vgg16",
+                      "resnet18", "bert"));
+
+}  // namespace
+}  // namespace chrysalis::dnn

@@ -1,0 +1,137 @@
+/// \file
+/// Tests for the harvester extensions: RF (Friis link), composite
+/// aggregation and temperature-dependent capacitor leakage.
+
+#include <gtest/gtest.h>
+
+#include "energy/capacitor.hpp"
+#include "energy/harvester.hpp"
+
+namespace chrysalis::energy {
+namespace {
+
+TEST(RfHarvesterTest, CloserTransmitterGivesMorePower)
+{
+    RfHarvester::Config config;
+    config.distance_m = 1.0;
+    const RfHarvester near(config);
+    config.distance_m = 4.0;
+    const RfHarvester far(config);
+    EXPECT_GT(near.power(0.0), 0.0);
+    // Friis: power falls with 1/d^2 -> 16x between 1 m and 4 m.
+    EXPECT_NEAR(near.power(0.0) / far.power(0.0), 16.0, 1e-6);
+}
+
+TEST(RfHarvesterTest, SensitivityFloorCutsOff)
+{
+    RfHarvester::Config config;
+    config.distance_m = 1000.0;  // microwatts-per-km territory
+    config.sensitivity_w = 1e-3;
+    const RfHarvester harvester(config);
+    EXPECT_DOUBLE_EQ(harvester.power(0.0), 0.0);
+}
+
+TEST(RfHarvesterTest, PowerIsTimeInvariant)
+{
+    const RfHarvester harvester{RfHarvester::Config{}};
+    EXPECT_DOUBLE_EQ(harvester.power(0.0), harvester.power(12345.0));
+}
+
+TEST(RfHarvesterTest, MicrowattClassAtRoomScale)
+{
+    // A 1 W 915 MHz transmitter at 3 m should land in the uW..mW band
+    // (WISP-class devices harvest tens of uW).
+    const RfHarvester harvester{RfHarvester::Config{}};
+    EXPECT_GT(harvester.power(0.0), 1e-6);
+    EXPECT_LT(harvester.power(0.0), 10e-3);
+}
+
+TEST(RfHarvesterDeathTest, RejectsBadConfig)
+{
+    RfHarvester::Config config;
+    config.distance_m = 0.0;
+    EXPECT_EXIT(RfHarvester{config}, ::testing::ExitedWithCode(1),
+                "distance");
+}
+
+TEST(CompositeHarvesterTest, SumsPowerAndArea)
+{
+    std::vector<std::unique_ptr<EnergyHarvester>> children;
+    children.push_back(std::make_unique<ThermalHarvester>(4.0, 0.5e-3));
+    children.push_back(std::make_unique<SolarPanel>(
+        8.0, std::make_shared<ConstantSolarEnvironment>(2e-3, "sun")));
+    const CompositeHarvester composite(std::move(children));
+    EXPECT_DOUBLE_EQ(composite.power(0.0), 4.0 * 0.5e-3 + 8.0 * 2e-3);
+    EXPECT_DOUBLE_EQ(composite.area_cm2(), 12.0);
+    EXPECT_EQ(composite.child_count(), 2u);
+    EXPECT_NE(composite.name().find("thermal-teg"), std::string::npos);
+    EXPECT_NE(composite.name().find("solar-panel"), std::string::npos);
+}
+
+TEST(CompositeHarvesterTest, CloneIsDeep)
+{
+    std::vector<std::unique_ptr<EnergyHarvester>> children;
+    children.push_back(std::make_unique<ThermalHarvester>(1.0, 1e-3));
+    const CompositeHarvester composite(std::move(children));
+    auto copy = composite.clone();
+    EXPECT_DOUBLE_EQ(copy->power(0.0), composite.power(0.0));
+}
+
+TEST(CompositeHarvesterDeathTest, RejectsEmptyAndNull)
+{
+    EXPECT_EXIT(CompositeHarvester{{}}, ::testing::ExitedWithCode(1),
+                "at least one");
+    std::vector<std::unique_ptr<EnergyHarvester>> children;
+    children.push_back(nullptr);
+    EXPECT_EXIT(CompositeHarvester{std::move(children)},
+                ::testing::ExitedWithCode(1), "null child");
+}
+
+TEST(CapacitorTemperatureTest, ReferenceTemperatureIsNeutral)
+{
+    Capacitor::Config config;
+    config.initial_voltage_v = 3.0;
+    const Capacitor cap(config);
+    EXPECT_DOUBLE_EQ(cap.effective_k_cap(), config.k_cap);
+}
+
+TEST(CapacitorTemperatureTest, LeakageDoublesPerStep)
+{
+    Capacitor::Config config;
+    config.initial_voltage_v = 3.0;
+    config.temperature_c = 45.0;  // two doubling steps above 25 C
+    const Capacitor hot(config);
+    config.temperature_c = 25.0;
+    const Capacitor ref(config);
+    EXPECT_NEAR(hot.leakage_current(), 4.0 * ref.leakage_current(),
+                1e-15);
+}
+
+TEST(CapacitorTemperatureTest, ColdReducesLeakage)
+{
+    Capacitor::Config config;
+    config.initial_voltage_v = 3.0;
+    config.temperature_c = 5.0;
+    const Capacitor cold(config);
+    EXPECT_NEAR(cold.effective_k_cap(), config.k_cap / 4.0, 1e-12);
+}
+
+TEST(CapacitorTemperatureTest, SetTemperatureUpdatesLeakage)
+{
+    Capacitor::Config config;
+    config.initial_voltage_v = 3.0;
+    Capacitor cap(config);
+    const double before = cap.leakage_current();
+    cap.set_temperature(35.0);
+    EXPECT_NEAR(cap.leakage_current(), 2.0 * before, 1e-15);
+}
+
+TEST(CapacitorTemperatureDeathTest, RejectsBelowAbsoluteZero)
+{
+    Capacitor cap{Capacitor::Config{}};
+    EXPECT_EXIT(cap.set_temperature(-300.0),
+                ::testing::ExitedWithCode(1), "absolute zero");
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

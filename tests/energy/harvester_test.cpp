@@ -1,0 +1,105 @@
+/// \file
+/// Tests for harvester models (Eq. 1: P_eh = A_eh * k_eh).
+
+#include "energy/harvester.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::energy {
+namespace {
+
+std::shared_ptr<const SolarEnvironment>
+constant_env(double k_eh)
+{
+    return std::make_shared<ConstantSolarEnvironment>(k_eh, "const");
+}
+
+TEST(SolarPanelTest, PowerIsAreaTimesCoefficient)
+{
+    SolarPanel panel(8.0, constant_env(2e-3));
+    EXPECT_DOUBLE_EQ(panel.power(0.0), 16e-3);  // Eq. 1
+    EXPECT_DOUBLE_EQ(panel.area_cm2(), 8.0);
+}
+
+class SolarPanelScalingTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SolarPanelScalingTest, PowerScalesLinearlyWithArea)
+{
+    const double area = GetParam();
+    SolarPanel unit(1.0, constant_env(1.7e-3));
+    SolarPanel panel(area, constant_env(1.7e-3));
+    EXPECT_NEAR(panel.power(0.0), area * unit.power(0.0), 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableIvRange, SolarPanelScalingTest,
+                         ::testing::Values(1.0, 2.5, 8.0, 15.0, 30.0));
+
+TEST(SolarPanelTest, TracksEnvironmentOverTime)
+{
+    auto env = std::make_shared<TraceSolarEnvironment>(
+        std::vector<double>{0.0, 10.0}, std::vector<double>{0.0, 2e-3});
+    SolarPanel panel(5.0, env);
+    EXPECT_DOUBLE_EQ(panel.power(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(panel.power(5.0), 5.0 * 1e-3);
+    EXPECT_DOUBLE_EQ(panel.power(10.0), 5.0 * 2e-3);
+}
+
+TEST(SolarPanelTest, SetAreaUpdatesPower)
+{
+    SolarPanel panel(1.0, constant_env(1e-3));
+    panel.set_area_cm2(10.0);
+    EXPECT_DOUBLE_EQ(panel.power(0.0), 10e-3);
+}
+
+TEST(SolarPanelTest, CloneIsDeepEnough)
+{
+    SolarPanel panel(3.0, constant_env(1e-3));
+    auto copy = panel.clone();
+    panel.set_area_cm2(20.0);
+    EXPECT_DOUBLE_EQ(copy->power(0.0), 3e-3);
+}
+
+TEST(SolarPanelTest, NameMentionsEnvironment)
+{
+    SolarPanel panel(1.0, constant_env(1e-3));
+    EXPECT_NE(panel.name().find("solar-panel"), std::string::npos);
+    EXPECT_NE(panel.name().find("const"), std::string::npos);
+}
+
+TEST(SolarPanelDeathTest, RejectsNonPositiveArea)
+{
+    EXPECT_EXIT(SolarPanel(0.0, constant_env(1e-3)),
+                ::testing::ExitedWithCode(1), "area");
+    SolarPanel panel(1.0, constant_env(1e-3));
+    EXPECT_EXIT(panel.set_area_cm2(-2.0), ::testing::ExitedWithCode(1),
+                "area");
+}
+
+TEST(SolarPanelDeathTest, RejectsNullEnvironment)
+{
+    EXPECT_EXIT(SolarPanel(1.0, nullptr), ::testing::ExitedWithCode(1),
+                "environment");
+}
+
+TEST(ThermalHarvesterTest, ConstantPower)
+{
+    ThermalHarvester teg(4.0, 0.5e-3);
+    EXPECT_DOUBLE_EQ(teg.power(0.0), 2e-3);
+    EXPECT_DOUBLE_EQ(teg.power(12345.0), 2e-3);
+    EXPECT_DOUBLE_EQ(teg.area_cm2(), 4.0);
+    EXPECT_EQ(teg.name(), "thermal-teg");
+}
+
+TEST(ThermalHarvesterTest, PolymorphicUseThroughInterface)
+{
+    std::unique_ptr<EnergyHarvester> harvester =
+        std::make_unique<ThermalHarvester>(2.0, 1e-3);
+    EXPECT_DOUBLE_EQ(harvester->power(0.0), 2e-3);
+    auto copy = harvester->clone();
+    EXPECT_DOUBLE_EQ(copy->power(0.0), 2e-3);
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

@@ -1,0 +1,117 @@
+/// \file
+/// Tests for the Markov weather environment.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "energy/solar_environment.hpp"
+
+namespace chrysalis::energy {
+namespace {
+
+using Weather = MarkovWeatherEnvironment::Weather;
+
+TEST(MarkovWeatherTest, StartsSunnyAndAttenuatesClearSky)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment env(config);
+    const DiurnalSolarEnvironment base(config.diurnal);
+    EXPECT_EQ(env.weather_at(0.0), Weather::kSunny);
+    // Slot 0 covers the first hour (midnight): dark anyway.
+    EXPECT_DOUBLE_EQ(env.k_eh(0.0), 0.0);
+    // Any sample is bounded by the clear-sky base.
+    for (double h = 6.5; h < 18.0; h += 0.7) {
+        EXPECT_LE(env.k_eh(h * 3600.0),
+                  base.k_eh(h * 3600.0) + 1e-15);
+    }
+}
+
+TEST(MarkovWeatherTest, DeterministicForSeed)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment a(config);
+    const MarkovWeatherEnvironment b(config);
+    for (double t = 0.0; t < 3 * 24 * 3600.0; t += 4321.0)
+        EXPECT_DOUBLE_EQ(a.k_eh(t), b.k_eh(t));
+}
+
+TEST(MarkovWeatherTest, DifferentSeedsGiveDifferentWeather)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment a(config);
+    config.seed = 12345;
+    const MarkovWeatherEnvironment b(config);
+    int differing = 0;
+    for (double t = 0.0; t < 7 * 24 * 3600.0; t += 3600.0) {
+        if (a.weather_at(t) != b.weather_at(t))
+            ++differing;
+    }
+    EXPECT_GT(differing, 5);
+}
+
+TEST(MarkovWeatherTest, VisitsAllStatesOverAWeek)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment env(config);
+    std::set<Weather> seen;
+    for (double t = 0.0; t < 7 * 24 * 3600.0; t += 1800.0)
+        seen.insert(env.weather_at(t));
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(MarkovWeatherTest, SunnyDominatesLongRunByDefault)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment env(config);
+    int counts[3] = {};
+    for (double t = 0.0; t < 30 * 24 * 3600.0; t += 3600.0)
+        ++counts[static_cast<int>(env.weather_at(t))];
+    // Default chain's stationary distribution is sunny-heavy.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(MarkovWeatherTest, WeatherIsConstantWithinASlot)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment env(config);
+    for (double slot_start = 0.0; slot_start < 48 * 3600.0;
+         slot_start += config.slot_s) {
+        const Weather first = env.weather_at(slot_start + 1.0);
+        const Weather last =
+            env.weather_at(slot_start + config.slot_s - 1.0);
+        EXPECT_EQ(first, last);
+    }
+}
+
+TEST(MarkovWeatherTest, CloneReplaysIdentically)
+{
+    MarkovWeatherEnvironment::Config config;
+    const MarkovWeatherEnvironment env(config);
+    const auto copy = env.clone();
+    for (double t = 0.0; t < 2 * 24 * 3600.0; t += 977.0)
+        EXPECT_DOUBLE_EQ(copy->k_eh(t), env.k_eh(t));
+}
+
+TEST(MarkovWeatherDeathTest, ValidatesTransitionMatrix)
+{
+    MarkovWeatherEnvironment::Config config;
+    config.transition[0][0] = 0.5;  // row no longer sums to 1
+    EXPECT_EXIT(MarkovWeatherEnvironment{config},
+                ::testing::ExitedWithCode(1), "sums to");
+
+    config = MarkovWeatherEnvironment::Config{};
+    config.transition[1][1] = -0.1;
+    config.transition[1][0] = 0.9;
+    EXPECT_EXIT(MarkovWeatherEnvironment{config},
+                ::testing::ExitedWithCode(1), "negative transition");
+
+    config = MarkovWeatherEnvironment::Config{};
+    config.slot_s = 0.0;
+    EXPECT_EXIT(MarkovWeatherEnvironment{config},
+                ::testing::ExitedWithCode(1), "slot_s");
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

@@ -1,0 +1,77 @@
+/// \file
+/// Tests for the BQ25570-style PMIC model.
+
+#include "energy/power_management.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::energy {
+namespace {
+
+TEST(PmicTest, DefaultsAreSane)
+{
+    PowerManagementIc pmic{PowerManagementIc::Config{}};
+    EXPECT_GT(pmic.v_on(), pmic.v_off());
+    EXPECT_GT(pmic.v_off(), 0.0);
+    EXPECT_GT(pmic.charge_efficiency(), 0.5);
+    EXPECT_LE(pmic.charge_efficiency(), 1.0);
+    EXPECT_GT(pmic.discharge_efficiency(), 0.5);
+    EXPECT_LE(pmic.discharge_efficiency(), 1.0);
+    EXPECT_GE(pmic.quiescent_power(), 0.0);
+}
+
+TEST(PmicTest, LoadConversionRoundTrip)
+{
+    PowerManagementIc pmic{PowerManagementIc::Config{}};
+    const double load = 1e-3;
+    const double cap_side = pmic.capacitor_energy_for_load(load);
+    EXPECT_GT(cap_side, load);  // regulator losses
+    EXPECT_NEAR(pmic.load_energy_from_capacitor(cap_side), load, 1e-15);
+}
+
+TEST(PmicTest, ConversionIsLinear)
+{
+    PowerManagementIc pmic{PowerManagementIc::Config{}};
+    EXPECT_NEAR(pmic.load_energy_from_capacitor(2.0),
+                2.0 * pmic.load_energy_from_capacitor(1.0), 1e-12);
+}
+
+TEST(PmicTest, PerfectEfficiencyIsIdentity)
+{
+    PowerManagementIc::Config config;
+    config.discharge_efficiency = 1.0;
+    PowerManagementIc pmic(config);
+    EXPECT_DOUBLE_EQ(pmic.capacitor_energy_for_load(0.5), 0.5);
+}
+
+TEST(PmicDeathTest, RejectsInvertedThresholds)
+{
+    PowerManagementIc::Config config;
+    config.v_on = 2.0;
+    config.v_off = 3.0;
+    EXPECT_EXIT(PowerManagementIc{config}, ::testing::ExitedWithCode(1),
+                "v_off < v_on");
+}
+
+TEST(PmicDeathTest, RejectsBadEfficiencies)
+{
+    PowerManagementIc::Config config;
+    config.charge_efficiency = 0.0;
+    EXPECT_EXIT(PowerManagementIc{config}, ::testing::ExitedWithCode(1),
+                "charge efficiency");
+
+    config = PowerManagementIc::Config{};
+    config.discharge_efficiency = 1.5;
+    EXPECT_EXIT(PowerManagementIc{config}, ::testing::ExitedWithCode(1),
+                "discharge efficiency");
+}
+
+TEST(PmicDeathTest, NegativeEnergyPanics)
+{
+    PowerManagementIc pmic{PowerManagementIc::Config{}};
+    EXPECT_DEATH(pmic.capacitor_energy_for_load(-1.0), "negative");
+    EXPECT_DEATH(pmic.load_energy_from_capacitor(-1.0), "negative");
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

@@ -1,0 +1,164 @@
+/// \file
+/// Tests for the PV I-V curve model and the perturb-and-observe MPPT
+/// tracker.
+
+#include "energy/pv_module.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::energy {
+namespace {
+
+PvModule
+module()
+{
+    return PvModule{PvModule::Config{}};
+}
+
+TEST(PvModuleTest, ShortAndOpenCircuitLimits)
+{
+    const PvModule pv = module();
+    const double k_ref = pv.config().k_eh_ref;
+    // At V = 0 the current is (nearly) I_sc; at V_oc it is ~0.
+    EXPECT_NEAR(pv.current(0.0, k_ref), pv.config().isc_ref_a,
+                pv.config().isc_ref_a * 1e-6);
+    const double voc = pv.open_circuit_voltage(k_ref);
+    EXPECT_NEAR(pv.current(voc, k_ref), 0.0, 1e-12);
+    EXPECT_NEAR(voc, pv.config().voc_ref_v, 1e-12);
+}
+
+TEST(PvModuleTest, CurrentScalesWithIrradiance)
+{
+    const PvModule pv = module();
+    const double k_ref = pv.config().k_eh_ref;
+    // The V_oc drift makes the diode term differ in the ~1e-8 range.
+    EXPECT_NEAR(pv.current(0.0, 2.0 * k_ref),
+                2.0 * pv.current(0.0, k_ref),
+                2.0 * pv.current(0.0, k_ref) * 1e-6);
+}
+
+TEST(PvModuleTest, DarknessProducesNothing)
+{
+    const PvModule pv = module();
+    EXPECT_DOUBLE_EQ(pv.current(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pv.power(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(pv.max_power(0.0), 0.0);
+}
+
+TEST(PvModuleTest, PowerCurveIsUnimodalWithInteriorMaximum)
+{
+    const PvModule pv = module();
+    const double k = pv.config().k_eh_ref;
+    const double vmp = pv.max_power_voltage(k);
+    EXPECT_GT(vmp, 0.0);
+    EXPECT_LT(vmp, pv.open_circuit_voltage(k));
+    const double pmp = pv.max_power(k);
+    // The MPP beats nearby points.
+    EXPECT_GT(pmp, pv.power(vmp * 0.8, k));
+    EXPECT_GT(pmp, pv.power(vmp * 1.1, k));
+}
+
+TEST(PvModuleTest, MaxPowerIsConsistentWithIdealPanelScale)
+{
+    // The default module delivers roughly A * k_eh at the MPP (the ideal
+    // SolarPanel abstraction), within a factor ~2.
+    const PvModule pv = module();
+    const double k = pv.config().k_eh_ref;
+    const double ideal = pv.config().area_cm2 * k;
+    const double mpp = pv.max_power(k);
+    EXPECT_GT(mpp, ideal * 0.5);
+    EXPECT_LT(mpp, ideal * 5.0);
+}
+
+TEST(PvModuleDeathTest, RejectsBadConfig)
+{
+    PvModule::Config config;
+    config.isc_ref_a = 0.0;
+    EXPECT_EXIT(PvModule{config}, ::testing::ExitedWithCode(1),
+                "short-circuit");
+}
+
+TEST(PerturbObserveTest, ConvergesToMppFromBelow)
+{
+    const PvModule pv = module();
+    const double k = pv.config().k_eh_ref;
+    PerturbObserveTracker::Config config;
+    config.initial_voltage_v = 0.2;
+    PerturbObserveTracker tracker(config);
+    double p = 0.0;
+    for (int i = 0; i < 200; ++i)
+        p = tracker.step(pv, k);
+    EXPECT_GT(p, 0.95 * pv.max_power(k));
+}
+
+TEST(PerturbObserveTest, ConvergesToMppFromAbove)
+{
+    const PvModule pv = module();
+    const double k = pv.config().k_eh_ref;
+    PerturbObserveTracker::Config config;
+    config.initial_voltage_v = pv.open_circuit_voltage(k) * 0.95;
+    PerturbObserveTracker tracker(config);
+    double p = 0.0;
+    for (int i = 0; i < 200; ++i)
+        p = tracker.step(pv, k);
+    EXPECT_GT(p, 0.95 * pv.max_power(k));
+}
+
+TEST(PerturbObserveTest, ReconvergesAfterIrradianceStep)
+{
+    const PvModule pv = module();
+    const double k_ref = pv.config().k_eh_ref;
+    PerturbObserveTracker tracker{PerturbObserveTracker::Config{}};
+    for (int i = 0; i < 200; ++i)
+        tracker.step(pv, k_ref);
+    // Cloud passes: irradiance quarters.
+    double p = 0.0;
+    for (int i = 0; i < 200; ++i)
+        p = tracker.step(pv, 0.25 * k_ref);
+    EXPECT_GT(p, 0.90 * pv.max_power(0.25 * k_ref));
+}
+
+TEST(PerturbObserveTest, ResetRestoresInitialPoint)
+{
+    const PvModule pv = module();
+    PerturbObserveTracker tracker{PerturbObserveTracker::Config{}};
+    for (int i = 0; i < 50; ++i)
+        tracker.step(pv, pv.config().k_eh_ref);
+    tracker.reset();
+    EXPECT_DOUBLE_EQ(
+        tracker.voltage(),
+        PerturbObserveTracker::Config{}.initial_voltage_v);
+}
+
+TEST(MpptSolarPanelTest, DeliversNearIdealPanelPower)
+{
+    auto env = std::make_shared<ConstantSolarEnvironment>(2e-3, "ref");
+    MpptSolarPanel panel(module(),
+                         PerturbObserveTracker{
+                             PerturbObserveTracker::Config{}},
+                         env, /*iterations_per_query=*/16);
+    // Warm up the control loop, then check tracking efficiency.
+    for (int i = 0; i < 20; ++i)
+        panel.power(0.0);
+    EXPECT_GT(panel.tracking_efficiency(0.0), 0.9);
+}
+
+TEST(MpptSolarPanelTest, WorksThroughHarvesterInterface)
+{
+    auto env = std::make_shared<ConstantSolarEnvironment>(2e-3, "ref");
+    std::unique_ptr<EnergyHarvester> harvester =
+        std::make_unique<MpptSolarPanel>(
+            module(),
+            PerturbObserveTracker{PerturbObserveTracker::Config{}}, env);
+    EXPECT_DOUBLE_EQ(harvester->area_cm2(), 8.0);
+    EXPECT_NE(harvester->name().find("mppt"), std::string::npos);
+    double p = 0.0;
+    for (int i = 0; i < 30; ++i)
+        p = harvester->power(0.0);
+    EXPECT_GT(p, 0.0);
+    auto copy = harvester->clone();
+    EXPECT_GT(copy->power(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

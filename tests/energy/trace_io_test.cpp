@@ -1,0 +1,91 @@
+/// \file
+/// Tests for irradiance-trace CSV parsing and writing.
+
+#include "energy/trace_io.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::energy {
+namespace {
+
+TEST(TraceIoTest, ParsesSimpleCsv)
+{
+    std::istringstream input("0,0.001\n10,0.002\n20,0.0005\n");
+    const auto env = parse_irradiance_csv(input, "unit");
+    EXPECT_EQ(env.name(), "unit");
+    EXPECT_DOUBLE_EQ(env.k_eh(0.0), 0.001);
+    EXPECT_DOUBLE_EQ(env.k_eh(5.0), 0.0015);
+    EXPECT_DOUBLE_EQ(env.k_eh(20.0), 0.0005);
+}
+
+TEST(TraceIoTest, SkipsHeaderCommentsAndBlanks)
+{
+    std::istringstream input(
+        "time_s,k_eh\n# recorded on the roof\n\n0,0.001\n60,0.003\n");
+    const auto env = parse_irradiance_csv(input);
+    EXPECT_DOUBLE_EQ(env.k_eh(30.0), 0.002);
+}
+
+TEST(TraceIoTest, ToleratesWhitespace)
+{
+    std::istringstream input("  0 , 0.001 \n 10 , 0.002 \n");
+    const auto env = parse_irradiance_csv(input);
+    EXPECT_DOUBLE_EQ(env.k_eh(10.0), 0.002);
+}
+
+TEST(TraceIoDeathTest, RejectsMalformedLines)
+{
+    std::istringstream missing_field("0\n");
+    EXPECT_EXIT(parse_irradiance_csv(missing_field),
+                ::testing::ExitedWithCode(1), "expected 2 fields");
+
+    std::istringstream garbage("abc,def\n");
+    EXPECT_EXIT(parse_irradiance_csv(garbage),
+                ::testing::ExitedWithCode(1), "cannot parse");
+
+    std::istringstream empty("# nothing here\n");
+    EXPECT_EXIT(parse_irradiance_csv(empty),
+                ::testing::ExitedWithCode(1), "no samples");
+}
+
+TEST(TraceIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(load_irradiance_csv("/nonexistent/trace.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoTest, WriteThenParseRoundTrips)
+{
+    const ConstantSolarEnvironment env(1.5e-3, "const");
+    std::ostringstream out;
+    write_irradiance_csv(out, env, 0.0, 100.0, 25.0);
+    std::istringstream in(out.str());
+    const auto parsed = parse_irradiance_csv(in);
+    EXPECT_DOUBLE_EQ(parsed.k_eh(50.0), 1.5e-3);
+}
+
+TEST(TraceIoTest, ExportsDiurnalProfileShape)
+{
+    DiurnalSolarEnvironment::Config config;
+    const DiurnalSolarEnvironment env(config);
+    std::ostringstream out;
+    write_irradiance_csv(out, env, 0.0, 24.0 * 3600.0, 3600.0);
+    std::istringstream in(out.str());
+    const auto parsed = parse_irradiance_csv(in);
+    // Noon sample beats morning sample; midnight is dark.
+    EXPECT_GT(parsed.k_eh(12 * 3600.0), parsed.k_eh(8 * 3600.0));
+    EXPECT_DOUBLE_EQ(parsed.k_eh(0.0), 0.0);
+}
+
+TEST(TraceIoDeathTest, WriteRejectsBadRange)
+{
+    const ConstantSolarEnvironment env(1e-3, "c");
+    std::ostringstream out;
+    EXPECT_EXIT(write_irradiance_csv(out, env, 10.0, 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "invalid range");
+}
+
+}  // namespace
+}  // namespace chrysalis::energy

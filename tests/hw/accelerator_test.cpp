@@ -1,0 +1,119 @@
+/// \file
+/// Tests for the reconfigurable TPU/Eyeriss accelerator model.
+
+#include "hw/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::hw {
+namespace {
+
+TEST(AcceleratorTest, ArchNamesRoundTrip)
+{
+    EXPECT_EQ(to_string(AcceleratorArch::kTpu), "tpu");
+    EXPECT_EQ(to_string(AcceleratorArch::kEyeriss), "eyeriss");
+    EXPECT_EQ(accelerator_arch_from_string("TPU"), AcceleratorArch::kTpu);
+    EXPECT_EQ(accelerator_arch_from_string("Eyeriss"),
+              AcceleratorArch::kEyeriss);
+}
+
+TEST(AcceleratorDeathTest, UnknownArchIsFatal)
+{
+    EXPECT_EXIT(accelerator_arch_from_string("npu"),
+                ::testing::ExitedWithCode(1), "unknown architecture");
+}
+
+TEST(AcceleratorTest, ConfigPropagatesToCostParams)
+{
+    ReconfigurableAccelerator::Config config;
+    config.arch = AcceleratorArch::kTpu;
+    config.n_pe = 64;
+    config.cache_bytes_per_pe = 1024;
+    const ReconfigurableAccelerator accel(config);
+    const auto params = accel.cost_params();
+    EXPECT_EQ(params.n_pe, 64);
+    EXPECT_EQ(params.vm_bytes_per_pe, 1024);
+    EXPECT_EQ(params.element_bytes, 1);  // int8
+    EXPECT_TRUE(params.overlap_transfers);
+    EXPECT_EQ(accel.name(), "tpu");
+}
+
+TEST(AcceleratorTest, PresetsDiffer)
+{
+    ReconfigurableAccelerator::Config config;
+    config.arch = AcceleratorArch::kTpu;
+    const auto tpu = ReconfigurableAccelerator(config).cost_params();
+    config.arch = AcceleratorArch::kEyeriss;
+    const auto eyeriss = ReconfigurableAccelerator(config).cost_params();
+    // TPU: cheaper/faster MACs; Eyeriss: cheaper local buffers.
+    EXPECT_LT(tpu.e_mac_j, eyeriss.e_mac_j);
+    EXPECT_GT(tpu.macs_per_s_per_pe, eyeriss.macs_per_s_per_pe);
+    EXPECT_GT(tpu.e_vm_byte_j, eyeriss.e_vm_byte_j);
+}
+
+TEST(AcceleratorTest, EyerissSupportsRowStationary)
+{
+    ReconfigurableAccelerator::Config config;
+    config.arch = AcceleratorArch::kEyeriss;
+    const ReconfigurableAccelerator accel(config);
+    const auto dataflows = accel.supported_dataflows();
+    EXPECT_EQ(dataflows.front(), dataflow::Dataflow::kRowStationary);
+    EXPECT_EQ(dataflows.size(), 4u);
+}
+
+TEST(AcceleratorTest, TpuIsSystolicSubset)
+{
+    ReconfigurableAccelerator::Config config;
+    config.arch = AcceleratorArch::kTpu;
+    const ReconfigurableAccelerator accel(config);
+    EXPECT_EQ(accel.supported_dataflows().size(), 2u);
+}
+
+class PeRangeTest : public ::testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(PeRangeTest, TableVRangeIsAccepted)
+{
+    ReconfigurableAccelerator::Config config;
+    config.n_pe = GetParam();
+    EXPECT_NO_FATAL_FAILURE(ReconfigurableAccelerator{config});
+}
+
+INSTANTIATE_TEST_SUITE_P(TableV, PeRangeTest,
+                         ::testing::Values(1, 2, 16, 64, 128, 168));
+
+TEST(AcceleratorTest, ActivePowerScalesWithPeCount)
+{
+    ReconfigurableAccelerator::Config config;
+    config.n_pe = 8;
+    const double small =
+        ReconfigurableAccelerator(config).active_power_w();
+    config.n_pe = 128;
+    const double large =
+        ReconfigurableAccelerator(config).active_power_w();
+    EXPECT_GT(large, small * 10.0);
+}
+
+TEST(AcceleratorDeathTest, RejectsOutOfRangeConfigs)
+{
+    ReconfigurableAccelerator::Config config;
+    config.n_pe = 0;
+    EXPECT_EXIT(ReconfigurableAccelerator{config},
+                ::testing::ExitedWithCode(1), "PE count");
+    config = ReconfigurableAccelerator::Config{};
+    config.n_pe = 169;
+    EXPECT_EXIT(ReconfigurableAccelerator{config},
+                ::testing::ExitedWithCode(1), "PE count");
+    config = ReconfigurableAccelerator::Config{};
+    config.cache_bytes_per_pe = 64;
+    EXPECT_EXIT(ReconfigurableAccelerator{config},
+                ::testing::ExitedWithCode(1), "cache size");
+    config = ReconfigurableAccelerator::Config{};
+    config.cache_bytes_per_pe = 4096;
+    EXPECT_EXIT(ReconfigurableAccelerator{config},
+                ::testing::ExitedWithCode(1), "cache size");
+}
+
+}  // namespace
+}  // namespace chrysalis::hw

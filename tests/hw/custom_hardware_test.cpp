@@ -1,0 +1,87 @@
+/// \file
+/// Tests for data-defined hardware (the §III-D substitution hook).
+
+#include "hw/custom_hardware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+#include "search/mapping_search.hpp"
+
+namespace chrysalis::hw {
+namespace {
+
+dataflow::CostParams
+crossbar_params()
+{
+    // A ReRAM-crossbar-flavoured accelerator (ResiRCA-style): extremely
+    // cheap MACs, modest throughput, expensive writes.
+    dataflow::CostParams params;
+    params.e_mac_j = 0.5e-12;
+    params.macs_per_s_per_pe = 5e7;
+    params.n_pe = 32;
+    params.vm_bytes_per_pe = 256;
+    params.e_vm_byte_j = 2e-12;
+    params.e_nvm_read_byte_j = 50e-12;
+    params.e_nvm_write_byte_j = 500e-12;
+    params.nvm_bytes_per_s = 2e8;
+    params.element_bytes = 1;
+    return params;
+}
+
+TEST(CustomHardwareTest, ExposesSuppliedParameters)
+{
+    const CustomHardware hardware(
+        "reram-crossbar", crossbar_params(),
+        {dataflow::Dataflow::kWeightStationary});
+    EXPECT_EQ(hardware.name(), "reram-crossbar");
+    EXPECT_EQ(hardware.cost_params().n_pe, 32);
+    EXPECT_EQ(hardware.supported_dataflows().size(), 1u);
+    EXPECT_GT(hardware.active_power_w(), 0.0);
+}
+
+TEST(CustomHardwareTest, WorksWithTheMappingSearch)
+{
+    const CustomHardware hardware(
+        "reram-crossbar", crossbar_params(),
+        {dataflow::Dataflow::kWeightStationary,
+         dataflow::Dataflow::kOutputStationary});
+    const auto model = dnn::make_kws_mlp();
+    sim::EnergyEnv env;
+    env.p_eh_w = 10e-3;
+    const auto result = search::search_mappings(
+        model, hardware, {env}, search::MappingSearchOptions{});
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.mappings.size(), model.layer_count());
+}
+
+TEST(CustomHardwareTest, CloneIsEquivalent)
+{
+    const CustomHardware hardware(
+        "x", crossbar_params(), {dataflow::Dataflow::kRowStationary});
+    const auto copy = hardware.clone();
+    EXPECT_EQ(copy->name(), "x");
+    EXPECT_DOUBLE_EQ(copy->cost_params().e_mac_j, 0.5e-12);
+}
+
+TEST(CustomHardwareDeathTest, ValidatesInputs)
+{
+    auto params = crossbar_params();
+    EXPECT_EXIT(CustomHardware("", params,
+                               {dataflow::Dataflow::kRowStationary}),
+                ::testing::ExitedWithCode(1), "name");
+    EXPECT_EXIT(CustomHardware("x", params, {}),
+                ::testing::ExitedWithCode(1), "dataflow");
+    params.macs_per_s_per_pe = 0.0;
+    EXPECT_EXIT(CustomHardware("x", params,
+                               {dataflow::Dataflow::kRowStationary}),
+                ::testing::ExitedWithCode(1), "throughput");
+    params = crossbar_params();
+    params.e_mac_j = -1.0;
+    EXPECT_EXIT(CustomHardware("x", params,
+                               {dataflow::Dataflow::kRowStationary}),
+                ::testing::ExitedWithCode(1), "energies");
+}
+
+}  // namespace
+}  // namespace chrysalis::hw

@@ -1,0 +1,74 @@
+/// \file
+/// Tests for the MSP430FR5994+LEA hardware model.
+
+#include "hw/msp430_lea.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::hw {
+namespace {
+
+TEST(Msp430Test, CostParamsReflectPlatform)
+{
+    const Msp430Lea mcu;
+    const auto params = mcu.cost_params();
+    EXPECT_EQ(params.n_pe, 1);
+    EXPECT_EQ(params.vm_bytes_per_pe, 8 * 1024);   // 8 KiB SRAM
+    EXPECT_EQ(params.element_bytes, 2);            // 16-bit fixed point
+    EXPECT_FALSE(params.overlap_transfers);        // MCU serializes
+    EXPECT_GT(params.e_nvm_write_byte_j, params.e_nvm_read_byte_j);
+}
+
+TEST(Msp430Test, FramCapacity)
+{
+    const Msp430Lea mcu;
+    EXPECT_EQ(mcu.fram_bytes(), 256 * 1024);
+}
+
+TEST(Msp430Test, SupportsLeaDataflows)
+{
+    const Msp430Lea mcu;
+    const auto dataflows = mcu.supported_dataflows();
+    EXPECT_EQ(dataflows.size(), 2u);
+    EXPECT_EQ(dataflows[0], dataflow::Dataflow::kWeightStationary);
+}
+
+TEST(Msp430Test, ActivePowerIsMilliwattClass)
+{
+    const Msp430Lea mcu;
+    // The platform draws single-digit milliwatts when computing.
+    EXPECT_GT(mcu.active_power_w(), 1e-3);
+    EXPECT_LT(mcu.active_power_w(), 20e-3);
+}
+
+TEST(Msp430Test, CloneIsEquivalent)
+{
+    Msp430Lea::Config config;
+    config.e_mac_j = 9e-9;
+    const Msp430Lea mcu(config);
+    const auto copy = mcu.clone();
+    EXPECT_EQ(copy->name(), "msp430fr5994");
+    EXPECT_DOUBLE_EQ(copy->cost_params().e_mac_j, 9e-9);
+}
+
+TEST(Msp430Test, DescribeMentionsKeyFacts)
+{
+    const Msp430Lea mcu;
+    const std::string text = mcu.describe();
+    EXPECT_NE(text.find("msp430fr5994"), std::string::npos);
+    EXPECT_NE(text.find("1 PE"), std::string::npos);
+}
+
+TEST(Msp430DeathTest, RejectsBadConfig)
+{
+    Msp430Lea::Config config;
+    config.macs_per_s = 0.0;
+    EXPECT_EXIT(Msp430Lea{config}, ::testing::ExitedWithCode(1),
+                "throughput");
+    config = Msp430Lea::Config{};
+    config.sram_bytes = 100;
+    EXPECT_EXIT(Msp430Lea{config}, ::testing::ExitedWithCode(1), "SRAM");
+}
+
+}  // namespace
+}  // namespace chrysalis::hw

@@ -1,0 +1,143 @@
+/// \file
+/// Randomized property harness: generate structurally valid random models
+/// and check that the whole analysis stack (shape accounting, mapping
+/// enumeration, cost model, analytic evaluation, simulation) upholds its
+/// invariants on all of them — not just the hand-written zoo.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dataflow/cost_model.hpp"
+#include "dataflow/tiling.hpp"
+#include "dnn/model_io.hpp"
+#include "hw/msp430_lea.hpp"
+#include "search/mapping_search.hpp"
+#include "sim/analytic_evaluator.hpp"
+
+namespace chrysalis {
+namespace {
+
+/// Generates a random, structurally valid model of 2-8 layers.
+dnn::Model
+random_model(Rng& rng)
+{
+    const std::int64_t in_c = rng.uniform_int(1, 8);
+    const std::int64_t in_hw = rng.uniform_int(8, 48);
+    dnn::Model model("random", {in_c, in_hw, in_hw},
+                     rng.bernoulli(0.5) ? 1 : 2);
+
+    std::int64_t c = in_c;
+    std::int64_t size = in_hw;
+    const int layers = static_cast<int>(rng.uniform_int(2, 7));
+    for (int i = 0; i < layers; ++i) {
+        std::ostringstream name_stream;
+        name_stream << "l" << i;
+        const std::string name = name_stream.str();
+        switch (rng.uniform_int(0, 3)) {
+          case 0: {  // conv
+            const std::int64_t k = rng.uniform_int(2, 32);
+            const std::int64_t kernel =
+                std::min<std::int64_t>(rng.uniform_int(1, 5), size);
+            model.add_layer(dnn::make_conv2d(name, c, k, size, size,
+                                             kernel, 1, kernel / 2));
+            c = k;
+            size = (size + 2 * (kernel / 2) - kernel) + 1;
+            break;
+          }
+          case 1: {  // pool, only if it still fits
+            if (size >= 4) {
+                model.add_layer(
+                    dnn::make_pool(name, c, size, size, 2, 2));
+                size = (size - 2) / 2 + 1;
+            } else {
+                model.add_layer(dnn::make_dense(name, c * size * size,
+                                                rng.uniform_int(2, 32)));
+                return model;  // dense flattens; stop here
+            }
+            break;
+          }
+          case 2: {  // depthwise
+            const std::int64_t kernel =
+                std::min<std::int64_t>(3, size);
+            model.add_layer(dnn::make_depthwise(name, c, size, size,
+                                                kernel, 1, kernel / 2));
+            size = (size + 2 * (kernel / 2) - kernel) + 1;
+            break;
+          }
+          default: {  // dense tail
+            model.add_layer(dnn::make_dense(name, c * size * size,
+                                            rng.uniform_int(2, 64)));
+            return model;
+          }
+        }
+    }
+    return model;
+}
+
+class RandomModelTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomModelTest, AnalysisStackInvariantsHold)
+{
+    Rng rng(GetParam());
+    const dnn::Model model = random_model(rng);
+
+    // Accounting invariants.
+    EXPECT_GE(model.total_params(), 0);
+    EXPECT_GE(model.total_flops(), model.total_macs());
+    EXPECT_GT(model.peak_activation_bytes(), 0);
+
+    // Serialization round-trips.
+    std::istringstream in(dnn::model_to_string(model));
+    const dnn::Model parsed = dnn::parse_model(in);
+    EXPECT_EQ(parsed.total_macs(), model.total_macs());
+    EXPECT_EQ(parsed.total_params(), model.total_params());
+
+    // Cost model: every enumerated mapping of every layer produces
+    // consistent, non-negative costs.
+    const hw::Msp430Lea mcu;
+    const auto params = mcu.cost_params();
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+        const auto mappings = dataflow::enumerate_mappings(
+            model.layer(i), mcu.supported_dataflows(), 4);
+        ASSERT_FALSE(mappings.empty());
+        for (const auto& mapping : mappings) {
+            const auto cost =
+                dataflow::analyze_layer(model.layer(i), mapping, params);
+            EXPECT_GE(cost.e_compute_j, 0.0);
+            EXPECT_GE(cost.e_nvm_j, 0.0);
+            EXPECT_GT(cost.time_s, 0.0);
+            EXPECT_GE(cost.ckpt_bytes, 0);
+            EXPECT_NEAR(cost.tile_energy_j() *
+                            static_cast<double>(cost.n_tile),
+                        cost.total_energy_j(),
+                        cost.total_energy_j() * 1e-9 + 1e-18);
+        }
+    }
+
+    // Mapping search + analytic evaluation do not crash and produce a
+    // consistent verdict.
+    sim::EnergyEnv env;
+    env.p_eh_w = rng.uniform(1e-3, 40e-3);
+    env.capacitor.capacitance_f = rng.log_uniform(10e-6, 5e-3);
+    search::MappingSearchOptions options;
+    options.max_candidates_per_dim = 4;
+    const auto result =
+        search::search_mappings(model, mcu, {env}, options);
+    EXPECT_EQ(result.mappings.size(), model.layer_count());
+    const auto eval = sim::analytic_evaluate(result.cost, env);
+    if (result.feasible) {
+        // A search-feasible plan must be analytically runnable too.
+        EXPECT_TRUE(eval.feasible) << eval.failure_reason;
+        EXPECT_GT(eval.latency_s, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace chrysalis

@@ -1,0 +1,182 @@
+/// \file
+/// Tests for the SW-level (inner) mapping search.
+
+#include "search/mapping_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/msp430_lea.hpp"
+
+namespace chrysalis::search {
+namespace {
+
+sim::EnergyEnv
+make_env(double p_eh_w, double cap_f = 470e-6)
+{
+    sim::EnergyEnv env;
+    env.p_eh_w = p_eh_w;
+    env.capacitor.capacitance_f = cap_f;
+    return env;
+}
+
+TEST(MappingSearchTest, FindsFeasibleMappingForKws)
+{
+    const auto model = dnn::make_kws_mlp();
+    const hw::Msp430Lea mcu;
+    const auto result = search_mappings(model, mcu, {make_env(16e-3)},
+                                        MappingSearchOptions{});
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.mappings.size(), model.layer_count());
+    EXPECT_TRUE(result.cost.feasible);
+    EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(MappingSearchTest, WeakerEnvironmentForcesMoreTiles)
+{
+    const auto model = dnn::make_cifar10_cnn();
+    const hw::Msp430Lea mcu;
+    const MappingSearchOptions options;
+    const auto rich = search_mappings(model, mcu,
+                                      {make_env(40e-3, 100e-6)}, options);
+    const auto poor = search_mappings(model, mcu,
+                                      {make_env(2e-3, 100e-6)}, options);
+    ASSERT_TRUE(rich.feasible);
+    ASSERT_TRUE(poor.feasible);
+    // §III-B3: "in the case of low environmental energy each layer of the
+    // network will be divided into a larger number of tiles."
+    EXPECT_GE(poor.cost.n_tile, rich.cost.n_tile);
+}
+
+TEST(MappingSearchTest, FeasibilityMustHoldInAllEnvironments)
+{
+    const auto model = dnn::make_cifar10_cnn();
+    const hw::Msp430Lea mcu;
+    const MappingSearchOptions options;
+    // The darker environment binds: searching with both must produce a
+    // plan whose worst tile fits the darker cycle budget.
+    const auto both = search_mappings(
+        model, mcu, {make_env(40e-3, 100e-6), make_env(2e-3, 100e-6)},
+        options);
+    ASSERT_TRUE(both.feasible);
+    const sim::EnergyEnv dark = make_env(2e-3, 100e-6);
+    const double budget =
+        sim::cycle_budget(dark, both.cost.max_tile_time_s());
+    EXPECT_LE(both.cost.max_tile_energy_j(), budget * (1.0 + 1e-9));
+}
+
+TEST(MappingSearchTest, ImpossibleEnvironmentReportsViolation)
+{
+    const auto model = dnn::make_cifar10_cnn();
+    const hw::Msp430Lea mcu;
+    // Leakage-dominated: 10 mF at 0.05 mW harvest can never run.
+    const auto result = search_mappings(
+        model, mcu, {make_env(0.05e-3, 10e-3)}, MappingSearchOptions{});
+    EXPECT_FALSE(result.feasible);
+    EXPECT_GT(result.violation_j, 0.0);
+}
+
+TEST(MappingSearchTest, RestrictsToSupportedDataflows)
+{
+    const auto model = dnn::make_kws_mlp();
+    const hw::Msp430Lea mcu;  // supports WS and OS only
+    const auto result = search_mappings(model, mcu, {make_env(16e-3)},
+                                        MappingSearchOptions{});
+    for (const auto& mapping : result.mappings) {
+        EXPECT_TRUE(mapping.dataflow ==
+                        dataflow::Dataflow::kWeightStationary ||
+                    mapping.dataflow ==
+                        dataflow::Dataflow::kOutputStationary);
+    }
+}
+
+TEST(MappingSearchTest, GeneticStrategyIsCompetitive)
+{
+    const auto model = dnn::make_har_cnn();
+    const hw::Msp430Lea mcu;
+    MappingSearchOptions exhaustive;
+    MappingSearchOptions genetic;
+    genetic.strategy = MappingSearchOptions::Strategy::kGenetic;
+    genetic.ga_population = 24;
+    genetic.ga_generations = 12;
+    genetic.seed = 9;
+    const auto envs = {make_env(8e-3)};
+    const auto a = search_mappings(model, mcu, envs, exhaustive);
+    const auto b = search_mappings(model, mcu, envs, genetic);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    // GA should land within 2x of exhaustive energy.
+    EXPECT_LT(b.cost.total_energy_j(),
+              a.cost.total_energy_j() * 2.0);
+}
+
+TEST(MappingSearchTest, AcceleratorSearchUsesTaxonomyChoice)
+{
+    const auto model = dnn::make_alexnet();
+    hw::ReconfigurableAccelerator::Config config;
+    config.arch = hw::AcceleratorArch::kEyeriss;
+    config.n_pe = 64;
+    config.cache_bytes_per_pe = 512;
+    const hw::ReconfigurableAccelerator accel(config);
+    const auto result = search_mappings(
+        model, accel, {make_env(40e-3, 1e-3)}, MappingSearchOptions{});
+    EXPECT_EQ(result.mappings.size(), model.layer_count());
+    EXPECT_GT(result.evaluations, 100);
+}
+
+TEST(MappingSearchTest, DeterministicForSeed)
+{
+    const auto model = dnn::make_har_cnn();
+    const hw::Msp430Lea mcu;
+    MappingSearchOptions options;
+    options.strategy = MappingSearchOptions::Strategy::kGenetic;
+    options.seed = 17;
+    const auto envs = {make_env(8e-3)};
+    const auto a = search_mappings(model, mcu, envs, options);
+    const auto b = search_mappings(model, mcu, envs, options);
+    EXPECT_DOUBLE_EQ(a.cost.total_energy_j(), b.cost.total_energy_j());
+}
+
+TEST(MappingSearchTest, TableIvWorkloadsFitMspFram)
+{
+    const hw::Msp430Lea mcu;
+    for (const auto& name : dnn::table4_workloads()) {
+        const auto model = dnn::make_model(name);
+        const auto result = search_mappings(
+            model, mcu, {make_env(16e-3)}, MappingSearchOptions{});
+        EXPECT_TRUE(result.feasible) << name << ": "
+                                     << result.failure_note;
+    }
+}
+
+TEST(MappingSearchTest, OversizedModelFailsFramCapacity)
+{
+    // AlexNet's 61M weights cannot fit the MSP430's 256 KiB FRAM.
+    const hw::Msp430Lea mcu;
+    const auto model = dnn::make_alexnet();
+    const auto result = search_mappings(model, mcu, {make_env(16e-3)},
+                                        MappingSearchOptions{});
+    EXPECT_FALSE(result.feasible);
+    EXPECT_NE(result.failure_note.find("NVM capacity"),
+              std::string::npos);
+}
+
+TEST(MappingSearchTest, AcceleratorNvmIsUnlimited)
+{
+    hw::ReconfigurableAccelerator::Config config;
+    const hw::ReconfigurableAccelerator accel(config);
+    EXPECT_EQ(accel.nvm_capacity_bytes(), 0);  // provisioned externally
+}
+
+TEST(MappingSearchDeathTest, EmptyEnvironmentsAreFatal)
+{
+    const auto model = dnn::make_kws_mlp();
+    const hw::Msp430Lea mcu;
+    EXPECT_EXIT(
+        search_mappings(model, mcu, {}, MappingSearchOptions{}),
+        ::testing::ExitedWithCode(1), "environment");
+}
+
+}  // namespace
+}  // namespace chrysalis::search

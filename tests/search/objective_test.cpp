@@ -1,0 +1,81 @@
+/// \file
+/// Tests for the three objective functions of §IV.
+
+#include "search/objective.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::search {
+namespace {
+
+TEST(ObjectiveTest, Labels)
+{
+    EXPECT_EQ(to_string(ObjectiveKind::kLatency), "lat");
+    EXPECT_EQ(to_string(ObjectiveKind::kSolarPanel), "sp");
+    EXPECT_EQ(to_string(ObjectiveKind::kLatSp), "lat*sp");
+}
+
+TEST(ObjectiveTest, LatencyObjectiveScoresLatencyWhenFeasible)
+{
+    Objective objective{ObjectiveKind::kLatency, 20.0, 0.0};
+    EXPECT_DOUBLE_EQ(objective.score(3.5, 10.0), 3.5);
+    EXPECT_TRUE(objective.satisfies_constraint(3.5, 10.0));
+}
+
+TEST(ObjectiveTest, LatencyObjectivePenalizesOversizedPanel)
+{
+    Objective objective{ObjectiveKind::kLatency, 20.0, 0.0};
+    const double penalized = objective.score(3.5, 25.0);
+    EXPECT_GT(penalized, 1e8);
+    EXPECT_FALSE(objective.satisfies_constraint(3.5, 25.0));
+    // Larger violations score worse (gradient for the GA).
+    EXPECT_GT(objective.score(3.5, 30.0), penalized);
+}
+
+TEST(ObjectiveTest, SolarObjectiveScoresAreaWhenFeasible)
+{
+    Objective objective{ObjectiveKind::kSolarPanel, 0.0, 10.0};
+    EXPECT_DOUBLE_EQ(objective.score(8.0, 12.5), 12.5);
+    EXPECT_GT(objective.score(11.0, 12.5), 1e8);
+    // Worse latency violations rank worse.
+    EXPECT_GT(objective.score(20.0, 12.5), objective.score(11.0, 12.5));
+}
+
+TEST(ObjectiveTest, LatSpIsUnconstrainedProduct)
+{
+    Objective objective{ObjectiveKind::kLatSp, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(objective.score(2.0, 8.0), 16.0);
+    EXPECT_TRUE(objective.satisfies_constraint(1e9, 30.0));
+}
+
+TEST(ObjectiveTest, InfeasibleDominatesEveryConstraintViolation)
+{
+    Objective objective{ObjectiveKind::kLatency, 20.0, 0.0};
+    const double violated = objective.score(1.0, 1000.0);
+    EXPECT_GT(objective.infeasible_score(0.0), violated);
+}
+
+TEST(ObjectiveTest, InfeasibleScoreGrowsWithViolation)
+{
+    Objective objective{ObjectiveKind::kLatSp, 0.0, 0.0};
+    EXPECT_GT(objective.infeasible_score(10.0),
+              objective.infeasible_score(1.0));
+}
+
+TEST(ObjectiveTest, BoundaryIsFeasible)
+{
+    Objective objective{ObjectiveKind::kLatency, 20.0, 0.0};
+    EXPECT_DOUBLE_EQ(objective.score(5.0, 20.0), 5.0);
+    Objective sp_objective{ObjectiveKind::kSolarPanel, 0.0, 10.0};
+    EXPECT_DOUBLE_EQ(sp_objective.score(10.0, 4.0), 4.0);
+}
+
+TEST(ObjectiveDeathTest, InvalidPointsPanic)
+{
+    Objective objective{ObjectiveKind::kLatSp, 0.0, 0.0};
+    EXPECT_DEATH(objective.score(-1.0, 5.0), "invalid point");
+    EXPECT_DEATH(objective.score(1.0, 0.0), "invalid point");
+}
+
+}  // namespace
+}  // namespace chrysalis::search

@@ -1,0 +1,104 @@
+/// \file
+/// Tests for Pareto-front extraction and the hypervolume indicator.
+
+#include "search/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::search {
+namespace {
+
+TEST(ParetoTest, DominationRules)
+{
+    EXPECT_TRUE(dominates({1.0, 1.0, 0}, {2.0, 2.0, 0}));
+    EXPECT_TRUE(dominates({1.0, 2.0, 0}, {2.0, 2.0, 0}));
+    EXPECT_FALSE(dominates({1.0, 3.0, 0}, {2.0, 2.0, 0}));  // tradeoff
+    EXPECT_FALSE(dominates({2.0, 2.0, 0}, {2.0, 2.0, 0}));  // equal
+}
+
+TEST(ParetoTest, EmptyInput)
+{
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(ParetoTest, SinglePoint)
+{
+    const auto front = pareto_front({{3.0, 4.0, 7}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].tag, 7u);
+}
+
+TEST(ParetoTest, ExtractsFront)
+{
+    // Points: (1,5) (2,3) (3,4) (4,1) (5,2) -> front (1,5)(2,3)(4,1).
+    const auto front = pareto_front({{1, 5, 0},
+                                     {2, 3, 1},
+                                     {3, 4, 2},
+                                     {4, 1, 3},
+                                     {5, 2, 4}});
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].tag, 0u);
+    EXPECT_EQ(front[1].tag, 1u);
+    EXPECT_EQ(front[2].tag, 3u);
+}
+
+TEST(ParetoTest, FrontIsSortedByX)
+{
+    const auto front = pareto_front(
+        {{5, 1, 0}, {1, 5, 1}, {3, 3, 2}, {2, 4, 3}, {4, 2, 4}});
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_LT(front[i - 1].x, front[i].x);
+        EXPECT_GT(front[i - 1].y, front[i].y);
+    }
+}
+
+TEST(ParetoTest, DuplicatePointsKeepOneRepresentative)
+{
+    const auto front = pareto_front({{1, 1, 0}, {1, 1, 1}, {1, 1, 2}});
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(ParetoTest, SameXKeepsLowerY)
+{
+    const auto front = pareto_front({{2, 9, 0}, {2, 3, 1}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].tag, 1u);
+}
+
+TEST(ParetoTest, AllDominatedCollapseToOne)
+{
+    const auto front = pareto_front(
+        {{1, 1, 0}, {2, 2, 1}, {3, 3, 2}, {4, 4, 3}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].tag, 0u);
+}
+
+TEST(HypervolumeTest, SinglePointRectangle)
+{
+    const std::vector<ParetoPoint> front = {{2.0, 3.0, 0}};
+    EXPECT_DOUBLE_EQ(hypervolume(front, 10.0, 10.0), 8.0 * 7.0);
+}
+
+TEST(HypervolumeTest, TwoPointStaircase)
+{
+    const std::vector<ParetoPoint> front = {{1.0, 4.0, 0}, {3.0, 2.0, 1}};
+    // (10-3)*(10-2) + (3-1)*(10-4) = 56 + 12 = 68.
+    EXPECT_DOUBLE_EQ(hypervolume(front, 10.0, 10.0), 68.0);
+}
+
+TEST(HypervolumeTest, BetterFrontHasLargerVolume)
+{
+    const auto worse = pareto_front({{4.0, 4.0, 0}});
+    const auto better = pareto_front({{2.0, 2.0, 0}});
+    EXPECT_GT(hypervolume(better, 10.0, 10.0),
+              hypervolume(worse, 10.0, 10.0));
+}
+
+TEST(HypervolumeDeathTest, OutsideReferenceBoxPanics)
+{
+    const std::vector<ParetoPoint> front = {{11.0, 1.0, 0}};
+    EXPECT_DEATH(hypervolume(front, 10.0, 10.0), "outside reference");
+}
+
+}  // namespace
+}  // namespace chrysalis::search
