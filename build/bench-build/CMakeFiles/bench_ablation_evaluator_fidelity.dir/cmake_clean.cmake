@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_evaluator_fidelity"
+  "../bench/bench_ablation_evaluator_fidelity.pdb"
+  "CMakeFiles/bench_ablation_evaluator_fidelity.dir/bench_ablation_evaluator_fidelity.cpp.o"
+  "CMakeFiles/bench_ablation_evaluator_fidelity.dir/bench_ablation_evaluator_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evaluator_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_intertemp"
+  "../bench/bench_ablation_intertemp.pdb"
+  "CMakeFiles/bench_ablation_intertemp.dir/bench_ablation_intertemp.cpp.o"
+  "CMakeFiles/bench_ablation_intertemp.dir/bench_ablation_intertemp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intertemp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deployment_study"
+  "../bench/bench_deployment_study.pdb"
+  "CMakeFiles/bench_deployment_study.dir/bench_deployment_study.cpp.o"
+  "CMakeFiles/bench_deployment_study.dir/bench_deployment_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deployment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

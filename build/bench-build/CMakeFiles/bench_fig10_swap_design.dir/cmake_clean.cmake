@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_swap_design"
+  "../bench/bench_fig10_swap_design.pdb"
+  "CMakeFiles/bench_fig10_swap_design.dir/bench_fig10_swap_design.cpp.o"
+  "CMakeFiles/bench_fig10_swap_design.dir/bench_fig10_swap_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_swap_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2b_hawaii_capacitor"
+  "../bench/bench_fig2b_hawaii_capacitor.pdb"
+  "CMakeFiles/bench_fig2b_hawaii_capacitor.dir/bench_fig2b_hawaii_capacitor.cpp.o"
+  "CMakeFiles/bench_fig2b_hawaii_capacitor.dir/bench_fig2b_hawaii_capacitor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_hawaii_capacitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_msp_pareto"
+  "../bench/bench_fig6_msp_pareto.pdb"
+  "CMakeFiles/bench_fig6_msp_pareto.dir/bench_fig6_msp_pareto.cpp.o"
+  "CMakeFiles/bench_fig6_msp_pareto.dir/bench_fig6_msp_pareto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_msp_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline_improvement"
+  "../bench/bench_headline_improvement.pdb"
+  "CMakeFiles/bench_headline_improvement.dir/bench_headline_improvement.cpp.o"
+  "CMakeFiles/bench_headline_improvement.dir/bench_headline_improvement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

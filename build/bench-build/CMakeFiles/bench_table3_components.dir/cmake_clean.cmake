@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_components"
+  "../bench/bench_table3_components.pdb"
+  "CMakeFiles/bench_table3_components.dir/bench_table3_components.cpp.o"
+  "CMakeFiles/bench_table3_components.dir/bench_table3_components.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_design_space"
+  "../bench/bench_table5_design_space.pdb"
+  "CMakeFiles/bench_table5_design_space.dir/bench_table5_design_space.cpp.o"
+  "CMakeFiles/bench_table5_design_space.dir/bench_table5_design_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

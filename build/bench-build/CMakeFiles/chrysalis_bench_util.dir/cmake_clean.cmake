@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_bench_util.dir/common/bench_util.cpp.o"
+  "CMakeFiles/chrysalis_bench_util.dir/common/bench_util.cpp.o.d"
+  "libchrysalis_bench_util.a"
+  "libchrysalis_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_cli.dir/chrysalis_cli.cpp.o"
+  "CMakeFiles/chrysalis_cli.dir/chrysalis_cli.cpp.o.d"
+  "chrysalis_cli"
+  "chrysalis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_monitor.dir/volcano_monitor.cpp.o"
+  "CMakeFiles/volcano_monitor.dir/volcano_monitor.cpp.o.d"
+  "volcano_monitor"
+  "volcano_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_kws.dir/wearable_kws.cpp.o"
+  "CMakeFiles/wearable_kws.dir/wearable_kws.cpp.o.d"
+  "wearable_kws"
+  "wearable_kws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_kws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wearable_kws.
+# This may be replaced when dependencies are built.

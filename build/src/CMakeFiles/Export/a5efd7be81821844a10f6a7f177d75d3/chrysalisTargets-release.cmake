@@ -1,0 +1,89 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "chrysalis::chrysalis_common" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_common )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_common "${_IMPORT_PREFIX}/lib/libchrysalis_common.a" )
+
+# Import target "chrysalis::chrysalis_energy" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_energy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_energy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_energy.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_energy )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_energy "${_IMPORT_PREFIX}/lib/libchrysalis_energy.a" )
+
+# Import target "chrysalis::chrysalis_dnn" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_dnn APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_dnn PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_dnn.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_dnn )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_dnn "${_IMPORT_PREFIX}/lib/libchrysalis_dnn.a" )
+
+# Import target "chrysalis::chrysalis_dataflow" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_dataflow APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_dataflow PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_dataflow.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_dataflow )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_dataflow "${_IMPORT_PREFIX}/lib/libchrysalis_dataflow.a" )
+
+# Import target "chrysalis::chrysalis_hw" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_hw APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_hw PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_hw.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_hw )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_hw "${_IMPORT_PREFIX}/lib/libchrysalis_hw.a" )
+
+# Import target "chrysalis::chrysalis_sim" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_sim )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_sim "${_IMPORT_PREFIX}/lib/libchrysalis_sim.a" )
+
+# Import target "chrysalis::chrysalis_search" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_search APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_search PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_search.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_search )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_search "${_IMPORT_PREFIX}/lib/libchrysalis_search.a" )
+
+# Import target "chrysalis::chrysalis_core" for configuration "Release"
+set_property(TARGET chrysalis::chrysalis_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(chrysalis::chrysalis_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libchrysalis_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets chrysalis::chrysalis_core )
+list(APPEND _cmake_import_check_files_for_chrysalis::chrysalis_core "${_IMPORT_PREFIX}/lib/libchrysalis_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_common.dir/logging.cpp.o"
+  "CMakeFiles/chrysalis_common.dir/logging.cpp.o.d"
+  "CMakeFiles/chrysalis_common.dir/math_utils.cpp.o"
+  "CMakeFiles/chrysalis_common.dir/math_utils.cpp.o.d"
+  "CMakeFiles/chrysalis_common.dir/rng.cpp.o"
+  "CMakeFiles/chrysalis_common.dir/rng.cpp.o.d"
+  "CMakeFiles/chrysalis_common.dir/string_utils.cpp.o"
+  "CMakeFiles/chrysalis_common.dir/string_utils.cpp.o.d"
+  "CMakeFiles/chrysalis_common.dir/table.cpp.o"
+  "CMakeFiles/chrysalis_common.dir/table.cpp.o.d"
+  "libchrysalis_common.a"
+  "libchrysalis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

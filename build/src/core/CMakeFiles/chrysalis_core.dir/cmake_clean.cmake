@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_core.dir/campaign.cpp.o"
+  "CMakeFiles/chrysalis_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/chrysalis_core.dir/chrysalis.cpp.o"
+  "CMakeFiles/chrysalis_core.dir/chrysalis.cpp.o.d"
+  "CMakeFiles/chrysalis_core.dir/deployment.cpp.o"
+  "CMakeFiles/chrysalis_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/chrysalis_core.dir/scenarios.cpp.o"
+  "CMakeFiles/chrysalis_core.dir/scenarios.cpp.o.d"
+  "libchrysalis_core.a"
+  "libchrysalis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

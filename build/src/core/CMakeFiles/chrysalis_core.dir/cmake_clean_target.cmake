@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchrysalis_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/cost_model.cpp" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/cost_model.cpp.o" "gcc" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/cost_model.cpp.o.d"
+  "/root/repo/src/dataflow/mapping.cpp" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/mapping.cpp.o" "gcc" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/mapping.cpp.o.d"
+  "/root/repo/src/dataflow/tiling.cpp" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/tiling.cpp.o" "gcc" "src/dataflow/CMakeFiles/chrysalis_dataflow.dir/tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_dataflow.dir/cost_model.cpp.o"
+  "CMakeFiles/chrysalis_dataflow.dir/cost_model.cpp.o.d"
+  "CMakeFiles/chrysalis_dataflow.dir/mapping.cpp.o"
+  "CMakeFiles/chrysalis_dataflow.dir/mapping.cpp.o.d"
+  "CMakeFiles/chrysalis_dataflow.dir/tiling.cpp.o"
+  "CMakeFiles/chrysalis_dataflow.dir/tiling.cpp.o.d"
+  "libchrysalis_dataflow.a"
+  "libchrysalis_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

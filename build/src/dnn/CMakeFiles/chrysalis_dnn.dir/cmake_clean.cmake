@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_dnn.dir/layer.cpp.o"
+  "CMakeFiles/chrysalis_dnn.dir/layer.cpp.o.d"
+  "CMakeFiles/chrysalis_dnn.dir/model.cpp.o"
+  "CMakeFiles/chrysalis_dnn.dir/model.cpp.o.d"
+  "CMakeFiles/chrysalis_dnn.dir/model_io.cpp.o"
+  "CMakeFiles/chrysalis_dnn.dir/model_io.cpp.o.d"
+  "CMakeFiles/chrysalis_dnn.dir/model_zoo.cpp.o"
+  "CMakeFiles/chrysalis_dnn.dir/model_zoo.cpp.o.d"
+  "libchrysalis_dnn.a"
+  "libchrysalis_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/capacitor.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/capacitor.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/capacitor.cpp.o.d"
+  "/root/repo/src/energy/energy_controller.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/energy_controller.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/energy_controller.cpp.o.d"
+  "/root/repo/src/energy/harvester.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/harvester.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/harvester.cpp.o.d"
+  "/root/repo/src/energy/power_management.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/power_management.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/power_management.cpp.o.d"
+  "/root/repo/src/energy/pv_module.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/pv_module.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/pv_module.cpp.o.d"
+  "/root/repo/src/energy/solar_environment.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/solar_environment.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/solar_environment.cpp.o.d"
+  "/root/repo/src/energy/trace_io.cpp" "src/energy/CMakeFiles/chrysalis_energy.dir/trace_io.cpp.o" "gcc" "src/energy/CMakeFiles/chrysalis_energy.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

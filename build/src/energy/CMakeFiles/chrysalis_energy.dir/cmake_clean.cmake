@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_energy.dir/capacitor.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/capacitor.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/energy_controller.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/energy_controller.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/harvester.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/harvester.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/power_management.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/power_management.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/pv_module.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/pv_module.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/solar_environment.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/solar_environment.cpp.o.d"
+  "CMakeFiles/chrysalis_energy.dir/trace_io.cpp.o"
+  "CMakeFiles/chrysalis_energy.dir/trace_io.cpp.o.d"
+  "libchrysalis_energy.a"
+  "libchrysalis_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

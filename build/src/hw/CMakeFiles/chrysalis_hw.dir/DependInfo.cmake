@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/hw/CMakeFiles/chrysalis_hw.dir/accelerator.cpp.o" "gcc" "src/hw/CMakeFiles/chrysalis_hw.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hw/custom_hardware.cpp" "src/hw/CMakeFiles/chrysalis_hw.dir/custom_hardware.cpp.o" "gcc" "src/hw/CMakeFiles/chrysalis_hw.dir/custom_hardware.cpp.o.d"
+  "/root/repo/src/hw/inference_hardware.cpp" "src/hw/CMakeFiles/chrysalis_hw.dir/inference_hardware.cpp.o" "gcc" "src/hw/CMakeFiles/chrysalis_hw.dir/inference_hardware.cpp.o.d"
+  "/root/repo/src/hw/msp430_lea.cpp" "src/hw/CMakeFiles/chrysalis_hw.dir/msp430_lea.cpp.o" "gcc" "src/hw/CMakeFiles/chrysalis_hw.dir/msp430_lea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

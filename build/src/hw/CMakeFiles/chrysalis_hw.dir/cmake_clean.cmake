@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/chrysalis_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/chrysalis_hw.dir/custom_hardware.cpp.o"
+  "CMakeFiles/chrysalis_hw.dir/custom_hardware.cpp.o.d"
+  "CMakeFiles/chrysalis_hw.dir/inference_hardware.cpp.o"
+  "CMakeFiles/chrysalis_hw.dir/inference_hardware.cpp.o.d"
+  "CMakeFiles/chrysalis_hw.dir/msp430_lea.cpp.o"
+  "CMakeFiles/chrysalis_hw.dir/msp430_lea.cpp.o.d"
+  "libchrysalis_hw.a"
+  "libchrysalis_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/bilevel_explorer.cpp" "src/search/CMakeFiles/chrysalis_search.dir/bilevel_explorer.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/bilevel_explorer.cpp.o.d"
+  "/root/repo/src/search/design_space.cpp" "src/search/CMakeFiles/chrysalis_search.dir/design_space.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/design_space.cpp.o.d"
+  "/root/repo/src/search/mapping_search.cpp" "src/search/CMakeFiles/chrysalis_search.dir/mapping_search.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/mapping_search.cpp.o.d"
+  "/root/repo/src/search/nsga2.cpp" "src/search/CMakeFiles/chrysalis_search.dir/nsga2.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/nsga2.cpp.o.d"
+  "/root/repo/src/search/objective.cpp" "src/search/CMakeFiles/chrysalis_search.dir/objective.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/objective.cpp.o.d"
+  "/root/repo/src/search/optimizer.cpp" "src/search/CMakeFiles/chrysalis_search.dir/optimizer.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/optimizer.cpp.o.d"
+  "/root/repo/src/search/pareto.cpp" "src/search/CMakeFiles/chrysalis_search.dir/pareto.cpp.o" "gcc" "src/search/CMakeFiles/chrysalis_search.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/chrysalis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chrysalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/chrysalis_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_search.dir/bilevel_explorer.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/bilevel_explorer.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/design_space.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/design_space.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/mapping_search.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/mapping_search.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/nsga2.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/nsga2.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/objective.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/objective.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/optimizer.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/optimizer.cpp.o.d"
+  "CMakeFiles/chrysalis_search.dir/pareto.cpp.o"
+  "CMakeFiles/chrysalis_search.dir/pareto.cpp.o.d"
+  "libchrysalis_search.a"
+  "libchrysalis_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchrysalis_search.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic_evaluator.cpp" "src/sim/CMakeFiles/chrysalis_sim.dir/analytic_evaluator.cpp.o" "gcc" "src/sim/CMakeFiles/chrysalis_sim.dir/analytic_evaluator.cpp.o.d"
+  "/root/repo/src/sim/intermittent_simulator.cpp" "src/sim/CMakeFiles/chrysalis_sim.dir/intermittent_simulator.cpp.o" "gcc" "src/sim/CMakeFiles/chrysalis_sim.dir/intermittent_simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/chrysalis_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

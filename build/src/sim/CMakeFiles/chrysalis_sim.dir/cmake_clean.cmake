@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_sim.dir/analytic_evaluator.cpp.o"
+  "CMakeFiles/chrysalis_sim.dir/analytic_evaluator.cpp.o.d"
+  "CMakeFiles/chrysalis_sim.dir/intermittent_simulator.cpp.o"
+  "CMakeFiles/chrysalis_sim.dir/intermittent_simulator.cpp.o.d"
+  "libchrysalis_sim.a"
+  "libchrysalis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_tests.dir/dataflow/cost_model_property_test.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/cost_model_property_test.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/cost_model_test.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/cost_model_test.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/mapping_test.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/mapping_test.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/dataflow/tiling_test.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/dataflow/tiling_test.cpp.o.d"
+  "dataflow_tests"
+  "dataflow_tests.pdb"
+  "dataflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_tests.dir/dnn/layer_test.cpp.o"
+  "CMakeFiles/dnn_tests.dir/dnn/layer_test.cpp.o.d"
+  "CMakeFiles/dnn_tests.dir/dnn/model_io_test.cpp.o"
+  "CMakeFiles/dnn_tests.dir/dnn/model_io_test.cpp.o.d"
+  "CMakeFiles/dnn_tests.dir/dnn/model_test.cpp.o"
+  "CMakeFiles/dnn_tests.dir/dnn/model_test.cpp.o.d"
+  "CMakeFiles/dnn_tests.dir/dnn/model_zoo_test.cpp.o"
+  "CMakeFiles/dnn_tests.dir/dnn/model_zoo_test.cpp.o.d"
+  "dnn_tests"
+  "dnn_tests.pdb"
+  "dnn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

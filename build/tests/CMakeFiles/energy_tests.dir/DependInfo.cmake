@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/energy/capacitor_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/capacitor_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/capacitor_test.cpp.o.d"
+  "/root/repo/tests/energy/energy_controller_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/energy_controller_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/energy_controller_test.cpp.o.d"
+  "/root/repo/tests/energy/harvester_ext_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/harvester_ext_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/harvester_ext_test.cpp.o.d"
+  "/root/repo/tests/energy/harvester_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/harvester_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/harvester_test.cpp.o.d"
+  "/root/repo/tests/energy/markov_weather_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/markov_weather_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/markov_weather_test.cpp.o.d"
+  "/root/repo/tests/energy/power_management_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/power_management_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/power_management_test.cpp.o.d"
+  "/root/repo/tests/energy/pv_module_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/pv_module_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/pv_module_test.cpp.o.d"
+  "/root/repo/tests/energy/solar_environment_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/solar_environment_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/solar_environment_test.cpp.o.d"
+  "/root/repo/tests/energy/trace_io_test.cpp" "tests/CMakeFiles/energy_tests.dir/energy/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/energy_tests.dir/energy/trace_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chrysalis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/chrysalis_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chrysalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/chrysalis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/chrysalis_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tests.dir/energy/capacitor_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/capacitor_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/energy_controller_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/energy_controller_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/harvester_ext_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/harvester_ext_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/harvester_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/harvester_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/markov_weather_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/markov_weather_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/power_management_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/power_management_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/pv_module_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/pv_module_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/solar_environment_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/solar_environment_test.cpp.o.d"
+  "CMakeFiles/energy_tests.dir/energy/trace_io_test.cpp.o"
+  "CMakeFiles/energy_tests.dir/energy/trace_io_test.cpp.o.d"
+  "energy_tests"
+  "energy_tests.pdb"
+  "energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/accelerator_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/accelerator_test.cpp.o.d"
+  "/root/repo/tests/hw/calibration_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/calibration_test.cpp.o.d"
+  "/root/repo/tests/hw/custom_hardware_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/custom_hardware_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/custom_hardware_test.cpp.o.d"
+  "/root/repo/tests/hw/msp430_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/msp430_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/msp430_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chrysalis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/chrysalis_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chrysalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/chrysalis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/chrysalis_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/accelerator_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/accelerator_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/calibration_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/calibration_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/custom_hardware_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/custom_hardware_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/msp430_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/msp430_test.cpp.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

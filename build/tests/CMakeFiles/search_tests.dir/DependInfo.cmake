@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search/bilevel_test.cpp" "tests/CMakeFiles/search_tests.dir/search/bilevel_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/bilevel_test.cpp.o.d"
+  "/root/repo/tests/search/design_space_test.cpp" "tests/CMakeFiles/search_tests.dir/search/design_space_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/design_space_test.cpp.o.d"
+  "/root/repo/tests/search/mapping_search_test.cpp" "tests/CMakeFiles/search_tests.dir/search/mapping_search_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/mapping_search_test.cpp.o.d"
+  "/root/repo/tests/search/nsga2_test.cpp" "tests/CMakeFiles/search_tests.dir/search/nsga2_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/nsga2_test.cpp.o.d"
+  "/root/repo/tests/search/objective_test.cpp" "tests/CMakeFiles/search_tests.dir/search/objective_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/objective_test.cpp.o.d"
+  "/root/repo/tests/search/optimizer_test.cpp" "tests/CMakeFiles/search_tests.dir/search/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/optimizer_test.cpp.o.d"
+  "/root/repo/tests/search/pareto_test.cpp" "tests/CMakeFiles/search_tests.dir/search/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/search_tests.dir/search/pareto_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chrysalis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/chrysalis_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chrysalis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/chrysalis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/chrysalis_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/chrysalis_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/chrysalis_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chrysalis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

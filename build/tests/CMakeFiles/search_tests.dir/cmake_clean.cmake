@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_tests.dir/search/bilevel_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/bilevel_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/design_space_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/design_space_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/mapping_search_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/mapping_search_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/nsga2_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/nsga2_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/objective_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/objective_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/optimizer_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/optimizer_test.cpp.o.d"
+  "CMakeFiles/search_tests.dir/search/pareto_test.cpp.o"
+  "CMakeFiles/search_tests.dir/search/pareto_test.cpp.o.d"
+  "search_tests"
+  "search_tests.pdb"
+  "search_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
