@@ -40,7 +40,7 @@ main()
     const char* workloads[] = {"simple_conv", "har", "kws", "cifar10"};
 
     TextTable table({"Workload", "Strategy", "Best lat*sp", "Evals",
-                     "Time (s)"});
+                     "Memo hits", "Time (s)"});
     for (const char* name : workloads) {
         const dnn::Model model = dnn::make_model(name);
         for (auto strategy : {search::OptimizerStrategy::kGenetic,
@@ -61,6 +61,7 @@ main()
                      ? format_fixed(result.best.score, 3)
                      : std::string("infeasible"),
                  std::to_string(result.evaluations),
+                 std::to_string(result.cache.hits),
                  format_fixed(elapsed, 2)});
         }
     }

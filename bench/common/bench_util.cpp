@@ -23,6 +23,21 @@ Budget::from_env()
                      "'quick'\n",
                      mode.c_str());
     }
+    if (const char* threads_raw = std::getenv("CHRYSALIS_BENCH_THREADS")) {
+        const int threads = std::atoi(threads_raw);
+        if (threads >= 0)
+            budget.threads = threads;
+        else
+            std::fprintf(stderr,
+                         "[bench] ignoring negative "
+                         "CHRYSALIS_BENCH_THREADS '%s'\n",
+                         threads_raw);
+    }
+    if (const char* cache_raw = std::getenv("CHRYSALIS_BENCH_CACHE")) {
+        const long capacity = std::atol(cache_raw);
+        if (capacity >= 0)
+            budget.cache_capacity = static_cast<std::size_t>(capacity);
+    }
     return budget;
 }
 
@@ -43,7 +58,9 @@ make_options(const Budget& budget, std::uint64_t seed)
     options.outer.population = budget.population;
     options.outer.generations = budget.generations;
     options.outer.seed = seed;
+    options.outer.threads = budget.threads;
     options.inner.max_candidates_per_dim = budget.mapping_candidates;
+    options.cache_capacity = budget.cache_capacity;
     return options;
 }
 

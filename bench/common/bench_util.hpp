@@ -20,8 +20,16 @@ struct Budget {
     int population = 24;
     int generations = 16;
     std::size_t mapping_candidates = 5;
+    /// Evaluation threads per search (0 = all hardware threads).
+    /// Results are bit-identical at any value; only wall time changes.
+    int threads = 0;
+    /// Evaluation-memo capacity (0 disables). Results are identical
+    /// with or without the memo; hits skip repeat inner searches.
+    std::size_t cache_capacity = 4096;
 
-    /// Reads CHRYSALIS_BENCH_BUDGET from the environment.
+    /// Reads CHRYSALIS_BENCH_BUDGET ("quick"/"full"),
+    /// CHRYSALIS_BENCH_THREADS (integer) and CHRYSALIS_BENCH_CACHE
+    /// (capacity in designs) from the environment.
     static Budget from_env();
 };
 

@@ -3,12 +3,19 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace chrysalis {
 
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+
+/// Serializes sink writes so records from parallel evaluations are
+/// emitted whole (never interleaved half-lines). Also guards g_log_sink.
+std::mutex g_sink_mutex;
+LogSink g_log_sink;  // empty => default stderr sink
 
 const char*
 level_tag(LogLevel level)
@@ -38,10 +45,22 @@ set_log_level(LogLevel level)
 }
 
 void
+set_log_sink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    g_log_sink = std::move(sink);
+}
+
+void
 log_message(LogLevel level, std::string_view message)
 {
     if (static_cast<int>(level) < static_cast<int>(log_level()))
         return;
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    if (g_log_sink) {
+        g_log_sink(level, message);
+        return;
+    }
     std::fprintf(stderr, "[chrysalis:%s] %.*s\n", level_tag(level),
                  static_cast<int>(message.size()), message.data());
 }
@@ -51,6 +70,8 @@ namespace detail {
 void
 fatal_exit(const std::string& message)
 {
+    // Deliberately no mutex: fatal/panic must make it out even if the
+    // crashing thread already holds the logging lock.
     std::fprintf(stderr, "[chrysalis:fatal] %s\n", message.c_str());
     std::exit(1);
 }

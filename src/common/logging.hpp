@@ -9,6 +9,7 @@
 #ifndef CHRYSALIS_COMMON_LOGGING_HPP
 #define CHRYSALIS_COMMON_LOGGING_HPP
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,7 +31,19 @@ LogLevel log_level();
 /// Sets the process-wide minimum level that will be printed.
 void set_log_level(LogLevel level);
 
-/// Emits a log record to stderr if \p level passes the global threshold.
+/// A replaceable log destination. Receives fully formatted records (one
+/// per call); the sink is invoked under the logging mutex, so it never
+/// sees interleaved or torn records even when worker threads log
+/// concurrently, and it need not be thread-safe itself.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the process-wide sink; an empty function restores the
+/// default stderr sink. Intended for tests and embedders.
+void set_log_sink(LogSink sink);
+
+/// Emits a log record to the current sink if \p level passes the global
+/// threshold. Thread-safe: records from concurrent threads are emitted
+/// whole, never interleaved.
 void log_message(LogLevel level, std::string_view message);
 
 namespace detail {

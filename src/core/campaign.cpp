@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "hw/accelerator.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace chrysalis::core {
 
@@ -13,7 +14,7 @@ CampaignResult::write_csv(std::ostream& output) const
 {
     output << "label,feasible,objective,sp_cm2,capacitance_f,arch,n_pe,"
               "cache_bytes,mean_latency_s,lat_sp,score,evaluations,"
-              "wall_time_s\n";
+              "cache_hits,cache_misses,wall_time_s\n";
     for (const auto& entry : entries) {
         const auto& solution = entry.solution;
         output << entry.label << ',' << (solution.feasible ? 1 : 0)
@@ -25,7 +26,9 @@ CampaignResult::write_csv(std::ostream& output) const
                << solution.hardware.cache_bytes << ','
                << solution.mean_latency_s << ',' << solution.lat_sp
                << ',' << solution.score << ',' << solution.evaluations
-               << ',' << entry.wall_time_s << '\n';
+               << ',' << solution.cache_hits << ','
+               << solution.cache_misses << ',' << entry.wall_time_s
+               << '\n';
     }
 }
 
@@ -41,31 +44,50 @@ CampaignResult::entry(const std::string& label) const
 
 CampaignResult
 run_campaign(const std::vector<CampaignCase>& cases,
-             const search::ExplorerOptions& base_options)
+             const search::ExplorerOptions& base_options,
+             const CampaignOptions& campaign_options)
 {
     if (cases.empty())
         fatal("run_campaign: no cases supplied");
+    if (campaign_options.threads < 0)
+        fatal("run_campaign: threads must be >= 0, got ",
+              campaign_options.threads);
+
+    using Clock = std::chrono::steady_clock;
+    const auto campaign_start = Clock::now();
+
     CampaignResult result;
-    result.entries.reserve(cases.size());
-    std::uint64_t index = 0;
-    for (const auto& campaign_case : cases) {
+    result.entries.resize(cases.size());
+    runtime::ThreadPool pool(campaign_options.threads);
+    pool.parallel_for(cases.size(), [&](std::size_t index) {
+        const auto& campaign_case = cases[index];
         search::ExplorerOptions options = base_options;
-        options.outer.seed = base_options.outer.seed + 1000 * ++index;
+        options.outer.seed =
+            base_options.outer.seed + 1000 * (index + 1);
         ChrysalisInputs inputs{campaign_case.model, campaign_case.space,
                                campaign_case.objective, options};
         const Chrysalis tool(std::move(inputs));
-        const auto start = std::chrono::steady_clock::now();
+        // Per-case timing lives inside the task: under fan-out each
+        // case reports its own duration, not the loop's.
+        const auto start = Clock::now();
         AuTSolution solution = tool.generate();
         const double elapsed =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        result.entries.push_back(
-            {campaign_case.label,
-             to_string(campaign_case.objective.kind),
-             std::move(solution), elapsed});
-    }
+            std::chrono::duration<double>(Clock::now() - start).count();
+        result.entries[index] = {campaign_case.label,
+                                 to_string(campaign_case.objective.kind),
+                                 std::move(solution), elapsed};
+    });
+    result.wall_time_s =
+        std::chrono::duration<double>(Clock::now() - campaign_start)
+            .count();
     return result;
+}
+
+CampaignResult
+run_campaign(const std::vector<CampaignCase>& cases,
+             const search::ExplorerOptions& base_options)
+{
+    return run_campaign(cases, base_options, CampaignOptions{});
 }
 
 }  // namespace chrysalis::core

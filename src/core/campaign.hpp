@@ -28,24 +28,45 @@ struct CampaignEntry {
     std::string label;
     std::string objective_label;  ///< "lat" / "sp" / "lat*sp"
     AuTSolution solution;
-    double wall_time_s = 0.0;  ///< search wall-clock time
+    /// Per-case search wall-clock time, measured on a monotonic clock
+    /// inside the case's task so it stays correct when cases run
+    /// concurrently (it is the case's own duration, not a share of the
+    /// campaign's elapsed time).
+    double wall_time_s = 0.0;
 };
 
 /// Aggregated campaign results.
 struct CampaignResult {
     std::vector<CampaignEntry> entries;
+    double wall_time_s = 0.0;  ///< whole-campaign wall-clock time
 
     /// Writes a CSV with one row per case: label, feasibility, the
-    /// chosen EA/IA parameters, metrics, search effort and timing.
+    /// chosen EA/IA parameters, metrics, search effort, memo-cache
+    /// activity and timing.
     void write_csv(std::ostream& output) const;
 
     /// Looks up an entry by label; fatal() if absent.
     const CampaignEntry& entry(const std::string& label) const;
 };
 
-/// Runs every case sequentially with \p base_options (the per-case seed
-/// is offset by the case index so cases are decorrelated but the whole
-/// campaign stays reproducible).
+/// Campaign-level execution controls.
+struct CampaignOptions {
+    /// Case-level fan-out: 0 = all hardware threads, 1 = sequential.
+    /// Cases are independent searches with decorrelated seeds, so any
+    /// value produces identical entries in identical order; searches
+    /// running on campaign workers keep their inner evaluation serial
+    /// (nested pool batches run inline), avoiding oversubscription.
+    int threads = 1;
+};
+
+/// Runs every case with \p base_options (the per-case seed is offset by
+/// the case index so cases are decorrelated but the whole campaign stays
+/// reproducible).
+CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
+                            const search::ExplorerOptions& base_options,
+                            const CampaignOptions& campaign_options);
+
+/// Sequential convenience overload (CampaignOptions defaults).
 CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
                             const search::ExplorerOptions& base_options);
 

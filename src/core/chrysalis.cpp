@@ -28,6 +28,12 @@ AuTSolution::describe(const dnn::Model& model) const
     os << "  lat*sp = " << format_fixed(lat_sp, 2) << " cm^2*s\n";
     os << "  E_all = " << format_si(cost.total_energy_j(), "J") << ", "
        << cost.n_tile << " tiles\n";
+    if (evaluations > 0) {
+        os << "Search:\n";
+        os << "  " << evaluations << " designs evaluated in "
+           << format_si(search_wall_time_s, "s") << " (memo: "
+           << cache_hits << " hits, " << cache_misses << " misses)\n";
+    }
     os << "Dataflow (Fig. 4 loop nests):\n";
     for (std::size_t i = 0; i < mappings.size(); ++i)
         os << mappings[i].describe(model.layer(i));
@@ -56,6 +62,9 @@ Chrysalis::to_solution(const search::EvaluatedDesign& design,
     if (result != nullptr) {
         solution.pareto = result->pareto;
         solution.evaluations = result->evaluations;
+        solution.cache_hits = result->cache.hits;
+        solution.cache_misses = result->cache.misses;
+        solution.search_wall_time_s = result->wall_time_s;
     }
     return solution;
 }

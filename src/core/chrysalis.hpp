@@ -42,6 +42,9 @@ struct AuTSolution {
 
     std::vector<search::ParetoPoint> pareto;  ///< (sp, lat) front
     int evaluations = 0;             ///< design points evaluated
+    std::uint64_t cache_hits = 0;    ///< memoized design evaluations
+    std::uint64_t cache_misses = 0;  ///< evaluations actually computed
+    double search_wall_time_s = 0.0; ///< exploration wall-clock time
 
     /// Multi-line human-readable report (the "AuT HW and SW Describer"
     /// output): energy subsystem, inference subsystem and the per-layer

@@ -1,0 +1,41 @@
+#include "runtime/eval_cache.hpp"
+
+#include <sstream>
+
+#include "common/string_utils.hpp"
+
+namespace chrysalis::runtime {
+
+double
+EvalCacheStats::hit_rate() const
+{
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+std::string
+EvalCacheStats::describe() const
+{
+    std::ostringstream os;
+    os << "hits=" << hits << " misses=" << misses << " ("
+       << format_fixed(hit_rate() * 100.0, 1) << "%) entries=" << entries;
+    if (evictions > 0)
+        os << " evictions=" << evictions;
+    return os.str();
+}
+
+EvalCacheStats
+operator-(const EvalCacheStats& after, const EvalCacheStats& before)
+{
+    EvalCacheStats delta;
+    delta.hits = after.hits - before.hits;
+    delta.misses = after.misses - before.misses;
+    delta.insertions = after.insertions - before.insertions;
+    delta.evictions = after.evictions - before.evictions;
+    delta.entries = after.entries;  // entries is a level, not a counter
+    return delta;
+}
+
+}  // namespace chrysalis::runtime

@@ -1,0 +1,84 @@
+#include "runtime/stable_hash.hpp"
+
+#include <bit>
+
+namespace chrysalis::runtime {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StableHash&
+StableHash::add(std::uint64_t value)
+{
+    state_ = mix64(state_ ^ mix64(value + count_));
+    ++count_;
+    return *this;
+}
+
+StableHash&
+StableHash::add(std::int64_t value)
+{
+    return add(static_cast<std::uint64_t>(value));
+}
+
+StableHash&
+StableHash::add(int value)
+{
+    return add(static_cast<std::int64_t>(value));
+}
+
+StableHash&
+StableHash::add(bool value)
+{
+    return add(static_cast<std::uint64_t>(value ? 1 : 0));
+}
+
+StableHash&
+StableHash::add(double value)
+{
+    if (value == 0.0)
+        value = 0.0;  // collapse -0.0 onto +0.0
+    return add(std::bit_cast<std::uint64_t>(value));
+}
+
+StableHash&
+StableHash::add(std::string_view text)
+{
+    add(static_cast<std::uint64_t>(text.size()));
+    // Pack bytes into words so long strings cost ~n/8 mixes.
+    std::uint64_t word = 0;
+    int packed = 0;
+    for (const char c : text) {
+        word = (word << 8) | static_cast<unsigned char>(c);
+        if (++packed == 8) {
+            add(word);
+            word = 0;
+            packed = 0;
+        }
+    }
+    if (packed > 0)
+        add(word);
+    return *this;
+}
+
+CacheKey
+StableHash::key() const
+{
+    CacheKey key;
+    key.hi = mix64(state_ ^ mix64(count_));
+    key.lo = mix64(key.hi ^ 0x6a09e667f3bcc909ULL);
+    return key;
+}
+
+}  // namespace chrysalis::runtime

@@ -1,0 +1,85 @@
+/// \file
+/// Stable, process-independent hashing for evaluation memoization.
+///
+/// `StableHash` folds a sequence of primitive values (integers, doubles,
+/// strings) into a 128-bit `CacheKey`. The digest depends only on the
+/// values and the order they are added — never on pointer values, ASLR or
+/// the standard library's `std::hash` — so keys are reproducible across
+/// runs and usable as the memo key of `runtime::EvalCache`.
+
+#ifndef CHRYSALIS_RUNTIME_STABLE_HASH_HPP
+#define CHRYSALIS_RUNTIME_STABLE_HASH_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace chrysalis::runtime {
+
+/// 128-bit cache key; collisions are negligible at the scale of a search
+/// campaign (billions of evaluations would be needed for a likely clash).
+struct CacheKey {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    friend bool operator==(const CacheKey& a, const CacheKey& b)
+    {
+        return a.hi == b.hi && a.lo == b.lo;
+    }
+};
+
+/// Hash functor for unordered containers keyed by CacheKey. The key is
+/// already uniformly mixed, so folding the halves is enough.
+struct CacheKeyHash {
+    std::size_t
+    operator()(const CacheKey& key) const noexcept
+    {
+        return static_cast<std::size_t>(key.hi ^ (key.lo >> 1));
+    }
+};
+
+/// Order-sensitive accumulator over primitive values.
+class StableHash
+{
+  public:
+    /// Mixes one raw 64-bit word into the digest.
+    StableHash& add(std::uint64_t value);
+
+    /// Mixes a signed integer (hashed by two's-complement bit pattern).
+    StableHash& add(std::int64_t value);
+    StableHash& add(int value);
+
+    /// Mixes a bool as 0/1.
+    StableHash& add(bool value);
+
+    /// Mixes a double by IEEE-754 bit pattern; -0.0 is normalized to
+    /// +0.0 so numerically equal keys cannot diverge.
+    StableHash& add(double value);
+
+    /// Mixes a string: length followed by bytes.
+    StableHash& add(std::string_view text);
+
+    /// Mixes every element of \p values in order (plus the length, so
+    /// {1}+{2} and {1,2}+{} hash differently).
+    template <typename T>
+    StableHash&
+    add_range(const std::vector<T>& values)
+    {
+        add(static_cast<std::uint64_t>(values.size()));
+        for (const auto& value : values)
+            add(value);
+        return *this;
+    }
+
+    /// Finalizes (without consuming) the accumulated state into a key.
+    CacheKey key() const;
+
+  private:
+    std::uint64_t state_ = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t count_ = 0;
+};
+
+}  // namespace chrysalis::runtime
+
+#endif  // CHRYSALIS_RUNTIME_STABLE_HASH_HPP

@@ -1,0 +1,179 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::runtime {
+
+namespace {
+
+/// Set while the current thread is executing inside any pool batch; used
+/// to run nested batches inline instead of deadlocking on the queue.
+thread_local bool t_on_pool_thread = false;
+
+}  // namespace
+
+int
+hardware_threads()
+{
+    const unsigned reported = std::thread::hardware_concurrency();
+    return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+bool
+ThreadPool::on_pool_thread()
+{
+    return t_on_pool_thread;
+}
+
+/// Shared state of one parallel_for call. Lives on the caller's stack;
+/// parallel_for does not return until every runner has finished with it.
+struct ThreadPool::Batch {
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<bool> abort{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t pending_runners = 0;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        fatal("ThreadPool: thread count must be >= 0, got ", threads);
+    threads_ = threads == 0 ? hardware_threads() : threads;
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::ensure_workers()
+{
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!workers_.empty())
+        return;
+    // The calling thread participates in every batch, so threads_ - 1
+    // workers give exactly threads_ concurrent executors.
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int i = 0; i < threads_ - 1; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stopping and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::run_batch(Batch& batch)
+{
+    const bool was_on_pool_thread = t_on_pool_thread;
+    t_on_pool_thread = true;
+    while (!batch.abort.load(std::memory_order_relaxed)) {
+        const std::size_t index =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= batch.count)
+            break;
+        try {
+            (*batch.body)(index);
+            batch.executed.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(batch.mutex);
+            if (!batch.error)
+                batch.error = std::current_exception();
+            batch.abort.store(true, std::memory_order_relaxed);
+        }
+    }
+    t_on_pool_thread = was_on_pool_thread;
+    {
+        // Notify while holding the lock: the batch lives on the caller's
+        // stack and is destroyed as soon as the waiter sees 0 pending
+        // runners, so the notify must complete before that check can run.
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        --batch.pending_runners;
+        batch.done_cv.notify_all();
+    }
+}
+
+void
+ThreadPool::parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body)
+{
+    if (count == 0)
+        return;
+
+    if (threads_ == 1 || count == 1 || t_on_pool_thread) {
+        // Serial fallback: index order, exceptions propagate directly.
+        // This path is what `threads == 1` reproducibility rests on.
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.batches;
+        ++stats_.inline_batches;
+        stats_.tasks += count;
+        return;
+    }
+
+    ensure_workers();
+    Batch batch;
+    batch.count = count;
+    batch.body = &body;
+    const std::size_t runners =
+        std::min(static_cast<std::size_t>(threads_), count);
+    batch.pending_runners = runners;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        for (std::size_t i = 0; i + 1 < runners; ++i)
+            queue_.emplace_back([&batch, this] { run_batch(batch); });
+    }
+    queue_cv_.notify_all();
+    run_batch(batch);  // the caller is one of the runners
+
+    {
+        std::unique_lock<std::mutex> lock(batch.mutex);
+        batch.done_cv.wait(lock,
+                           [&batch] { return batch.pending_runners == 0; });
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.batches;
+        stats_.tasks += batch.executed.load(std::memory_order_relaxed);
+    }
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+}  // namespace chrysalis::runtime

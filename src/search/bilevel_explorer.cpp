@@ -1,7 +1,10 @@
 #include "search/bilevel_explorer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
@@ -20,6 +23,76 @@ BiLevelExplorer::BiLevelExplorer(dnn::Model model, DesignSpace space,
         if (k_eh <= 0.0)
             fatal("BiLevelExplorer: k_eh must be > 0, got ", k_eh);
     }
+
+    // Premix everything that shapes an evaluation besides the candidate
+    // itself, so candidate_key() only has to fold in the genome.
+    context_hash_.add(std::string_view(model_.name()))
+        .add(model_.element_bytes())
+        .add(model_.input().c)
+        .add(model_.input().h)
+        .add(model_.input().w)
+        .add(static_cast<std::uint64_t>(model_.layer_count()))
+        .add(model_.total_params())
+        .add(model_.total_macs())
+        .add(model_.total_data_bytes());
+    context_hash_.add(static_cast<int>(objective_.kind))
+        .add(objective_.sp_limit_cm2)
+        .add(objective_.lat_limit_s);
+    context_hash_.add_range(options_.k_eh_envs);
+    const auto& cap = options_.capacitor_base;
+    context_hash_.add(cap.capacitance_f)
+        .add(cap.rated_voltage_v)
+        .add(cap.k_cap)
+        .add(cap.initial_voltage_v)
+        .add(cap.temperature_c)
+        .add(cap.leakage_doubling_c);
+    const auto& pmic = options_.pmic;
+    context_hash_.add(pmic.v_on)
+        .add(pmic.v_off)
+        .add(pmic.charge_efficiency)
+        .add(pmic.discharge_efficiency)
+        .add(pmic.quiescent_power_w);
+    const auto& inner = options_.inner;
+    context_hash_.add(static_cast<int>(inner.strategy))
+        .add(static_cast<std::uint64_t>(inner.max_candidates_per_dim))
+        .add(inner.ga_population)
+        .add(inner.ga_generations)
+        .add(inner.seed);
+
+    if (options_.cache_capacity > 0) {
+        cache_ = std::make_unique<runtime::EvalCache<EvaluatedDesign>>(
+            options_.cache_capacity);
+    }
+}
+
+runtime::CacheKey
+BiLevelExplorer::candidate_key(const HwCandidate& raw) const
+{
+    const HwCandidate candidate = space_.clamp(raw);
+    runtime::StableHash hash = context_hash_;
+    hash.add(static_cast<int>(candidate.family))
+        .add(candidate.solar_cm2)
+        .add(candidate.capacitance_f)
+        .add(static_cast<int>(candidate.arch))
+        .add(candidate.n_pe)
+        .add(candidate.cache_bytes);
+    return hash.key();
+}
+
+EvaluatedDesign
+BiLevelExplorer::evaluate_cached(const HwCandidate& raw) const
+{
+    if (!cache_)
+        return evaluate(raw);
+    const HwCandidate candidate = space_.clamp(raw);
+    return cache_->get_or_compute(candidate_key(candidate),
+                                  [&] { return evaluate(candidate); });
+}
+
+runtime::EvalCacheStats
+BiLevelExplorer::cache_stats() const
+{
+    return cache_ ? cache_->stats() : runtime::EvalCacheStats{};
 }
 
 std::vector<sim::EnergyEnv>
@@ -131,14 +204,25 @@ BiLevelExplorer::encode(const HwCandidate& raw) const
 ExplorationResult
 BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
 {
+    const auto start_time = std::chrono::steady_clock::now();
+    const runtime::EvalCacheStats cache_before = cache_stats();
     ExplorationResult result;
-    result.history.reserve(static_cast<std::size_t>(
-        options_.outer.population * options_.outer.generations));
+    const auto expected = static_cast<std::size_t>(
+        options_.outer.population * options_.outer.generations);
 
-    const FitnessFn fitness = [&](const std::vector<double>& genes) {
-        EvaluatedDesign design = evaluate(decode(genes));
+    // The optimizer may call the fitness from several pool threads;
+    // designs are collected under a mutex tagged with their evaluation
+    // index and ordered afterwards, so the history is identical to the
+    // serial path at any thread count.
+    std::mutex evaluated_mutex;
+    std::vector<std::pair<std::size_t, EvaluatedDesign>> evaluated;
+    evaluated.reserve(expected);
+    const IndexedFitnessFn fitness = [&](std::size_t index,
+                                         const std::vector<double>& genes) {
+        EvaluatedDesign design = evaluate_cached(decode(genes));
         const double score = design.score;
-        result.history.push_back(std::move(design));
+        std::lock_guard<std::mutex> lock(evaluated_mutex);
+        evaluated.emplace_back(index, std::move(design));
         return score;
     };
 
@@ -153,6 +237,12 @@ BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
     const OptimizeResult opt =
         optimize(options_.strategy, kGeneCount, outer, fitness);
     result.evaluations = opt.evaluations;
+
+    std::sort(evaluated.begin(), evaluated.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    result.history.reserve(evaluated.size());
+    for (auto& entry : evaluated)
+        result.history.push_back(std::move(entry.second));
 
     // Recover the best design from the history (scores match 1:1).
     const auto best_it = std::min_element(
@@ -174,26 +264,34 @@ BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
         }
     }
     result.pareto = pareto_front(std::move(points));
+    result.cache = cache_stats() - cache_before;
+    result.wall_time_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time)
+            .count();
     return result;
 }
 
 std::vector<EvaluatedDesign>
 BiLevelExplorer::explore_pareto() const
 {
-    std::vector<EvaluatedDesign> history;
-    history.reserve(static_cast<std::size_t>(
+    std::mutex evaluated_mutex;
+    std::vector<std::pair<std::size_t, EvaluatedDesign>> evaluated;
+    evaluated.reserve(static_cast<std::size_t>(
         options_.outer.population * options_.outer.generations));
 
     constexpr double kInfeasible = 1e12;
-    const BiFitnessFn fitness =
-        [&](const std::vector<double>& genes) -> std::array<double, 2> {
-        EvaluatedDesign design = evaluate(decode(genes));
+    const IndexedBiFitnessFn fitness =
+        [&](std::size_t index,
+            const std::vector<double>& genes) -> std::array<double, 2> {
+        EvaluatedDesign design = evaluate_cached(decode(genes));
         std::array<double, 2> objectives{kInfeasible, kInfeasible};
         if (design.feasible) {
             objectives = {design.candidate.solar_cm2,
                           design.mean_latency_s};
         }
-        history.push_back(std::move(design));
+        std::lock_guard<std::mutex> lock(evaluated_mutex);
+        evaluated.emplace_back(index, std::move(design));
         return objectives;
     };
 
@@ -201,6 +299,14 @@ BiLevelExplorer::explore_pareto() const
     outer.seed_genes.push_back(encode(space_.defaults));
     const Nsga2Result result =
         optimize_nsga2(kGeneCount, outer, fitness);
+
+    // Deterministic evaluation-index order == result.history order.
+    std::sort(evaluated.begin(), evaluated.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<EvaluatedDesign> history;
+    history.reserve(evaluated.size());
+    for (auto& entry : evaluated)
+        history.push_back(std::move(entry.second));
 
     // Map front points back to the evaluated designs (history order ==
     // evaluation order == result.history order).

@@ -14,9 +14,11 @@
 #ifndef CHRYSALIS_SEARCH_BILEVEL_EXPLORER_HPP
 #define CHRYSALIS_SEARCH_BILEVEL_EXPLORER_HPP
 
+#include <memory>
 #include <vector>
 
 #include "dnn/model.hpp"
+#include "runtime/eval_cache.hpp"
 #include "energy/capacitor.hpp"
 #include "energy/power_management.hpp"
 #include "search/design_space.hpp"
@@ -41,6 +43,11 @@ struct ExplorerOptions {
     energy::Capacitor::Config capacitor_base;
     /// PMIC model shared by all candidates.
     energy::PowerManagementIc::Config pmic;
+    /// Evaluation-memo capacity (designs); 0 disables the cache. GA
+    /// variation re-proposes genomes it has already scored (surviving
+    /// clones, warm-start duplicates), and each hit skips a full inner
+    /// mapping search. Evaluation parallelism is `outer.threads`.
+    std::size_t cache_capacity = 4096;
 };
 
 /// One fully evaluated design point.
@@ -59,6 +66,8 @@ struct ExplorationResult {
     std::vector<EvaluatedDesign> history;  ///< every evaluated design
     std::vector<ParetoPoint> pareto;  ///< (sp, lat) front over history
     int evaluations = 0;
+    runtime::EvalCacheStats cache;  ///< memo activity during this run
+    double wall_time_s = 0.0;       ///< search wall-clock time
 };
 
 /// Bi-level explorer: owns the workload, design space and objective.
@@ -74,6 +83,20 @@ class BiLevelExplorer
 
     /// Evaluates one candidate end-to-end (mapping search + scoring).
     EvaluatedDesign evaluate(const HwCandidate& candidate) const;
+
+    /// Like evaluate(), but memoized on the design's cache key; the
+    /// fitness path of explore()/explore_pareto() goes through here.
+    /// Thread-safe. Falls back to evaluate() when the cache is disabled.
+    EvaluatedDesign evaluate_cached(const HwCandidate& candidate) const;
+
+    /// Stable memo key of a candidate: a hash of the clamped candidate
+    /// plus the evaluation context (workload identity, objective,
+    /// environments, energy technology and inner-search options), so
+    /// caches could even be shared across explorer instances.
+    runtime::CacheKey candidate_key(const HwCandidate& candidate) const;
+
+    /// Lifetime memo counters (all explore()/evaluate_cached() calls).
+    runtime::EvalCacheStats cache_stats() const;
 
     /// Runs the full bi-level search. \p warm_starts are additional
     /// candidates injected into the initial population (beyond the
@@ -112,6 +135,8 @@ class BiLevelExplorer
     DesignSpace space_;
     Objective objective_;
     ExplorerOptions options_;
+    runtime::StableHash context_hash_;  ///< premixed non-candidate inputs
+    mutable std::unique_ptr<runtime::EvalCache<EvaluatedDesign>> cache_;
 };
 
 }  // namespace chrysalis::search

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace chrysalis::search {
 
@@ -103,7 +105,7 @@ crowding_distances(const std::vector<std::array<double, 2>>& objectives)
 
 Nsga2Result
 optimize_nsga2(int gene_count, const OptimizerOptions& opts,
-               const BiFitnessFn& fitness)
+               const IndexedBiFitnessFn& fitness)
 {
     if (gene_count < 1)
         fatal("optimize_nsga2: gene_count must be >= 1");
@@ -111,8 +113,11 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
         fatal("optimize_nsga2: population must be >= 4");
     if (opts.generations < 1)
         fatal("optimize_nsga2: generations must be >= 1");
+    if (opts.threads < 0)
+        fatal("optimize_nsga2: threads must be >= 0");
 
     Rng rng(opts.seed);
+    runtime::ThreadPool pool(opts.threads);
     Nsga2Result result;
 
     struct Individual {
@@ -122,15 +127,27 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
         double crowding = 0.0;
     };
 
-    const auto evaluate = [&](std::vector<double> genes) {
-        Individual individual;
-        individual.objectives = fitness(genes);
-        individual.genes = std::move(genes);
-        ++result.evaluations;
-        result.history.push_back(
-            {individual.genes, individual.objectives});
-        return individual;
-    };
+    // Scores one pre-drawn genome batch on the pool; history and the
+    // returned individuals are reduced in index order, so results are
+    // identical at any thread count (see optimizer.cpp).
+    const auto evaluate_batch =
+        [&](std::vector<std::vector<double>> genomes) {
+            const std::size_t base =
+                static_cast<std::size_t>(result.evaluations);
+            const auto objectives = pool.parallel_map(
+                genomes.size(), [&](std::size_t i) {
+                    return fitness(base + i, genomes[i]);
+                });
+            std::vector<Individual> individuals;
+            individuals.reserve(genomes.size());
+            for (std::size_t i = 0; i < genomes.size(); ++i) {
+                ++result.evaluations;
+                result.history.push_back({genomes[i], objectives[i]});
+                individuals.push_back(
+                    {std::move(genomes[i]), objectives[i], 0, 0.0});
+            }
+            return individuals;
+        };
 
     const auto random_genes = [&]() {
         std::vector<double> genes(static_cast<std::size_t>(gene_count));
@@ -140,8 +157,8 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
     };
 
     // Initial population (warm-start seeds honoured).
-    std::vector<Individual> population;
-    population.reserve(static_cast<std::size_t>(opts.population));
+    std::vector<std::vector<double>> initial;
+    initial.reserve(static_cast<std::size_t>(opts.population));
     for (int i = 0; i < opts.population; ++i) {
         if (static_cast<std::size_t>(i) < opts.seed_genes.size()) {
             if (opts.seed_genes[static_cast<std::size_t>(i)].size() !=
@@ -149,12 +166,14 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
                 fatal("optimize_nsga2: seed individual has wrong gene "
                       "count");
             }
-            population.push_back(evaluate(
-                opts.seed_genes[static_cast<std::size_t>(i)]));
+            initial.push_back(
+                opts.seed_genes[static_cast<std::size_t>(i)]);
         } else {
-            population.push_back(evaluate(random_genes()));
+            initial.push_back(random_genes());
         }
     }
+    std::vector<Individual> population =
+        evaluate_batch(std::move(initial));
 
     const auto assign_ranks = [&](std::vector<Individual>& pool) {
         std::vector<std::array<double, 2>> objectives;
@@ -198,10 +217,12 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
     };
 
     for (int gen = 1; gen < opts.generations; ++gen) {
-        // Offspring via crossover + mutation.
-        std::vector<Individual> offspring;
-        offspring.reserve(population.size());
-        while (offspring.size() < population.size()) {
+        // Offspring via crossover + mutation: all genomes are drawn
+        // serially (variation only reads the scored parent population),
+        // then the batch is evaluated in parallel.
+        std::vector<std::vector<double>> offspring_genomes;
+        offspring_genomes.reserve(population.size());
+        while (offspring_genomes.size() < population.size()) {
             std::vector<double> genes = tournament().genes;
             if (rng.bernoulli(opts.crossover_rate)) {
                 const auto& other = tournament().genes;
@@ -217,8 +238,10 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
                                  0.0, 1.0);
                 }
             }
-            offspring.push_back(evaluate(std::move(genes)));
+            offspring_genomes.push_back(std::move(genes));
         }
+        std::vector<Individual> offspring =
+            evaluate_batch(std::move(offspring_genomes));
 
         // Environmental selection from the combined pool.
         std::vector<Individual> pool = std::move(population);
@@ -247,6 +270,17 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
             {std::move(individual.genes), individual.objectives});
     }
     return result;
+}
+
+Nsga2Result
+optimize_nsga2(int gene_count, const OptimizerOptions& opts,
+               const BiFitnessFn& fitness)
+{
+    const IndexedBiFitnessFn indexed =
+        [&fitness](std::size_t, const std::vector<double>& genes) {
+            return fitness(genes);
+        };
+    return optimize_nsga2(gene_count, opts, indexed);
 }
 
 }  // namespace chrysalis::search

@@ -23,6 +23,12 @@ namespace chrysalis::search {
 using BiFitnessFn =
     std::function<std::array<double, 2>(const std::vector<double>&)>;
 
+/// Bi-objective fitness with the deterministic evaluation index (see
+/// IndexedFitnessFn); must be thread-safe when OptimizerOptions::threads
+/// != 1.
+using IndexedBiFitnessFn = std::function<std::array<double, 2>(
+    std::size_t index, const std::vector<double>&)>;
+
 /// One evaluated point of a multi-objective run.
 struct BiEvaluatedPoint {
     std::vector<double> genes;
@@ -51,7 +57,10 @@ std::vector<double> crowding_distances(
     const std::vector<std::array<double, 2>>& objectives);
 
 /// Runs the NSGA-II loop. Reuses OptimizerOptions for budget/variation
-/// parameters (seed_genes are honoured).
+/// parameters (seed_genes are honoured, population batches are evaluated
+/// on `opts.threads` pool workers with index-ordered reduction).
+Nsga2Result optimize_nsga2(int gene_count, const OptimizerOptions& opts,
+                           const IndexedBiFitnessFn& fitness);
 Nsga2Result optimize_nsga2(int gene_count, const OptimizerOptions& opts,
                            const BiFitnessFn& fitness);
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace chrysalis::search {
 
@@ -25,6 +27,8 @@ check_inputs(int gene_count, const OptimizerOptions& opts)
               opts.elitism);
     if (opts.tournament_size < 1 || opts.tournament_size > opts.population)
         fatal("optimizer: tournament size out of range");
+    if (opts.threads < 0)
+        fatal("optimizer: threads must be >= 0, got ", opts.threads);
 }
 
 std::vector<double>
@@ -34,6 +38,38 @@ random_genes(Rng& rng, int gene_count)
     for (auto& gene : genes)
         gene = rng.uniform();
     return genes;
+}
+
+/// Evaluates one genome batch on the pool and folds it into the result.
+///
+/// Determinism: evaluation indices are assigned before the batch runs
+/// (serial history order), the fitness calls are free to complete in any
+/// thread order, and history/evaluations are reduced strictly in index
+/// order afterwards — so any thread count produces the same result as
+/// the serial loop this replaces.
+std::vector<double>
+evaluate_batch(runtime::ThreadPool& pool, const IndexedFitnessFn& fitness,
+               const std::vector<std::vector<double>>& genomes,
+               OptimizeResult& result)
+{
+    const std::size_t base = static_cast<std::size_t>(result.evaluations);
+    std::vector<double> scores = pool.parallel_map(
+        genomes.size(),
+        [&](std::size_t i) { return fitness(base + i, genomes[i]); });
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+        ++result.evaluations;
+        result.history.push_back({genomes[i], scores[i]});
+    }
+    return scores;
+}
+
+/// Adapts a plain FitnessFn (index dropped) to the indexed interface.
+IndexedFitnessFn
+drop_index(const FitnessFn& fitness)
+{
+    return [&fitness](std::size_t, const std::vector<double>& genes) {
+        return fitness(genes);
+    };
 }
 
 }  // namespace
@@ -51,10 +87,11 @@ to_string(OptimizerStrategy strategy)
 
 OptimizeResult
 optimize_genetic(int gene_count, const OptimizerOptions& opts,
-                 const FitnessFn& fitness)
+                 const IndexedFitnessFn& fitness)
 {
     check_inputs(gene_count, opts);
     Rng rng(opts.seed);
+    runtime::ThreadPool pool(opts.threads);
 
     struct Individual {
         std::vector<double> genes;
@@ -62,29 +99,34 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
     };
 
     OptimizeResult result;
-    const auto evaluate = [&](const std::vector<double>& genes) {
-        const double score = fitness(genes);
-        ++result.evaluations;
-        result.history.push_back({genes, score});
-        return score;
-    };
 
-    // Initial population: warm-start seeds first, then random fill.
+    // Initial population: warm-start seeds first, then random fill. All
+    // genomes are drawn before the batch is evaluated; the fitness never
+    // touches the RNG, so the stream matches the historical interleaved
+    // draw-evaluate loop exactly.
     std::vector<Individual> population(
         static_cast<std::size_t>(opts.population));
-    for (std::size_t i = 0; i < population.size(); ++i) {
-        if (i < opts.seed_genes.size()) {
-            if (opts.seed_genes[i].size() !=
-                static_cast<std::size_t>(gene_count)) {
-                fatal("optimizer: seed individual has ",
-                      opts.seed_genes[i].size(), " genes, expected ",
-                      gene_count);
+    {
+        std::vector<std::vector<double>> genomes;
+        genomes.reserve(population.size());
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            if (i < opts.seed_genes.size()) {
+                if (opts.seed_genes[i].size() !=
+                    static_cast<std::size_t>(gene_count)) {
+                    fatal("optimizer: seed individual has ",
+                          opts.seed_genes[i].size(), " genes, expected ",
+                          gene_count);
+                }
+                genomes.push_back(opts.seed_genes[i]);
+            } else {
+                genomes.push_back(random_genes(rng, gene_count));
             }
-            population[i].genes = opts.seed_genes[i];
-        } else {
-            population[i].genes = random_genes(rng, gene_count);
         }
-        population[i].score = evaluate(population[i].genes);
+        const auto scores = evaluate_batch(pool, fitness, genomes, result);
+        for (std::size_t i = 0; i < population.size(); ++i) {
+            population[i].genes = std::move(genomes[i]);
+            population[i].score = scores[i];
+        }
     }
 
     const auto by_score = [](const Individual& a, const Individual& b) {
@@ -108,28 +150,35 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
         for (int e = 0; e < opts.elitism; ++e)
             next.push_back(population[static_cast<std::size_t>(e)]);
 
-        while (next.size() < population.size()) {
+        // Variation draws all offspring genomes serially (selection only
+        // needs the already-scored parent population), then the batch is
+        // scored in parallel.
+        std::vector<std::vector<double>> offspring;
+        offspring.reserve(population.size() - next.size());
+        while (next.size() + offspring.size() < population.size()) {
             const Individual& parent_a = tournament();
             const Individual& parent_b = tournament();
-            Individual child;
-            child.genes = parent_a.genes;
+            std::vector<double> genes = parent_a.genes;
             if (rng.bernoulli(opts.crossover_rate)) {
                 // Uniform crossover.
-                for (std::size_t g = 0; g < child.genes.size(); ++g) {
+                for (std::size_t g = 0; g < genes.size(); ++g) {
                     if (rng.bernoulli(0.5))
-                        child.genes[g] = parent_b.genes[g];
+                        genes[g] = parent_b.genes[g];
                 }
             }
-            for (auto& gene : child.genes) {
+            for (auto& gene : genes) {
                 if (rng.bernoulli(opts.mutation_rate)) {
                     gene = clamp(gene + rng.gaussian(0.0,
                                                      opts.mutation_sigma),
                                  0.0, 1.0);
                 }
             }
-            child.score = evaluate(child.genes);
-            next.push_back(std::move(child));
+            offspring.push_back(std::move(genes));
         }
+        const auto scores =
+            evaluate_batch(pool, fitness, offspring, result);
+        for (std::size_t i = 0; i < offspring.size(); ++i)
+            next.push_back({std::move(offspring[i]), scores[i]});
         population = std::move(next);
     }
 
@@ -150,21 +199,25 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
 
 OptimizeResult
 optimize_random(int gene_count, const OptimizerOptions& opts,
-                const FitnessFn& fitness)
+                const IndexedFitnessFn& fitness)
 {
     check_inputs(gene_count, opts);
     Rng rng(opts.seed);
+    runtime::ThreadPool pool(opts.threads);
     OptimizeResult result;
     result.best_score = 0.0;
     const int budget = opts.population * opts.generations;
-    for (int i = 0; i < budget; ++i) {
-        std::vector<double> genes = random_genes(rng, gene_count);
-        const double score = fitness(genes);
-        ++result.evaluations;
-        result.history.push_back({genes, score});
-        if (i == 0 || score < result.best_score) {
-            result.best_score = score;
-            result.best_genes = std::move(genes);
+
+    std::vector<std::vector<double>> genomes;
+    genomes.reserve(static_cast<std::size_t>(budget));
+    for (int i = 0; i < budget; ++i)
+        genomes.push_back(random_genes(rng, gene_count));
+    const auto scores = evaluate_batch(pool, fitness, genomes, result);
+
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+        if (i == 0 || scores[i] < result.best_score) {
+            result.best_score = scores[i];
+            result.best_genes = std::move(genomes[i]);
         }
     }
     return result;
@@ -172,9 +225,10 @@ optimize_random(int gene_count, const OptimizerOptions& opts,
 
 OptimizeResult
 optimize_grid(int gene_count, const OptimizerOptions& opts,
-              const FitnessFn& fitness)
+              const IndexedFitnessFn& fitness)
 {
     check_inputs(gene_count, opts);
+    runtime::ThreadPool pool(opts.threads);
     const int budget = opts.population * opts.generations;
     const int resolution = std::max(
         2, static_cast<int>(std::floor(std::pow(
@@ -182,22 +236,15 @@ optimize_grid(int gene_count, const OptimizerOptions& opts,
                1.0 / static_cast<double>(gene_count)))));
 
     OptimizeResult result;
+    std::vector<std::vector<double>> genomes;
     std::vector<int> index(static_cast<std::size_t>(gene_count), 0);
-    std::vector<double> genes(static_cast<std::size_t>(gene_count), 0.0);
-    bool first = true;
     while (true) {
+        std::vector<double> genes(static_cast<std::size_t>(gene_count));
         for (std::size_t g = 0; g < genes.size(); ++g) {
             genes[g] = static_cast<double>(index[g]) /
                        static_cast<double>(resolution - 1);
         }
-        const double score = fitness(genes);
-        ++result.evaluations;
-        result.history.push_back({genes, score});
-        if (first || score < result.best_score) {
-            result.best_score = score;
-            result.best_genes = genes;
-            first = false;
-        }
+        genomes.push_back(std::move(genes));
         // Odometer increment.
         std::size_t g = 0;
         while (g < index.size()) {
@@ -209,12 +256,20 @@ optimize_grid(int gene_count, const OptimizerOptions& opts,
         if (g == index.size())
             break;
     }
+
+    const auto scores = evaluate_batch(pool, fitness, genomes, result);
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+        if (i == 0 || scores[i] < result.best_score) {
+            result.best_score = scores[i];
+            result.best_genes = genomes[i];
+        }
+    }
     return result;
 }
 
 OptimizeResult
 optimize(OptimizerStrategy strategy, int gene_count,
-         const OptimizerOptions& opts, const FitnessFn& fitness)
+         const OptimizerOptions& opts, const IndexedFitnessFn& fitness)
 {
     switch (strategy) {
       case OptimizerStrategy::kGenetic:
@@ -225,6 +280,34 @@ optimize(OptimizerStrategy strategy, int gene_count,
         return optimize_grid(gene_count, opts, fitness);
     }
     panic("optimize: invalid strategy");
+}
+
+OptimizeResult
+optimize_genetic(int gene_count, const OptimizerOptions& opts,
+                 const FitnessFn& fitness)
+{
+    return optimize_genetic(gene_count, opts, drop_index(fitness));
+}
+
+OptimizeResult
+optimize_random(int gene_count, const OptimizerOptions& opts,
+                const FitnessFn& fitness)
+{
+    return optimize_random(gene_count, opts, drop_index(fitness));
+}
+
+OptimizeResult
+optimize_grid(int gene_count, const OptimizerOptions& opts,
+              const FitnessFn& fitness)
+{
+    return optimize_grid(gene_count, opts, drop_index(fitness));
+}
+
+OptimizeResult
+optimize(OptimizerStrategy strategy, int gene_count,
+         const OptimizerOptions& opts, const FitnessFn& fitness)
+{
+    return optimize(strategy, gene_count, opts, drop_index(fitness));
 }
 
 }  // namespace chrysalis::search

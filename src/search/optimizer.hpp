@@ -11,6 +11,7 @@
 #ifndef CHRYSALIS_SEARCH_OPTIMIZER_HPP
 #define CHRYSALIS_SEARCH_OPTIMIZER_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -20,6 +21,16 @@ namespace chrysalis::search {
 
 /// Fitness callback: lower is better. Genes are in [0, 1].
 using FitnessFn = std::function<double(const std::vector<double>&)>;
+
+/// Fitness callback that additionally receives the deterministic
+/// evaluation index (the position the point will occupy in
+/// `OptimizeResult::history`). When `OptimizerOptions::threads != 1` the
+/// optimizer invokes this concurrently from pool threads, so the callback
+/// must be thread-safe; the index lets callers record side products
+/// (e.g. fully evaluated designs) in an order independent of thread
+/// scheduling.
+using IndexedFitnessFn =
+    std::function<double(std::size_t index, const std::vector<double>&)>;
 
 /// Options shared by all optimizer strategies.
 struct OptimizerOptions {
@@ -31,6 +42,11 @@ struct OptimizerOptions {
     int tournament_size = 3;
     int elitism = 2;           ///< individuals copied unchanged per gen
     std::uint64_t seed = 1;
+    /// Fitness-evaluation parallelism: 0 = all hardware threads, 1 =
+    /// strictly serial (the historical code path). Any value yields
+    /// bit-identical results for a fixed seed: all RNG is drawn on the
+    /// caller thread in serial order and batches reduce in index order.
+    int threads = 0;
     /// Warm-start individuals injected into the initial GA population
     /// (e.g. the frozen-default design, so a search over a superset space
     /// never loses to its own subspace). Ignored by random/grid.
@@ -58,19 +74,30 @@ enum class OptimizerStrategy { kGenetic, kRandom, kGrid };
 std::string to_string(OptimizerStrategy strategy);
 
 /// Tournament GA with uniform crossover, gaussian mutation and elitism.
+/// Fitness batches (initial population, per-generation offspring) are
+/// evaluated on a runtime::ThreadPool of `opts.threads` workers.
+OptimizeResult optimize_genetic(int gene_count, const OptimizerOptions& opts,
+                                const IndexedFitnessFn& fitness);
 OptimizeResult optimize_genetic(int gene_count, const OptimizerOptions& opts,
                                 const FitnessFn& fitness);
 
 /// Uniform random sampling with the same evaluation budget as the GA.
+OptimizeResult optimize_random(int gene_count, const OptimizerOptions& opts,
+                               const IndexedFitnessFn& fitness);
 OptimizeResult optimize_random(int gene_count, const OptimizerOptions& opts,
                                const FitnessFn& fitness);
 
 /// Full-factorial grid with per-dimension resolution chosen to fit the
 /// budget (resolution = floor(budget^(1/n)), at least 2).
 OptimizeResult optimize_grid(int gene_count, const OptimizerOptions& opts,
+                             const IndexedFitnessFn& fitness);
+OptimizeResult optimize_grid(int gene_count, const OptimizerOptions& opts,
                              const FitnessFn& fitness);
 
 /// Dispatches on \p strategy.
+OptimizeResult optimize(OptimizerStrategy strategy, int gene_count,
+                        const OptimizerOptions& opts,
+                        const IndexedFitnessFn& fitness);
 OptimizeResult optimize(OptimizerStrategy strategy, int gene_count,
                         const OptimizerOptions& opts,
                         const FitnessFn& fitness);

@@ -3,6 +3,11 @@
 
 #include "common/logging.hpp"
 
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace chrysalis {
@@ -61,6 +66,64 @@ TEST_F(LoggingTest, SilentSuppressesEverything)
     debug("hidden");
     inform("hidden");
     EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, SinkReceivesLevelAndMessage)
+{
+    set_log_level(LogLevel::kWarn);
+    std::vector<std::pair<LogLevel, std::string>> records;
+    set_log_sink([&](LogLevel level, std::string_view message) {
+        records.emplace_back(level, std::string(message));
+    });
+    warn("watch out");
+    inform("filtered");  // below threshold: never reaches the sink
+    set_log_sink({});
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].first, LogLevel::kWarn);
+    EXPECT_EQ(records[0].second, "watch out");
+}
+
+TEST_F(LoggingTest, EmptySinkRestoresStderr)
+{
+    set_log_level(LogLevel::kWarn);
+    set_log_sink([](LogLevel, std::string_view) {});
+    set_log_sink({});
+    ::testing::internal::CaptureStderr();
+    warn("back on stderr");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "back on stderr"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentLoggingKeepsRecordsWhole)
+{
+    // N threads racing on the logger: the sink runs under the logging
+    // mutex, so we must see exactly N*M records and every one intact.
+    set_log_level(LogLevel::kInform);
+    std::vector<std::string> records;
+    set_log_sink([&](LogLevel, std::string_view message) {
+        records.push_back(std::string(message));
+    });
+
+    constexpr int kThreads = 8;
+    constexpr int kMessages = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int m = 0; m < kMessages; ++m)
+                inform("thread ", t, " message ", m, " end");
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    set_log_sink({});
+
+    ASSERT_EQ(records.size(),
+              static_cast<std::size_t>(kThreads) * kMessages);
+    for (const std::string& record : records) {
+        EXPECT_EQ(record.rfind("thread ", 0), 0u) << record;
+        EXPECT_NE(record.find(" end"), std::string::npos) << record;
+    }
 }
 
 TEST(LoggingDeathTest, FatalExitsWithCodeOne)

@@ -1,0 +1,107 @@
+/// \file
+/// Tests for the stable evaluation-key hash: determinism, sensitivity to
+/// value and order, and the floating-point normalization rules.
+
+#include "runtime/stable_hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::runtime {
+namespace {
+
+TEST(StableHashTest, SameInputsSameKey)
+{
+    StableHash a;
+    a.add(std::uint64_t{1}).add(2.5).add(std::string_view("model"));
+    StableHash b;
+    b.add(std::uint64_t{1}).add(2.5).add(std::string_view("model"));
+    EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(StableHashTest, DifferentValuesDifferentKey)
+{
+    StableHash a;
+    a.add(std::uint64_t{1});
+    StableHash b;
+    b.add(std::uint64_t{2});
+    EXPECT_FALSE(a.key() == b.key());
+}
+
+TEST(StableHashTest, OrderMatters)
+{
+    StableHash ab;
+    ab.add(std::uint64_t{1}).add(std::uint64_t{2});
+    StableHash ba;
+    ba.add(std::uint64_t{2}).add(std::uint64_t{1});
+    EXPECT_FALSE(ab.key() == ba.key());
+}
+
+TEST(StableHashTest, NegativeZeroEqualsPositiveZero)
+{
+    StableHash pos;
+    pos.add(0.0);
+    StableHash neg;
+    neg.add(-0.0);
+    EXPECT_EQ(pos.key(), neg.key());
+}
+
+TEST(StableHashTest, StringsAreLengthPrefixed)
+{
+    // "ab" + "c" must differ from "a" + "bc".
+    StableHash a;
+    a.add(std::string_view("ab")).add(std::string_view("c"));
+    StableHash b;
+    b.add(std::string_view("a")).add(std::string_view("bc"));
+    EXPECT_FALSE(a.key() == b.key());
+}
+
+TEST(StableHashTest, LongStringsHashStably)
+{
+    const std::string text(1000, 'x');
+    StableHash a;
+    a.add(std::string_view(text));
+    StableHash b;
+    b.add(std::string_view(text));
+    EXPECT_EQ(a.key(), b.key());
+
+    std::string other = text;
+    other[999] = 'y';
+    StableHash c;
+    c.add(std::string_view(other));
+    EXPECT_FALSE(a.key() == c.key());
+}
+
+TEST(StableHashTest, RangeIncludesLength)
+{
+    // {1} then {2} must differ from {1, 2} then {}.
+    StableHash a;
+    a.add_range(std::vector<double>{1.0});
+    a.add_range(std::vector<double>{2.0});
+    StableHash b;
+    b.add_range(std::vector<double>{1.0, 2.0});
+    b.add_range(std::vector<double>{});
+    EXPECT_FALSE(a.key() == b.key());
+}
+
+TEST(StableHashTest, CopyForksTheState)
+{
+    StableHash base;
+    base.add(std::uint64_t{7});
+    StableHash fork_a = base;
+    fork_a.add(std::uint64_t{1});
+    StableHash fork_b = base;
+    fork_b.add(std::uint64_t{1});
+    EXPECT_EQ(fork_a.key(), fork_b.key());
+    EXPECT_FALSE(fork_a.key() == base.key());
+}
+
+TEST(StableHashTest, EmptyAndNonEmptyDiffer)
+{
+    StableHash empty;
+    StableHash one;
+    one.add(std::uint64_t{0});
+    EXPECT_FALSE(empty.key() == one.key());
+}
+
+}  // namespace
+}  // namespace chrysalis::runtime
