@@ -96,7 +96,7 @@ main()
                      format_si(cost.e_ckpt_j, "J", 1),
                      eval.feasible ? format_si(eval.latency_s, "s")
                                    : ("infeasible: " +
-                                      eval.failure_reason)});
+                                      eval.failure.message())});
             };
             row("untiled", untiled_cost, untiled);
             row("max-tiled", max_cost, maxed);

@@ -1,0 +1,166 @@
+/// \file
+/// Fault sensitivity study: how gracefully does a CHRYSALIS-generated
+/// AuT degrade under deployment-time faults, and how much of the loss can
+/// a fault-aware re-search recover? For each fault regime (harvester
+/// dropout storms, capacitor/PMIC ageing, NVM checkpoint corruption and
+/// their combination) the clean optimum is replayed on the fault-injected
+/// step simulator, then the search is re-run with the same fault spec
+/// folded into its environments. Fault injection is seed-deterministic,
+/// so every row reproduces exactly.
+
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "common/string_utils.hpp"
+#include "common/table.hpp"
+#include "dnn/model_zoo.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+struct Regime {
+    const char* label;
+    fault::FaultSpec spec;
+};
+
+std::vector<Regime>
+regimes()
+{
+    std::vector<Regime> list;
+    list.push_back({"clean", fault::FaultSpec{}});
+
+    // Sub-second windows so storms land within a single inference
+    // (latencies here are hundreds of milliseconds).
+    fault::FaultSpec storm;
+    storm.seed = 17;
+    storm.dropout_window_s = 1.0;
+    storm.dropout_probability = 0.5;
+    storm.dropout_duration_s = 0.4;
+    list.push_back({"dropout storm", storm});
+
+    fault::FaultSpec aged;
+    aged.mission_age_years = 8.0;
+    aged.cap_fade_per_year = 0.02;
+    aged.leakage_growth_per_year = 0.10;
+    aged.v_on_drift_sigma_v = 0.05;
+    aged.v_off_drift_sigma_v = 0.05;
+    list.push_back({"8y ageing", aged});
+
+    fault::FaultSpec corrupt;
+    corrupt.seed = 23;
+    corrupt.ckpt_corruption_rate = 0.2;
+    list.push_back({"ckpt corruption 20%", corrupt});
+
+    fault::FaultSpec combined = storm;
+    combined.mission_age_years = aged.mission_age_years;
+    combined.cap_fade_per_year = aged.cap_fade_per_year;
+    combined.leakage_growth_per_year = aged.leakage_growth_per_year;
+    combined.ckpt_corruption_rate = corrupt.ckpt_corruption_rate;
+    list.push_back({"storm + age + corrupt", combined});
+    return list;
+}
+
+core::Chrysalis
+make_tool(const dnn::Model& model, const bench::Budget& budget,
+          const fault::FaultInjector* faults)
+{
+    search::ExplorerOptions options = bench::make_options(budget, 4242);
+    options.faults = faults;
+    return core::Chrysalis(core::ChrysalisInputs{
+        model, search::DesignSpace::existing_aut(),
+        search::Objective{search::ObjectiveKind::kLatSp, 0.0, 0.0},
+        options});
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_banner(
+        "Fault sensitivity",
+        "Degradation of the clean optimum under injected faults vs. a "
+        "fault-aware re-search (KWS workload, lat*sp objective).");
+
+    const bench::Budget budget = bench::Budget::from_env();
+    const dnn::Model model = dnn::make_kws_mlp();
+
+    const core::Chrysalis clean_tool = make_tool(model, budget, nullptr);
+    const core::AuTSolution clean = clean_tool.generate();
+    if (!clean.feasible) {
+        std::cout << "clean search infeasible; aborting: "
+                  << clean.failure.message() << "\n";
+        return 1;
+    }
+    // Replay in the *darker* environment, where the design duty-cycles:
+    // brown-outs give corruption a restore stream to attack, and charge
+    // phases give dropouts something to stretch.
+    const double k_eh = clean_tool.inputs().options.k_eh_envs.back();
+
+    TextTable table({"Regime", "sim lat (replayed)", "lat drift",
+                     "re-search lat*sp", "SP (cm^2)", "C"});
+    double clean_replay_latency = 0.0;
+    for (const auto& regime : regimes()) {
+        const fault::FaultInjector faults(regime.spec);
+        const bool active = regime.spec.any_active();
+
+        // Replay the *clean* optimum on the fault-injected simulator.
+        sim::SimConfig sim_config;
+        sim_config.faults = active ? &faults : nullptr;
+        const core::ValidationResult replay =
+            clean_tool.validate(clean, k_eh, sim_config);
+        if (!active)
+            clean_replay_latency = replay.mean_sim_latency_s;
+        const std::string drift =
+            clean_replay_latency > 0.0
+                ? format_percent((replay.mean_sim_latency_s -
+                                  clean_replay_latency) /
+                                 clean_replay_latency)
+                : "-";
+
+        // Fault-aware re-search: the same spec derates the search's own
+        // environments, so the optimizer can trade panel/capacitor sizing
+        // against the expected fault burden.
+        const core::Chrysalis faulted_tool =
+            make_tool(model, budget, active ? &faults : nullptr);
+        const core::AuTSolution resized = faulted_tool.generate();
+
+        if (!replay.sim.completed) {
+            table.add_row({regime.label,
+                           "failed: " +
+                               std::string(fault::to_string(
+                                   replay.sim.failure.code)),
+                           "-",
+                           resized.feasible
+                               ? format_fixed(resized.lat_sp, 2)
+                               : "infeasible",
+                           "-", "-"});
+            continue;
+        }
+        table.add_row(
+            {regime.label, format_si(replay.mean_sim_latency_s, "s", 2),
+             drift,
+             resized.feasible
+                 ? format_fixed(resized.lat_sp, 2)
+                 : "infeasible: " +
+                       std::string(fault::to_string(resized.failure.code)),
+             resized.feasible ? format_fixed(resized.hardware.solar_cm2, 1)
+                              : "-",
+             resized.feasible
+                 ? format_si(resized.hardware.capacitance_f, "F", 0)
+                 : "-"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: replayed latency of the clean design "
+                 "grows with fault severity (dropouts stretch charging, "
+                 "ageing leaks away storage), while the fault-aware "
+                 "re-search sizes the harvester and capacitor for the "
+                 "degraded environment. Checkpoint corruption alone "
+                 "often shows no drift: it only bites designs that "
+                 "brown out mid-inference, and the optimizer sizes the "
+                 "capacitor to avoid exactly that.\n";
+    return 0;
+}

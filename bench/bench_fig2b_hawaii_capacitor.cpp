@@ -54,8 +54,8 @@ main()
             std::string throughput = "-";
             std::string ckpt_frac = "-";
             if (!eval.feasible) {
-                status = eval.failure_reason.find("leakage") !=
-                                 std::string::npos
+                status = eval.failure.code ==
+                                 fault::FailureCode::kLeakageDominates
                              ? "UNAVAILABLE (leakage)"
                              : "infeasible";
             } else {

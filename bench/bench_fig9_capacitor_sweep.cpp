@@ -55,7 +55,7 @@ main()
                 rows.push_back({format_si(cap, "F", 0),
                                 std::to_string(mapping.cost.n_tile), "-",
                                 "-", "-",
-                                "infeasible (" + eval.failure_reason +
+                                "infeasible (" + eval.failure.message() +
                                     ")"});
                 continue;
             }

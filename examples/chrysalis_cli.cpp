@@ -207,7 +207,7 @@ main(int argc, char** argv)
             tool.validate(solution, options.bright);
         if (!validation.sim.completed) {
             std::fprintf(stderr, "validation failed: %s\n",
-                         validation.sim.failure_reason.c_str());
+                         validation.sim.failure.message().c_str());
             return 1;
         }
         std::printf("validated: sim %s vs analytic %s (error %s)\n",

@@ -37,7 +37,7 @@ main()
     core::ValidationResult validation = tool.validate(solution, k_eh);
     if (!validation.sim.completed) {
         std::printf("validation failed: %s\n",
-                    validation.sim.failure_reason.c_str());
+                    validation.sim.failure.message().c_str());
         return 1;
     }
     std::printf("Step-simulator validation (k_eh = %s/cm^2):\n",

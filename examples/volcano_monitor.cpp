@@ -68,7 +68,7 @@ main()
         ++attempted;
         if (!result.completed) {
             std::printf("  %02d:00  %-12s %-10s %-8s %s\n", hour,
-                        "-", "-", "-", result.failure_reason.c_str());
+                        "-", "-", "-", result.failure.message().c_str());
             continue;
         }
         const bool ok = result.latency_s <=

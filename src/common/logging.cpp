@@ -30,7 +30,26 @@ level_tag(LogLevel level)
     return "?";
 }
 
+/// Depth of nested FatalThrowGuards on this thread; > 0 => fatal throws.
+thread_local int g_fatal_throw_depth = 0;
+
 }  // namespace
+
+FatalThrowGuard::FatalThrowGuard()
+{
+    ++g_fatal_throw_depth;
+}
+
+FatalThrowGuard::~FatalThrowGuard()
+{
+    --g_fatal_throw_depth;
+}
+
+bool
+FatalThrowGuard::active()
+{
+    return g_fatal_throw_depth > 0;
+}
 
 LogLevel
 log_level()
@@ -70,6 +89,8 @@ namespace detail {
 void
 fatal_exit(const std::string& message)
 {
+    if (FatalThrowGuard::active())
+        throw FatalError(message);
     // Deliberately no mutex: fatal/panic must make it out even if the
     // crashing thread already holds the logging lock.
     std::fprintf(stderr, "[chrysalis:fatal] %s\n", message.c_str());

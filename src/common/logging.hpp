@@ -11,10 +11,37 @@
 
 #include <functional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace chrysalis {
+
+/// Exception thrown by fatal() while a FatalThrowGuard is active on the
+/// calling thread; carries the formatted fatal message.
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& message)
+        : std::runtime_error(message)
+    {}
+};
+
+/// RAII guard converting fatal() on the *current thread* from exit(1)
+/// into a thrown FatalError for the guard's lifetime. Lets a supervisor
+/// (e.g. core::run_campaign) isolate a misbehaving case instead of
+/// taking the whole process down. Guards nest; panic() still aborts.
+class FatalThrowGuard
+{
+  public:
+    FatalThrowGuard();
+    ~FatalThrowGuard();
+    FatalThrowGuard(const FatalThrowGuard&) = delete;
+    FatalThrowGuard& operator=(const FatalThrowGuard&) = delete;
+
+    /// True when fatal() on this thread would throw instead of exit.
+    static bool active();
+};
 
 /// Severity of a log record, ordered from chattiest to most severe.
 enum class LogLevel {
@@ -58,7 +85,8 @@ concat(Args&&... args)
     return os.str();
 }
 
-/// Terminates the process with exit(1); used by fatal().
+/// Terminates the process with exit(1) — or throws FatalError when a
+/// FatalThrowGuard is active on the calling thread; used by fatal().
 [[noreturn]] void fatal_exit(const std::string& message);
 
 /// Terminates the process with abort(); used by panic().

@@ -1,20 +1,46 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "common/logging.hpp"
+#include "core/campaign_journal.hpp"
 #include "hw/accelerator.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace chrysalis::core {
 
 void
-CampaignResult::write_csv(std::ostream& output) const
+CampaignOptions::validate() const
+{
+    if (threads < 0)
+        fatal("CampaignOptions: threads must be >= 0 (0 = all hardware "
+              "threads), got ", threads);
+    if (max_attempts < 1)
+        fatal("CampaignOptions: max_attempts must be >= 1, got ",
+              max_attempts);
+    if (!(retry_backoff_s >= 0.0) || !std::isfinite(retry_backoff_s))
+        fatal("CampaignOptions: retry_backoff_s must be finite and >= 0, "
+              "got ", retry_backoff_s);
+    if (!(retry_backoff_cap_s >= 0.0) ||
+        !std::isfinite(retry_backoff_cap_s))
+        fatal("CampaignOptions: retry_backoff_cap_s must be finite and "
+              ">= 0, got ", retry_backoff_cap_s);
+}
+
+void
+CampaignResult::write_csv(std::ostream& output, CsvColumns columns) const
 {
     output << "label,feasible,objective,sp_cm2,capacitance_f,arch,n_pe,"
-              "cache_bytes,mean_latency_s,lat_sp,score,evaluations,"
-              "cache_hits,cache_misses,wall_time_s\n";
+              "cache_bytes,mean_latency_s,lat_sp,score,failure,"
+              "evaluations,cache_hits,cache_misses,attempts";
+    if (columns == CsvColumns::kAll)
+        output << ",wall_time_s";
+    output << '\n';
     for (const auto& entry : entries) {
         const auto& solution = entry.solution;
         output << entry.label << ',' << (solution.feasible ? 1 : 0)
@@ -25,10 +51,13 @@ CampaignResult::write_csv(std::ostream& output) const
                << solution.hardware.n_pe << ','
                << solution.hardware.cache_bytes << ','
                << solution.mean_latency_s << ',' << solution.lat_sp
-               << ',' << solution.score << ',' << solution.evaluations
-               << ',' << solution.cache_hits << ','
-               << solution.cache_misses << ',' << entry.wall_time_s
-               << '\n';
+               << ',' << solution.score << ','
+               << fault::to_string(solution.failure.code) << ','
+               << solution.evaluations << ',' << solution.cache_hits
+               << ',' << solution.cache_misses << ',' << entry.attempts;
+        if (columns == CsvColumns::kAll)
+            output << ',' << entry.wall_time_s;
+        output << '\n';
     }
 }
 
@@ -42,6 +71,81 @@ CampaignResult::entry(const std::string& label) const
     fatal("CampaignResult: no entry labelled '", label, "'");
 }
 
+namespace {
+
+/// Runs one case end-to-end (explorer construction + search), timing it
+/// on a monotonic clock inside the task so fan-out reports each case's
+/// own duration. May fatal()/throw; the caller handles isolation.
+CampaignEntry
+run_case(const CampaignCase& campaign_case,
+         const search::ExplorerOptions& base_options, std::size_t index)
+{
+    using Clock = std::chrono::steady_clock;
+    search::ExplorerOptions options = base_options;
+    options.outer.seed = base_options.outer.seed + 1000 * (index + 1);
+    ChrysalisInputs inputs{campaign_case.model, campaign_case.space,
+                           campaign_case.objective, options};
+    const Chrysalis tool(std::move(inputs));
+    const auto start = Clock::now();
+    AuTSolution solution = tool.generate();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    CampaignEntry entry;
+    entry.label = campaign_case.label;
+    entry.objective_label = to_string(campaign_case.objective.kind);
+    entry.solution = std::move(solution);
+    entry.wall_time_s = elapsed;
+    return entry;
+}
+
+/// run_case with retry + crash isolation: a fatal() inside the case is
+/// caught (via FatalThrowGuard), retried with capped exponential backoff
+/// and — when attempts are exhausted — turned into an infeasible
+/// kCrashed entry so one bad case cannot kill a long campaign.
+CampaignEntry
+run_case_isolated(const CampaignCase& campaign_case,
+                  const search::ExplorerOptions& base_options,
+                  std::size_t index, const CampaignOptions& campaign_options)
+{
+    std::string last_error;
+    for (int attempt = 1; attempt <= campaign_options.max_attempts;
+         ++attempt) {
+        try {
+            FatalThrowGuard guard;
+            CampaignEntry entry =
+                run_case(campaign_case, base_options, index);
+            entry.attempts = attempt;
+            return entry;
+        } catch (const std::exception& error) {
+            last_error = error.what();
+            warn("campaign case '", campaign_case.label, "' attempt ",
+                 attempt, "/", campaign_options.max_attempts,
+                 " failed: ", last_error);
+        }
+        if (attempt < campaign_options.max_attempts &&
+            campaign_options.retry_backoff_s > 0.0) {
+            const double backoff = std::min(
+                campaign_options.retry_backoff_cap_s,
+                campaign_options.retry_backoff_s *
+                    std::pow(2.0, attempt - 1));
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(backoff));
+        }
+    }
+    CampaignEntry entry;
+    entry.label = campaign_case.label;
+    entry.objective_label = to_string(campaign_case.objective.kind);
+    entry.attempts = campaign_options.max_attempts;
+    entry.solution.feasible = false;
+    entry.solution.failure = fault::make_failure(
+        fault::FailureCode::kCrashed, last_error);
+    entry.solution.score = campaign_case.objective.penalty_score(
+        entry.solution.failure);
+    return entry;
+}
+
+}  // namespace
+
 CampaignResult
 run_campaign(const std::vector<CampaignCase>& cases,
              const search::ExplorerOptions& base_options,
@@ -49,34 +153,50 @@ run_campaign(const std::vector<CampaignCase>& cases,
 {
     if (cases.empty())
         fatal("run_campaign: no cases supplied");
-    if (campaign_options.threads < 0)
-        fatal("run_campaign: threads must be >= 0, got ",
-              campaign_options.threads);
+    campaign_options.validate();
 
     using Clock = std::chrono::steady_clock;
     const auto campaign_start = Clock::now();
 
+    // Resume support: compute every case's stable key up front, load the
+    // journal once, and only evaluate cases the journal does not cover.
+    const bool journaled = !campaign_options.journal_path.empty();
+    std::vector<std::string> keys(cases.size());
+    std::unordered_map<std::string, JournalRecord> journal;
+    if (journaled) {
+        for (std::size_t i = 0; i < cases.size(); ++i)
+            keys[i] = campaign_case_key_hex(cases[i], base_options, i);
+        journal = load_campaign_journal(campaign_options.journal_path);
+    }
+
     CampaignResult result;
     result.entries.resize(cases.size());
+    std::mutex journal_mutex;
     runtime::ThreadPool pool(campaign_options.threads);
     pool.parallel_for(cases.size(), [&](std::size_t index) {
-        const auto& campaign_case = cases[index];
-        search::ExplorerOptions options = base_options;
-        options.outer.seed =
-            base_options.outer.seed + 1000 * (index + 1);
-        ChrysalisInputs inputs{campaign_case.model, campaign_case.space,
-                               campaign_case.objective, options};
-        const Chrysalis tool(std::move(inputs));
-        // Per-case timing lives inside the task: under fan-out each
-        // case reports its own duration, not the loop's.
-        const auto start = Clock::now();
-        AuTSolution solution = tool.generate();
-        const double elapsed =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        result.entries[index] = {campaign_case.label,
-                                 to_string(campaign_case.objective.kind),
-                                 std::move(solution), elapsed};
+        if (journaled) {
+            const auto it = journal.find(keys[index]);
+            if (it != journal.end()) {
+                result.entries[index] = from_journal_record(it->second);
+                return;
+            }
+        }
+        CampaignEntry entry = campaign_options.isolate_failures
+            ? run_case_isolated(cases[index], base_options, index,
+                                campaign_options)
+            : run_case(cases[index], base_options, index);
+        if (journaled) {
+            const JournalRecord record =
+                to_journal_record(entry, keys[index]);
+            std::lock_guard<std::mutex> lock(journal_mutex);
+            append_campaign_journal(campaign_options.journal_path, record);
+        }
+        result.entries[index] = std::move(entry);
     });
+    for (const auto& entry : result.entries) {
+        if (entry.from_journal)
+            ++result.journal_skips;
+    }
     result.wall_time_s =
         std::chrono::duration<double>(Clock::now() - campaign_start)
             .count();

@@ -33,17 +33,28 @@ struct CampaignEntry {
     /// concurrently (it is the case's own duration, not a share of the
     /// campaign's elapsed time).
     double wall_time_s = 0.0;
+    int attempts = 1;          ///< evaluation attempts (1 = first try)
+    bool from_journal = false; ///< restored from a resume journal, not run
+};
+
+/// Which columns write_csv emits.
+enum class CsvColumns {
+    kAll,            ///< every column, including wall-clock timing
+    kDeterministic,  ///< drops wall_time_s, so a resumed campaign's CSV
+                     ///< is byte-identical to an uninterrupted run's
 };
 
 /// Aggregated campaign results.
 struct CampaignResult {
     std::vector<CampaignEntry> entries;
     double wall_time_s = 0.0;  ///< whole-campaign wall-clock time
+    std::size_t journal_skips = 0;  ///< cases restored from the journal
 
     /// Writes a CSV with one row per case: label, feasibility, the
-    /// chosen EA/IA parameters, metrics, search effort, memo-cache
-    /// activity and timing.
-    void write_csv(std::ostream& output) const;
+    /// chosen EA/IA parameters, metrics, failure code, search effort,
+    /// memo-cache activity, attempts and (in kAll mode) timing.
+    void write_csv(std::ostream& output,
+                   CsvColumns columns = CsvColumns::kAll) const;
 
     /// Looks up an entry by label; fatal() if absent.
     const CampaignEntry& entry(const std::string& label) const;
@@ -57,6 +68,29 @@ struct CampaignOptions {
     /// running on campaign workers keep their inner evaluation serial
     /// (nested pool batches run inline), avoiding oversubscription.
     int threads = 1;
+
+    /// When true, a case whose evaluation fatals (bad derived
+    /// configuration, a crashed search) is retried and — if it keeps
+    /// failing — recorded as an infeasible kCrashed entry instead of
+    /// killing the whole campaign. When false, fatal() behaves as usual
+    /// and terminates the process.
+    bool isolate_failures = true;
+    /// Evaluation attempts per case (>= 1); only meaningful with
+    /// isolate_failures.
+    int max_attempts = 2;
+    /// Base sleep before a retry; doubles per attempt.
+    double retry_backoff_s = 0.0;
+    /// Cap on the retry backoff.
+    double retry_backoff_cap_s = 5.0;
+
+    /// When non-empty, finished cases are appended to this JSONL journal
+    /// and — on a later run with the same cases and options — loaded
+    /// from it instead of re-evaluated, so a killed campaign resumes
+    /// where it stopped. See campaign_journal.hpp.
+    std::string journal_path;
+
+    /// fatal() with an actionable message when any field is out of range.
+    void validate() const;
 };
 
 /// Runs every case with \p base_options (the per-case seed is offset by

@@ -24,6 +24,8 @@ AuTSolution::describe(const dnn::Model& model) const
     const auto hw_model = hardware.build_hardware();
     os << "  " << hw_model->describe() << "\n";
     os << "Metrics:\n";
+    if (failure)
+        os << "  failure: " << failure.message() << "\n";
     os << "  mean latency = " << format_si(mean_latency_s, "s") << "\n";
     os << "  lat*sp = " << format_fixed(lat_sp, 2) << " cm^2*s\n";
     os << "  E_all = " << format_si(cost.total_energy_j(), "J") << ", "
@@ -59,6 +61,7 @@ Chrysalis::to_solution(const search::EvaluatedDesign& design,
     solution.lat_sp = design.mean_latency_s * design.candidate.solar_cm2;
     solution.score = design.score;
     solution.feasible = design.feasible;
+    solution.failure = design.failure;
     if (result != nullptr) {
         solution.pareto = result->pareto;
         solution.evaluations = result->evaluations;
@@ -125,11 +128,14 @@ Chrysalis::validate(const AuTSolution& solution, double k_eh,
     validation.mean_sim_latency_s =
         completed > 0 ? latency_sum / completed : 0.0;
 
-    // Analytic reference in the same environment.
+    // Analytic reference in the same environment (fault-derated when the
+    // simulation injects faults, so the comparison stays apples-to-apples).
     sim::EnergyEnv env;
     env.p_eh_w = solution.hardware.solar_cm2 * k_eh;
     env.capacitor = cap_config;
     env.pmic = inputs_.options.pmic;
+    if (sim_config.faults != nullptr)
+        env = sim::with_faults(env, *sim_config.faults);
     const sim::AnalyticResult analytic =
         sim::analytic_evaluate(solution.cost, env);
     validation.analytic_latency_s = analytic.latency_s;

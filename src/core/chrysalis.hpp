@@ -39,6 +39,7 @@ struct AuTSolution {
     double lat_sp = 0.0;             ///< latency * solar-panel product
     double score = 0.0;              ///< objective score
     bool feasible = false;
+    fault::SimFailure failure;       ///< why, when not feasible
 
     std::vector<search::ParetoPoint> pareto;  ///< (sp, lat) front
     int evaluations = 0;             ///< design points evaluated

@@ -46,6 +46,22 @@ Capacitor::set_temperature(double temperature_c)
     config_.temperature_c = temperature_c;
 }
 
+void
+Capacitor::derate(double capacitance_scale, double leakage_scale)
+{
+    if (!(capacitance_scale > 0.0 && capacitance_scale <= 1.0))
+        fatal("Capacitor::derate: capacitance scale must be in (0, 1], "
+              "got ", capacitance_scale);
+    if (!(leakage_scale >= 1.0))
+        fatal("Capacitor::derate: leakage scale must be >= 1, got ",
+              leakage_scale);
+    const double energy = stored_energy();
+    config_.capacitance_f *= capacitance_scale;
+    config_.k_cap *= leakage_scale;
+    voltage_ = std::min(std::sqrt(2.0 * energy / config_.capacitance_f),
+                        config_.rated_voltage_v);
+}
+
 double
 Capacitor::leakage_current() const
 {

@@ -41,6 +41,13 @@ class Capacitor
     /// Updates the operating temperature (affects leakage only).
     void set_temperature(double temperature_c);
 
+    /// Applies mission-age degradation: capacitance is multiplied by
+    /// \p capacitance_scale (in (0, 1]) and the leakage coefficient by
+    /// \p leakage_scale (>= 1). Stored charge is preserved, so the
+    /// terminal voltage rises accordingly (clipped at the rated ceiling;
+    /// the excess is lost). Used by fault injection.
+    void derate(double capacitance_scale, double leakage_scale);
+
     /// Stored energy 1/2 C V^2 [J].
     double stored_energy() const;
 

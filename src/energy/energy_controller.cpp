@@ -23,6 +23,35 @@ EnergyController::EnergyController(std::unique_ptr<EnergyHarvester> harvester,
                                                   : PowerState::kCharging;
 }
 
+void
+EnergyController::attach_fault_model(const PowerFaultModel* model)
+{
+    if (model == fault_)
+        return;
+    if (fault_ != nullptr && model != nullptr) {
+        fatal("EnergyController::attach_fault_model: a different fault "
+              "model is already attached; its static derating cannot be "
+              "undone — build a fresh controller instead");
+    }
+    fault_ = model;
+    if (model == nullptr)
+        return;
+    capacitor_.derate(model->capacitance_scale(), model->leakage_scale());
+    pmic_.apply_threshold_drift(model->v_on_offset_v(),
+                                model->v_off_offset_v(),
+                                capacitor_.config().rated_voltage_v);
+    // Threshold drift can move the operating point across U_on.
+    state_ = capacitor_.voltage() >= pmic_.v_on() ? PowerState::kActive
+                                                  : PowerState::kCharging;
+}
+
+double
+EnergyController::input_power_w(double t_s) const
+{
+    const double raw = harvester_->power(t_s);
+    return fault_ ? raw * fault_->harvest_factor(t_s) : raw;
+}
+
 EnergyStepResult
 EnergyController::step(double t_s, double dt_s, double load_power_w)
 {
@@ -36,7 +65,7 @@ EnergyController::step(double t_s, double dt_s, double load_power_w)
     // 1. Harvest through the charger onto the storage bus. The PMIC can
     //    feed the load directly from harvest within the step; only the
     //    surplus/deficit goes through (comes from) the capacitor.
-    const double harvested = harvester_->power(t_s) * dt_s;
+    const double harvested = input_power_w(t_s) * dt_s;
     ledger_.harvested_j += harvested;
     double bus_energy = harvested * pmic_.charge_efficiency();
 
@@ -111,7 +140,7 @@ EnergyController::available_energy_eq3(double t_s, double exec_time_s) const
     const double c = capacitor_.config().capacitance_f;
     const double k_cap = capacitor_.config().k_cap;
     const double e_store = 0.5 * c * (v_on * v_on - v_off * v_off);
-    const double p_eh = harvester_->power(t_s);
+    const double p_eh = input_power_w(t_s);
     const double p_leak = k_cap * c * v_on * v_on;
     return e_store + exec_time_s * (p_eh - p_leak);  // Eq. 3
 }

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "energy/capacitor.hpp"
+#include "energy/fault_hooks.hpp"
 #include "energy/harvester.hpp"
 #include "energy/power_management.hpp"
 
@@ -55,6 +56,20 @@ class EnergyController
     /// \param pmic threshold/efficiency model.
     EnergyController(std::unique_ptr<EnergyHarvester> harvester,
                      Capacitor capacitor, PowerManagementIc pmic);
+
+    /// Attaches an optional fault model (non-owning; may be null to
+    /// detach). Static degradations — capacitance fade, leakage growth,
+    /// PMIC threshold drift — are applied to the owned components once,
+    /// at attach time; the time-varying harvest factor is consulted on
+    /// every step. Re-attaching the same model is a no-op; replacing one
+    /// non-null model with a different one is a user error (the earlier
+    /// derating cannot be undone) and fatal()s.
+    void attach_fault_model(const PowerFaultModel* model);
+
+    /// Harvester output power at \p t_s after the fault model's harvest
+    /// factor [W]. All charging math (including the simulator's
+    /// time-to-turn-on estimate) must use this, not the raw harvester.
+    double input_power_w(double t_s) const;
 
     /// Advances time by \p dt_s while the load requests \p load_power_w.
     /// Harvest, leakage and quiescent draw are applied; load energy is
@@ -98,6 +113,7 @@ class EnergyController
     PowerManagementIc pmic_;
     PowerState state_ = PowerState::kCharging;
     EnergyLedger ledger_;
+    const PowerFaultModel* fault_ = nullptr;  ///< non-owning
 };
 
 }  // namespace chrysalis::energy

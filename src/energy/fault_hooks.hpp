@@ -1,0 +1,45 @@
+/// \file
+/// Fault-injection hook interface for the energy subsystem.
+///
+/// `EnergyController` consults an optional `PowerFaultModel` while
+/// stepping, so fault models (see `fault::FaultInjector`) can perturb the
+/// modeled device without the energy library depending on the fault
+/// library: harvester dropout storms scale the input power, capacitor
+/// degradation scales capacitance and leakage, and PMIC drift offsets the
+/// operating thresholds. Implementations must be deterministic functions
+/// of their construction seed (the controller may query them in any step
+/// pattern).
+
+#ifndef CHRYSALIS_ENERGY_FAULT_HOOKS_HPP
+#define CHRYSALIS_ENERGY_FAULT_HOOKS_HPP
+
+namespace chrysalis::energy {
+
+/// Abstract fault model consulted by `EnergyController`.
+class PowerFaultModel
+{
+  public:
+    virtual ~PowerFaultModel() = default;
+
+    /// Multiplier in [0, 1] on the harvester's output power at time
+    /// \p t_s (dropout storms return < 1 inside a dropout window).
+    virtual double harvest_factor(double t_s) const = 0;
+
+    /// Static multiplier (> 0, usually <= 1) on the capacitor's
+    /// capacitance: electrolytic capacitance fade over the mission age.
+    virtual double capacitance_scale() const = 0;
+
+    /// Static multiplier (>= 1) on the capacitor's leakage coefficient:
+    /// ESR/leakage growth over the mission age.
+    virtual double leakage_scale() const = 0;
+
+    /// Additive drift [V] on the PMIC turn-on threshold U_on.
+    virtual double v_on_offset_v() const = 0;
+
+    /// Additive drift [V] on the PMIC brown-out threshold U_off.
+    virtual double v_off_offset_v() const = 0;
+};
+
+}  // namespace chrysalis::energy
+
+#endif  // CHRYSALIS_ENERGY_FAULT_HOOKS_HPP

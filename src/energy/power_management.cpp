@@ -1,5 +1,7 @@
 #include "energy/power_management.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 
 namespace chrysalis::energy {
@@ -36,6 +38,32 @@ PowerManagementIc::load_energy_from_capacitor(double capacitor_energy_j) const
         panic("load_energy_from_capacitor: negative energy ",
               capacitor_energy_j);
     return capacitor_energy_j * config_.discharge_efficiency;
+}
+
+PowerManagementIc::Config
+PowerManagementIc::drifted(Config config, double v_on_offset_v,
+                           double v_off_offset_v, double v_on_ceiling_v,
+                           double v_off_floor_v, double min_gap_v)
+{
+    if (v_on_ceiling_v < v_off_floor_v + min_gap_v) {
+        fatal("PowerManagementIc::drifted: ceiling ", v_on_ceiling_v,
+              " V leaves no room for a threshold window above the ",
+              v_off_floor_v, " V floor");
+    }
+    config.v_off = std::clamp(config.v_off + v_off_offset_v,
+                              v_off_floor_v, v_on_ceiling_v - min_gap_v);
+    config.v_on = std::clamp(config.v_on + v_on_offset_v,
+                             config.v_off + min_gap_v, v_on_ceiling_v);
+    return config;
+}
+
+void
+PowerManagementIc::apply_threshold_drift(double v_on_offset_v,
+                                         double v_off_offset_v,
+                                         double v_on_ceiling_v)
+{
+    config_ = drifted(config_, v_on_offset_v, v_off_offset_v,
+                      v_on_ceiling_v);
 }
 
 }  // namespace chrysalis::energy

@@ -51,6 +51,21 @@ class PowerManagementIc
     /// Load energy deliverable from \p capacitor_energy_j of storage [J].
     double load_energy_from_capacitor(double capacitor_energy_j) const;
 
+    /// Returns \p config with additive drift applied to its thresholds,
+    /// keeping them physically ordered: U_off is floored at
+    /// \p v_off_floor_v, U_on stays at least \p min_gap_v above U_off and
+    /// at most \p v_on_ceiling_v (the capacitor's rated voltage).
+    /// fatal() when the ceiling leaves no room for a valid window. Used
+    /// by fault injection (PMIC comparator ageing).
+    static Config drifted(Config config, double v_on_offset_v,
+                          double v_off_offset_v, double v_on_ceiling_v,
+                          double v_off_floor_v = 0.1,
+                          double min_gap_v = 0.05);
+
+    /// In-place convenience over drifted().
+    void apply_threshold_drift(double v_on_offset_v, double v_off_offset_v,
+                               double v_on_ceiling_v);
+
     const Config& config() const { return config_; }
 
   private:

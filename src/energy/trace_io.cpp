@@ -1,5 +1,6 @@
 #include "energy/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -15,6 +16,16 @@ parse_irradiance_csv(std::istream& input, std::string label)
     std::vector<double> values;
     std::string line;
     std::size_t line_no = 0;
+    std::size_t skipped = 0;
+    // Field recordings are messy: sensors glitch (NaN), loggers restart
+    // (time going backwards) and files get truncated. One bad line must
+    // not discard an otherwise usable trace, so malformed lines are
+    // warned about and skipped; only a trace with *no* valid samples is
+    // a fatal error.
+    const auto skip = [&](const auto&... why) {
+        ++skipped;
+        warn("irradiance CSV line ", line_no, ": skipping: ", why...);
+    };
     while (std::getline(input, line)) {
         ++line_no;
         const std::string text = trim(line);
@@ -24,23 +35,40 @@ parse_irradiance_csv(std::istream& input, std::string label)
             continue;  // header
         const auto fields = split(text, ',');
         if (fields.size() != 2) {
-            fatal("irradiance CSV line ", line_no, ": expected 2 fields, "
-                  "got ", fields.size());
+            skip("expected 2 fields, got ", fields.size());
+            continue;
         }
+        double t = 0.0;
+        double k = 0.0;
         try {
-            std::size_t used = 0;
-            const double t = std::stod(trim(fields[0]), &used);
-            const double k = std::stod(trim(fields[1]));
-            (void)used;
-            times.push_back(t);
-            values.push_back(k);
+            t = std::stod(trim(fields[0]));
+            k = std::stod(trim(fields[1]));
         } catch (const std::exception&) {
-            fatal("irradiance CSV line ", line_no,
-                  ": cannot parse '", text, "'");
+            skip("cannot parse '", text, "'");
+            continue;
         }
+        if (!std::isfinite(t) || !std::isfinite(k)) {
+            skip("non-finite value in '", text, "'");
+            continue;
+        }
+        if (k < 0.0) {
+            skip("negative k_eh ", k);
+            continue;
+        }
+        if (!times.empty() && t <= times.back()) {
+            skip("non-monotonic time ", t, " after ", times.back());
+            continue;
+        }
+        times.push_back(t);
+        values.push_back(k);
     }
     if (times.empty())
-        fatal("irradiance CSV: no samples found");
+        fatal("irradiance CSV: no valid samples found (", skipped,
+              " malformed lines skipped)");
+    if (skipped > 0) {
+        warn("irradiance CSV '", label, "': kept ", times.size(),
+             " samples, skipped ", skipped, " malformed lines");
+    }
     return TraceSolarEnvironment(std::move(times), std::move(values),
                                  std::move(label));
 }

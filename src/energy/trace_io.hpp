@@ -5,7 +5,9 @@
 ///
 /// CSV format: one `time_s,k_eh_w_per_cm2` pair per line; `#`-prefixed
 /// lines and blank lines are ignored; an optional one-line header of the
-/// exact form `time_s,k_eh` is skipped.
+/// exact form `time_s,k_eh` is skipped. Malformed, non-finite, negative
+/// or non-monotonic samples are warned about and skipped — recorded field
+/// traces glitch, and one bad line must not discard the rest.
 
 #ifndef CHRYSALIS_ENERGY_TRACE_IO_HPP
 #define CHRYSALIS_ENERGY_TRACE_IO_HPP
@@ -17,7 +19,8 @@
 
 namespace chrysalis::energy {
 
-/// Parses a trace from an input stream; fatal() on malformed content.
+/// Parses a trace from an input stream, skipping malformed lines with a
+/// warning; fatal() only when no valid sample remains.
 /// \param label name given to the resulting environment.
 TraceSolarEnvironment parse_irradiance_csv(std::istream& input,
                                            std::string label = "trace");

@@ -1,0 +1,87 @@
+#include "fault/failure.hpp"
+
+namespace chrysalis::fault {
+
+std::string_view
+to_string(FailureCode code)
+{
+    switch (code) {
+      case FailureCode::kNone: return "none";
+      case FailureCode::kTileExceedsCycle: return "tile-exceeds-cycle";
+      case FailureCode::kTimeout: return "timeout";
+      case FailureCode::kNvmCapacityExceeded: return "nvm-capacity";
+      case FailureCode::kMappingInfeasible: return "mapping-infeasible";
+      case FailureCode::kUnavailable: return "unavailable";
+      case FailureCode::kLeakageDominates: return "leakage-dominates";
+      case FailureCode::kMalformedInput: return "malformed-input";
+      case FailureCode::kCrashed: return "crashed";
+    }
+    return "unknown";
+}
+
+FailureCode
+failure_code_from_string(std::string_view text)
+{
+    for (int raw = static_cast<int>(FailureCode::kNone);
+         raw <= static_cast<int>(FailureCode::kCrashed); ++raw) {
+        const auto code = static_cast<FailureCode>(raw);
+        if (to_string(code) == text)
+            return code;
+    }
+    return FailureCode::kNone;
+}
+
+int
+penalty_rank(FailureCode code)
+{
+    // The enum is already ordered by distance from feasibility; the rank
+    // is simply its ordinal. Kept behind a function so codes can be
+    // reordered or interleaved later without touching penalty users.
+    return static_cast<int>(code);
+}
+
+std::string_view
+describe(FailureCode code)
+{
+    switch (code) {
+      case FailureCode::kNone:
+        return "no failure";
+      case FailureCode::kTileExceedsCycle:
+        return "tile energy exceeds one energy cycle";
+      case FailureCode::kTimeout:
+        return "timeout: inference did not complete within max_sim_time";
+      case FailureCode::kNvmCapacityExceeded:
+        return "model footprint exceeds NVM capacity";
+      case FailureCode::kMappingInfeasible:
+        return "mapping infeasible for hardware VM";
+      case FailureCode::kUnavailable:
+        return "unavailable: leakage prevents reaching turn-on threshold";
+      case FailureCode::kLeakageDominates:
+        return "leakage exceeds harvested power";
+      case FailureCode::kMalformedInput:
+        return "malformed input rejected";
+      case FailureCode::kCrashed:
+        return "case crashed during evaluation";
+    }
+    return "unknown failure";
+}
+
+std::string
+SimFailure::message() const
+{
+    std::string text{describe(code)};
+    if (!detail.empty()) {
+        text += " (";
+        text += detail;
+        text += ')';
+    }
+    return text;
+}
+
+SimFailure
+make_failure(FailureCode code, std::string detail)
+{
+    return SimFailure{code, std::move(detail)};
+}
+
+}  // namespace chrysalis::fault

@@ -1,0 +1,69 @@
+/// \file
+/// Structured failure taxonomy for evaluations and campaigns.
+///
+/// Every way an evaluation can fail — in the modeled device (leakage
+/// unavailability, Eq. 8 violations, timeouts under fault storms) or in
+/// the host process (a crashed campaign case) — is identified by a
+/// `FailureCode` instead of a free-form string, so search penalties,
+/// campaign journals and reports can rank, count and round-trip failures
+/// without string matching. `SimFailure` pairs the code with an optional
+/// human-readable detail.
+
+#ifndef CHRYSALIS_FAULT_FAILURE_HPP
+#define CHRYSALIS_FAULT_FAILURE_HPP
+
+#include <string>
+#include <string_view>
+
+namespace chrysalis::fault {
+
+/// Why an evaluation (or campaign case) failed. Codes are ordered
+/// roughly by "distance from feasibility": low codes describe designs
+/// that nearly work, high codes describe designs (or runs) that are
+/// structurally broken. `search::Objective::penalty_score` uses this
+/// ordering to grade GA penalties.
+enum class FailureCode {
+    kNone = 0,             ///< no failure
+    kTileExceedsCycle,     ///< Eq. 8: worst tile exceeds one energy cycle
+    kTimeout,              ///< step simulation hit max_sim_time
+    kNvmCapacityExceeded,  ///< model footprint does not fit NVM
+    kMappingInfeasible,    ///< no mapping fits the hardware VM
+    kUnavailable,          ///< leakage prevents ever reaching turn-on
+    kLeakageDominates,     ///< effective charging power <= 0
+    kMalformedInput,       ///< rejected configuration or trace input
+    kCrashed,              ///< host-side: campaign case threw/was killed
+};
+
+/// Stable short identifier, e.g. "tile-exceeds-cycle", "crashed".
+std::string_view to_string(FailureCode code);
+
+/// Inverse of to_string(); kNone for unknown identifiers.
+FailureCode failure_code_from_string(std::string_view text);
+
+/// Severity grade used by penalty objectives: 0 for kNone, then
+/// monotonically increasing with the enum's distance-from-feasibility
+/// ordering. Search penalties multiply by the rank so a design that
+/// merely violates Eq. 8 always outranks one whose mapping never fit.
+int penalty_rank(FailureCode code);
+
+/// One-line human explanation of the code (no detail).
+std::string_view describe(FailureCode code);
+
+/// A failure code plus optional free-form detail.
+struct SimFailure {
+    FailureCode code = FailureCode::kNone;
+    std::string detail;  ///< optional context, e.g. offending values
+
+    /// True when a failure is recorded.
+    explicit operator bool() const { return code != FailureCode::kNone; }
+
+    /// Formatted message: `describe(code)` plus the detail when present.
+    std::string message() const;
+};
+
+/// Convenience constructor.
+SimFailure make_failure(FailureCode code, std::string detail = {});
+
+}  // namespace chrysalis::fault
+
+#endif  // CHRYSALIS_FAULT_FAILURE_HPP

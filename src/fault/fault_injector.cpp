@@ -1,0 +1,213 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace chrysalis::fault {
+
+namespace {
+
+/// Distinct hash streams so the same index never correlates across
+/// fault classes.
+constexpr std::uint64_t kStreamDropoutHit = 1;
+constexpr std::uint64_t kStreamDropoutPhase = 2;
+constexpr std::uint64_t kStreamCorruption = 3;
+
+/// splitmix64 finalizer: a high-quality 64-bit mixer.
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+void
+check_probability(double value, const char* name)
+{
+    if (!(value >= 0.0 && value <= 1.0))
+        fatal("FaultSpec: ", name, " must be in [0, 1], got ", value,
+              " — probabilities are per-event, not percentages");
+}
+
+void
+check_non_negative(double value, const char* name)
+{
+    if (!(value >= 0.0) || !std::isfinite(value))
+        fatal("FaultSpec: ", name, " must be finite and >= 0, got ",
+              value);
+}
+
+}  // namespace
+
+void
+FaultSpec::validate() const
+{
+    if (!(dropout_window_s > 0.0) || !std::isfinite(dropout_window_s))
+        fatal("FaultSpec: dropout_window_s must be finite and > 0, got ",
+              dropout_window_s, " — the storm model divides time into "
+              "windows of this length");
+    check_probability(dropout_probability, "dropout_probability");
+    check_non_negative(dropout_duration_s, "dropout_duration_s");
+    check_probability(dropout_depth, "dropout_depth");
+    check_non_negative(mission_age_years, "mission_age_years");
+    check_probability(cap_fade_per_year, "cap_fade_per_year");
+    check_non_negative(leakage_growth_per_year, "leakage_growth_per_year");
+    check_non_negative(v_on_drift_sigma_v, "v_on_drift_sigma_v");
+    check_non_negative(v_off_drift_sigma_v, "v_off_drift_sigma_v");
+    check_non_negative(max_drift_v, "max_drift_v");
+    check_probability(ckpt_corruption_rate, "ckpt_corruption_rate");
+}
+
+bool
+FaultSpec::any_active() const
+{
+    return dropout_probability > 0.0 || mission_age_years > 0.0 ||
+           v_on_drift_sigma_v > 0.0 || v_off_drift_sigma_v > 0.0 ||
+           ckpt_corruption_rate > 0.0;
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec) : spec_(spec)
+{
+    spec_.validate();
+    // PMIC drift is a static property of the aged device: sample it once
+    // from the seed so every query agrees.
+    Rng rng(mix64(spec_.seed ^ 0xd1f7a11ce5ULL));
+    const auto clamp_drift = [&](double sigma) {
+        if (sigma <= 0.0)
+            return 0.0;
+        return std::clamp(rng.gaussian(0.0, sigma), -spec_.max_drift_v,
+                          spec_.max_drift_v);
+    };
+    v_on_offset_ = clamp_drift(spec_.v_on_drift_sigma_v);
+    v_off_offset_ = clamp_drift(spec_.v_off_drift_sigma_v);
+}
+
+double
+FaultInjector::hash01(std::uint64_t stream, std::uint64_t index) const
+{
+    const std::uint64_t word =
+        mix64(spec_.seed + mix64(stream) + mix64(index * 0x9e3779b97f4a7c15ULL));
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+double
+FaultInjector::harvest_factor(double t_s) const
+{
+    if (spec_.dropout_probability <= 0.0 || t_s < 0.0)
+        return 1.0;
+    const double window = spec_.dropout_window_s;
+    const auto index =
+        static_cast<std::uint64_t>(std::floor(t_s / window));
+    if (hash01(kStreamDropoutHit, index) >= spec_.dropout_probability)
+        return 1.0;
+    // This window has a dropout; place it at a hashed phase offset.
+    const double duration = std::min(spec_.dropout_duration_s, window);
+    const double offset =
+        hash01(kStreamDropoutPhase, index) * (window - duration);
+    const double local = t_s - static_cast<double>(index) * window;
+    const bool inside = local >= offset && local < offset + duration;
+    return inside ? spec_.dropout_depth : 1.0;
+}
+
+double
+FaultInjector::capacitance_scale() const
+{
+    return std::pow(1.0 - spec_.cap_fade_per_year,
+                    spec_.mission_age_years);
+}
+
+double
+FaultInjector::leakage_scale() const
+{
+    return std::pow(1.0 + spec_.leakage_growth_per_year,
+                    spec_.mission_age_years);
+}
+
+double
+FaultInjector::v_on_offset_v() const
+{
+    return v_on_offset_;
+}
+
+double
+FaultInjector::v_off_offset_v() const
+{
+    return v_off_offset_;
+}
+
+bool
+FaultInjector::corrupt_restore(std::uint64_t restore_index) const
+{
+    if (spec_.ckpt_corruption_rate <= 0.0)
+        return false;
+    return hash01(kStreamCorruption, restore_index) <
+           spec_.ckpt_corruption_rate;
+}
+
+double
+FaultInjector::mean_harvest_factor() const
+{
+    if (spec_.dropout_probability <= 0.0)
+        return 1.0;
+    const double duty = spec_.dropout_probability *
+                        std::min(spec_.dropout_duration_s,
+                                 spec_.dropout_window_s) /
+                        spec_.dropout_window_s;
+    return 1.0 - duty * (1.0 - spec_.dropout_depth);
+}
+
+void
+FaultInjector::add_to_hash(runtime::StableHash& hash) const
+{
+    hash.add(std::string_view("fault-injector"))
+        .add(spec_.seed)
+        .add(spec_.dropout_window_s)
+        .add(spec_.dropout_probability)
+        .add(spec_.dropout_duration_s)
+        .add(spec_.dropout_depth)
+        .add(spec_.mission_age_years)
+        .add(spec_.cap_fade_per_year)
+        .add(spec_.leakage_growth_per_year)
+        .add(spec_.v_on_drift_sigma_v)
+        .add(spec_.v_off_drift_sigma_v)
+        .add(spec_.max_drift_v)
+        .add(spec_.ckpt_corruption_rate);
+}
+
+std::string
+FaultInjector::describe() const
+{
+    std::ostringstream os;
+    os << "faults[seed=" << spec_.seed;
+    if (spec_.dropout_probability > 0.0) {
+        os << " dropout=" << spec_.dropout_probability << '@'
+           << spec_.dropout_duration_s << "s/" << spec_.dropout_window_s
+           << 's';
+    }
+    if (spec_.mission_age_years > 0.0) {
+        os << " age=" << spec_.mission_age_years << "y(C x"
+           << capacitance_scale() << ", k_cap x" << leakage_scale()
+           << ')';
+    }
+    if (v_on_offset_ != 0.0 || v_off_offset_ != 0.0) {
+        os << " drift(v_on" << (v_on_offset_ >= 0 ? "+" : "")
+           << v_on_offset_ << ", v_off" << (v_off_offset_ >= 0 ? "+" : "")
+           << v_off_offset_ << ')';
+    }
+    if (spec_.ckpt_corruption_rate > 0.0)
+        os << " ckpt-corrupt=" << spec_.ckpt_corruption_rate;
+    if (!spec_.any_active())
+        os << " none";
+    os << ']';
+    return os.str();
+}
+
+}  // namespace chrysalis::fault

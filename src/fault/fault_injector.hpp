@@ -1,0 +1,121 @@
+/// \file
+/// Seed-deterministic fault injection for EA/IA co-simulation.
+///
+/// The paper's premise is that AuT devices run under *non-ideal* power;
+/// `FaultInjector` makes the non-ideal part explicit and reproducible. It
+/// models four fault classes against the energy and inference subsystems:
+///
+///   1. harvester dropout storms — windows of lost input power (a cloud
+///      bank, an occluded panel, a detached TEG), as a multiplicative
+///      factor on harvested power;
+///   2. capacitor degradation — electrolytic capacitance fade and
+///      leakage/ESR growth over the mission age;
+///   3. PMIC threshold drift — additive offsets on U_on / U_off;
+///   4. NVM checkpoint corruption — a restore that reads back garbage
+///      forces re-execution from the previous tile boundary, extending
+///      the paper's r_exc energy-exception model.
+///
+/// Every decision is a pure function of (seed, query): dropout windows are
+/// derived by hashing the window index, corruption events by hashing the
+/// restore index. The injector therefore returns identical answers in any
+/// query order and from any thread — the property that keeps `threads=N`
+/// search results bit-identical to `threads=1` with injection enabled.
+
+#ifndef CHRYSALIS_FAULT_FAULT_INJECTOR_HPP
+#define CHRYSALIS_FAULT_FAULT_INJECTOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "energy/fault_hooks.hpp"
+#include "runtime/stable_hash.hpp"
+
+namespace chrysalis::fault {
+
+/// Fault-model parameters. All rates/probabilities are in [0, 1]; a
+/// default-constructed spec injects nothing.
+struct FaultSpec {
+    std::uint64_t seed = 1;  ///< fault stream seed (decorrelated from
+                             ///< the simulator's r_exc stream)
+
+    // -- harvester dropout storms ------------------------------------
+    /// Time is divided into windows of this length; each window
+    /// independently suffers at most one dropout.
+    double dropout_window_s = 600.0;
+    /// Probability that a given window contains a dropout.
+    double dropout_probability = 0.0;
+    /// Length of one dropout [s]; clipped to the window length.
+    double dropout_duration_s = 60.0;
+    /// Harvest factor *inside* a dropout: 0 = total loss, 0.3 = brown
+    /// sky. Outside dropouts the factor is 1.
+    double dropout_depth = 0.0;
+
+    // -- capacitor degradation ---------------------------------------
+    double mission_age_years = 0.0;      ///< how long the device has aged
+    double cap_fade_per_year = 0.02;     ///< capacitance lost per year
+    double leakage_growth_per_year = 0.10;  ///< k_cap growth per year
+
+    // -- PMIC threshold drift ----------------------------------------
+    double v_on_drift_sigma_v = 0.0;   ///< stddev of the U_on offset [V]
+    double v_off_drift_sigma_v = 0.0;  ///< stddev of the U_off offset [V]
+    double max_drift_v = 0.25;         ///< hard clamp on either offset
+
+    // -- NVM checkpoint corruption -----------------------------------
+    /// Probability that a checkpoint restore reads corrupted state.
+    double ckpt_corruption_rate = 0.0;
+
+    /// fatal() with an actionable message when any field is out of
+    /// range (negative durations, probabilities outside [0, 1], ...).
+    void validate() const;
+
+    /// True when at least one fault class is active.
+    bool any_active() const;
+};
+
+/// Deterministic fault model; implements the energy subsystem's
+/// `PowerFaultModel` hook and the simulator's checkpoint-corruption
+/// query. Immutable after construction, safe to share across threads.
+class FaultInjector final : public energy::PowerFaultModel
+{
+  public:
+    /// Validates \p spec (fatal on bad input) and pre-samples the static
+    /// PMIC drift from the seed.
+    explicit FaultInjector(const FaultSpec& spec);
+
+    // -- PowerFaultModel ----------------------------------------------
+    double harvest_factor(double t_s) const override;
+    double capacitance_scale() const override;
+    double leakage_scale() const override;
+    double v_on_offset_v() const override;
+    double v_off_offset_v() const override;
+
+    /// True when the \p restore_index-th checkpoint restore of a
+    /// simulation reads corrupted state (forcing tile re-execution).
+    bool corrupt_restore(std::uint64_t restore_index) const;
+
+    /// Long-run average of harvest_factor(): 1 - p * (d/w) * (1-depth).
+    /// The analytic evaluator derates P_eh by this factor so searches see
+    /// the same expected energy income as the step simulator.
+    double mean_harvest_factor() const;
+
+    /// Folds the full fault configuration into \p hash so evaluation
+    /// memo keys distinguish faulted from clean evaluations.
+    void add_to_hash(runtime::StableHash& hash) const;
+
+    /// One-line summary of the active fault classes for reports.
+    std::string describe() const;
+
+    const FaultSpec& spec() const { return spec_; }
+
+  private:
+    /// Uniform [0, 1) hash of (seed, stream, index); pure and stateless.
+    double hash01(std::uint64_t stream, std::uint64_t index) const;
+
+    FaultSpec spec_;
+    double v_on_offset_ = 0.0;   ///< pre-sampled drift [V]
+    double v_off_offset_ = 0.0;  ///< pre-sampled drift [V]
+};
+
+}  // namespace chrysalis::fault
+
+#endif  // CHRYSALIS_FAULT_FAULT_INJECTOR_HPP

@@ -58,6 +58,12 @@ BiLevelExplorer::BiLevelExplorer(dnn::Model model, DesignSpace space,
         .add(inner.ga_population)
         .add(inner.ga_generations)
         .add(inner.seed);
+    // Faulted and fault-free evaluations must never share a memo entry.
+    context_hash_.add(options_.faults != nullptr);
+    if (options_.faults != nullptr) {
+        options_.faults->spec().validate();
+        options_.faults->add_to_hash(context_hash_);
+    }
 
     if (options_.cache_capacity > 0) {
         cache_ = std::make_unique<runtime::EvalCache<EvaluatedDesign>>(
@@ -106,6 +112,8 @@ BiLevelExplorer::environments(const HwCandidate& candidate) const
         env.capacitor = options_.capacitor_base;
         env.capacitor.capacitance_f = candidate.capacitance_f;
         env.pmic = options_.pmic;
+        if (options_.faults != nullptr)
+            env = sim::with_faults(env, *options_.faults);
         envs.push_back(env);
     }
     return envs;
@@ -123,6 +131,7 @@ BiLevelExplorer::evaluate(const HwCandidate& raw_candidate) const
         search_mappings(model_, *hardware, envs, options_.inner);
 
     design.feasible = design.mapping.feasible;
+    design.failure = design.mapping.failure;
     double latency_sum = 0.0;
     double violation = design.mapping.violation_j;
     for (const auto& env : envs) {
@@ -134,6 +143,12 @@ BiLevelExplorer::evaluate(const HwCandidate& raw_candidate) const
             design.feasible = false;
             violation += std::max(
                 0.0, eval.max_tile_energy_j - eval.cycle_energy_j);
+            // Keep the worst-ranked failure so the penalty band reflects
+            // the hardest problem with this design.
+            if (fault::penalty_rank(eval.failure.code) >
+                fault::penalty_rank(design.failure.code)) {
+                design.failure = eval.failure;
+            }
         }
         design.per_env.push_back(std::move(eval));
     }
@@ -145,7 +160,12 @@ BiLevelExplorer::evaluate(const HwCandidate& raw_candidate) const
                                         design.candidate.solar_cm2);
     } else {
         design.mean_latency_s = 0.0;
-        design.score = objective_.infeasible_score(violation);
+        if (!design.failure) {
+            design.failure = fault::make_failure(
+                fault::FailureCode::kMappingInfeasible,
+                "design infeasible in at least one environment");
+        }
+        design.score = objective_.penalty_score(design.failure, violation);
     }
     return design;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dnn/model.hpp"
+#include "fault/fault_injector.hpp"
 #include "runtime/eval_cache.hpp"
 #include "energy/capacitor.hpp"
 #include "energy/power_management.hpp"
@@ -48,6 +49,13 @@ struct ExplorerOptions {
     /// clones, warm-start duplicates), and each hit skips a full inner
     /// mapping search. Evaluation parallelism is `outer.threads`.
     std::size_t cache_capacity = 4096;
+    /// Optional fault injector: when set, every candidate is evaluated
+    /// under fault-derated environments (harvest derate, capacitor
+    /// ageing, PMIC drift via sim::with_faults), so the search optimizes
+    /// for resilience. Not owned; must outlive the explorer. The fault
+    /// spec is folded into the memo key, so faulted and fault-free
+    /// evaluations never alias.
+    const fault::FaultInjector* faults = nullptr;
 };
 
 /// One fully evaluated design point.
@@ -58,6 +66,7 @@ struct EvaluatedDesign {
     double mean_latency_s = 0.0;  ///< average across environments
     double score = 0.0;           ///< objective score (lower better)
     bool feasible = false;        ///< feasible in every environment
+    fault::SimFailure failure;    ///< first failure when infeasible
 };
 
 /// Result of a full exploration.

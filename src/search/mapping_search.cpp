@@ -201,6 +201,13 @@ search_mappings(const dnn::Model& model,
             result.violation_j += std::isfinite(best.violation)
                 ? best.violation
                 : 1e6;
+            if (!result.failure) {
+                result.failure = fault::make_failure(
+                    fault::FailureCode::kTileExceedsCycle,
+                    "layer " + std::to_string(i) +
+                        ": no mapping satisfies Eq. 8 in every "
+                        "environment");
+            }
         }
         result.mappings.push_back(best.mapping);
     }
@@ -219,10 +226,14 @@ search_mappings(const dnn::Model& model,
                                        peak_ckpt;
         if (footprint > capacity) {
             result.feasible = false;
-            result.failure_note =
+            // NVM capacity is the structural failure: it overrides any
+            // Eq. 8 note because no tiling can fix a model that does not
+            // fit non-volatile storage.
+            result.failure = fault::make_failure(
+                fault::FailureCode::kNvmCapacityExceeded,
                 "model footprint " + std::to_string(footprint) +
-                " B exceeds NVM capacity " + std::to_string(capacity) +
-                " B";
+                    " B exceeds NVM capacity " + std::to_string(capacity) +
+                    " B");
         }
     }
     return result;

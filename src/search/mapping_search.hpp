@@ -22,6 +22,7 @@
 
 #include "dataflow/cost_model.hpp"
 #include "dnn/model.hpp"
+#include "fault/failure.hpp"
 #include "hw/inference_hardware.hpp"
 #include "sim/analytic_evaluator.hpp"
 
@@ -45,7 +46,7 @@ struct MappingSearchResult {
     std::vector<dataflow::LayerMapping> mappings;  ///< one per layer
     dataflow::ModelCost cost;   ///< cost under the chosen mappings
     double violation_j = 0.0;   ///< total Eq. 8 overshoot when infeasible
-    std::string failure_note;   ///< non-empty for NVM-capacity failures
+    fault::SimFailure failure;  ///< why the search failed, when infeasible
     std::int64_t evaluations = 0;  ///< layer-cost evaluations performed
 };
 

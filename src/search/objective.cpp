@@ -57,8 +57,27 @@ Objective::score(double latency_s, double solar_cm2) const
 double
 Objective::infeasible_score(double violation_magnitude) const
 {
-    return 10.0 * kPenaltyBase *
-           (1.0 + std::min(violation_magnitude, 1e6));
+    return penalty_score(
+        fault::make_failure(fault::FailureCode::kMappingInfeasible),
+        violation_magnitude);
+}
+
+double
+Objective::penalty_score(const fault::SimFailure& failure,
+                         double violation_magnitude) const
+{
+    if (!failure)
+        panic("Objective::penalty_score: called without a failure");
+    if (violation_magnitude < 0.0 || !std::isfinite(violation_magnitude))
+        violation_magnitude = 1e6;
+    const double rank =
+        static_cast<double>(fault::penalty_rank(failure.code));
+    // Rank bands are 10*kPenaltyBase wide; the violation magnitude grades
+    // within a band (capped at half a band so codes never interleave).
+    // The lowest band (rank 1) starts at 10*kPenaltyBase, above the
+    // 9*kPenaltyBase ceiling of constraint-violating feasible scores.
+    return kPenaltyBase *
+           (10.0 * rank + 5.0 * std::min(violation_magnitude, 1e6) / 1e6);
 }
 
 bool

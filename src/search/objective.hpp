@@ -14,6 +14,8 @@
 
 #include <string>
 
+#include "fault/failure.hpp"
+
 namespace chrysalis::search {
 
 /// The three objective kinds of §IV.
@@ -39,7 +41,19 @@ struct Objective {
 
     /// Score for an infeasible point: a large base penalty plus the
     /// infeasibility magnitude so the optimizer can still rank failures.
+    /// Equivalent to penalty_score() with a kMappingInfeasible failure;
+    /// prefer penalty_score() when a failure code is known.
     double infeasible_score(double violation_magnitude) const;
+
+    /// Graded penalty for a failed evaluation: failures are ranked first
+    /// by their code's `fault::penalty_rank` (a design that merely
+    /// violates Eq. 8 outranks one whose mapping never fit, which
+    /// outranks a crashed evaluation), then by \p violation_magnitude
+    /// within the same code. Every penalty dominates every feasible and
+    /// constraint-violating score, so a faulting evaluation degrades GA
+    /// fitness instead of aborting the search. \pre failure.code != kNone.
+    double penalty_score(const fault::SimFailure& failure,
+                         double violation_magnitude = 0.0) const;
 
     /// True when the point satisfies the objective's hard constraint.
     bool satisfies_constraint(double latency_s, double solar_cm2) const;

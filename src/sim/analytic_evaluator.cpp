@@ -7,6 +7,18 @@
 
 namespace chrysalis::sim {
 
+EnergyEnv
+with_faults(EnergyEnv env, const fault::FaultInjector& faults)
+{
+    env.p_eh_w *= faults.mean_harvest_factor();
+    env.capacitor.capacitance_f *= faults.capacitance_scale();
+    env.capacitor.k_cap *= faults.leakage_scale();
+    env.pmic = energy::PowerManagementIc::drifted(
+        env.pmic, faults.v_on_offset_v(), faults.v_off_offset_v(),
+        env.capacitor.rated_voltage_v);
+    return env;
+}
+
 double
 cycle_store_energy(const EnergyEnv& env)
 {
@@ -67,11 +79,13 @@ analytic_evaluate(const dataflow::ModelCost& cost, const EnergyEnv& env)
     result.p_eff_w = effective_power(env);
 
     if (!cost.feasible) {
-        result.failure_reason = "mapping infeasible for hardware VM";
+        result.failure = fault::make_failure(
+            fault::FailureCode::kMappingInfeasible);
         return result;
     }
     if (result.p_eff_w <= 0.0) {
-        result.failure_reason = "leakage exceeds harvested power";
+        result.failure = fault::make_failure(
+            fault::FailureCode::kLeakageDominates);
         return result;
     }
 
@@ -79,7 +93,8 @@ analytic_evaluate(const dataflow::ModelCost& cost, const EnergyEnv& env)
     // energy cycle; harvest continues during execution (Eq. 3's T term).
     const double budget = cycle_budget(env, cost.max_tile_time_s());
     if (result.max_tile_energy_j > budget) {
-        result.failure_reason = "tile energy exceeds one energy cycle";
+        result.failure = fault::make_failure(
+            fault::FailureCode::kTileExceedsCycle);
         return result;
     }
 
@@ -100,7 +115,8 @@ analytic_evaluate(const dataflow::ModelCost& cost, const EnergyEnv& env)
         env.p_eh_w * pmic.charge_efficiency() - p_leak -
         pmic.quiescent_power();
     if (p_charge_net <= 0.0) {
-        result.failure_reason = "leakage exceeds harvested power";
+        result.failure = fault::make_failure(
+            fault::FailureCode::kLeakageDominates);
         return result;
     }
     result.cold_start_s = swing_j / p_charge_net;

@@ -24,6 +24,8 @@
 #include "dataflow/cost_model.hpp"
 #include "energy/capacitor.hpp"
 #include "energy/power_management.hpp"
+#include "fault/failure.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace chrysalis::sim {
 
@@ -34,10 +36,18 @@ struct EnergyEnv {
     energy::PowerManagementIc::Config pmic;
 };
 
+/// Returns \p env derated by \p faults so analytic evaluations see the
+/// same degraded device the step simulator would: P_eh scaled by the
+/// mean harvest factor of dropout storms, capacitance fade and leakage
+/// growth applied to the capacitor, and threshold drift applied to the
+/// PMIC (clamped against the capacitor's rated voltage, matching
+/// `EnergyController::attach_fault_model`).
+EnergyEnv with_faults(EnergyEnv env, const fault::FaultInjector& faults);
+
 /// Analytic evaluation outcome.
 struct AnalyticResult {
-    bool feasible = false;       ///< system can finish the inference
-    std::string failure_reason;  ///< set when infeasible
+    bool feasible = false;      ///< system can finish the inference
+    fault::SimFailure failure;  ///< failure code + detail when infeasible
 
     double latency_s = 0.0;      ///< E2ELat (Eq. 7 + cold-start charge)
     double cold_start_s = 0.0;   ///< time to charge U_off -> U_on

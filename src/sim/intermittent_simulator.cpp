@@ -51,7 +51,7 @@ profile_layer(const dataflow::LayerCost& cost)
 bool
 can_reach_turn_on(const energy::EnergyController& controller, double t_s)
 {
-    const double p_in = controller.harvester().power(t_s) *
+    const double p_in = controller.input_power_w(t_s) *
                         controller.pmic().charge_efficiency() -
                         controller.pmic().quiescent_power();
     if (p_in <= 0.0)
@@ -65,26 +65,53 @@ can_reach_turn_on(const energy::EnergyController& controller, double t_s)
 
 }  // namespace
 
+void
+validate_sim_config(const SimConfig& config)
+{
+    if (!(config.step_s > 0.0) || !std::isfinite(config.step_s)) {
+        fatal("SimConfig: step_s must be finite and > 0, got ",
+              config.step_s, " — a non-positive step never advances "
+              "simulated time");
+    }
+    if (!(config.max_sim_time_s > 0.0)) {
+        fatal("SimConfig: max_sim_time_s must be > 0, got ",
+              config.max_sim_time_s, " — a non-positive horizon times "
+              "out immediately");
+    }
+    if (!(config.start_time_s >= 0.0) ||
+        !std::isfinite(config.start_time_s)) {
+        fatal("SimConfig: start_time_s must be finite and >= 0, got ",
+              config.start_time_s);
+    }
+    if (!(config.exception_rate >= 0.0 && config.exception_rate <= 1.0)) {
+        fatal("SimConfig: exception_rate (r_exc) must be in [0, 1], got ",
+              config.exception_rate);
+    }
+    // The injector's own spec was validated at construction.
+}
+
 SimResult
 simulate_inference(const dataflow::ModelCost& cost,
                    energy::EnergyController& controller,
                    const SimConfig& config)
 {
+    validate_sim_config(config);
     SimResult result;
     if (!cost.feasible) {
-        result.failure_reason = "mapping infeasible for hardware VM";
+        result.failure = fault::make_failure(
+            fault::FailureCode::kMappingInfeasible);
         return result;
     }
-    if (config.step_s <= 0.0)
-        fatal("simulate_inference: step_s must be > 0");
+    if (config.faults != nullptr)
+        controller.attach_fault_model(config.faults);
 
     Rng rng(config.seed);
     double t = config.start_time_s;
     const double deadline = t + config.max_sim_time_s;
 
     if (!can_reach_turn_on(controller, t)) {
-        result.failure_reason =
-            "unavailable: leakage prevents reaching turn-on threshold";
+        result.failure =
+            fault::make_failure(fault::FailureCode::kUnavailable);
         return result;
     }
 
@@ -94,6 +121,11 @@ simulate_inference(const dataflow::ModelCost& cost,
     // Snapshot the ledger so the result reports this inference's delta even
     // when the controller is reused across repeated runs.
     const energy::EnergyLedger ledger_before = controller.ledger();
+
+    // Monotone restore counter feeding the corruption stream: the n-th
+    // restore of a run is corrupted (or not) purely as a function of
+    // (fault seed, n), so reruns replay the identical fault sequence.
+    std::uint64_t restore_counter = 0;
 
     for (const auto& layer_cost : cost.layers) {
         const LayerProfile profile =
@@ -113,8 +145,8 @@ simulate_inference(const dataflow::ModelCost& cost,
 
             while (progress_j < profile.body_energy_j) {
                 if (t >= deadline) {
-                    result.failure_reason = "timeout: inference did not "
-                                            "complete within max_sim_time";
+                    result.failure = fault::make_failure(
+                        fault::FailureCode::kTimeout);
                     result.latency_s = t - config.start_time_s;
                     return result;
                 }
@@ -132,7 +164,7 @@ simulate_inference(const dataflow::ModelCost& cost,
                     // penalized by step quantization.
                     double dt = config.step_s;
                     const double p_net =
-                        controller.harvester().power(t) *
+                        controller.input_power_w(t) *
                             controller.pmic().charge_efficiency() -
                         controller.capacitor().leakage_power() -
                         controller.pmic().quiescent_power();
@@ -169,6 +201,22 @@ simulate_inference(const dataflow::ModelCost& cost,
                 result.e_ckpt_j += to_restore;
                 delivered -= to_restore;
                 progress_j += delivered;
+
+                // A fully paid restore may read back corrupted NVM state:
+                // the tile restarts from its boundary and owes a fresh
+                // restore from the last good checkpoint (extended r_exc).
+                if (to_restore > 0.0 && restore_due_j == 0.0) {
+                    const std::uint64_t restore_index = restore_counter++;
+                    ++result.ckpt_restores;
+                    if (config.faults != nullptr &&
+                        config.faults->corrupt_restore(restore_index)) {
+                        ++result.ckpt_corruptions;
+                        progress_j = 0.0;
+                        restore_due_j += profile.restore_j;
+                        was_interrupted = true;
+                        continue;
+                    }
+                }
 
                 // Injected energy exception: progress is lost.
                 if (exception_pending && progress_j >= exception_at_j) {
@@ -230,6 +278,7 @@ simulate_repeated(const dataflow::ModelCost& cost,
 {
     if (runs < 1)
         fatal("simulate_repeated: runs must be >= 1, got ", runs);
+    validate_sim_config(config);
     std::vector<SimResult> results;
     results.reserve(static_cast<std::size_t>(runs));
     SimConfig run_config = config;

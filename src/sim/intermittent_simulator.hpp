@@ -18,11 +18,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "dataflow/cost_model.hpp"
 #include "energy/energy_controller.hpp"
+#include "fault/failure.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace chrysalis::sim {
 
@@ -55,12 +56,24 @@ struct SimConfig {
     /// "periodic energy cycles" traces the paper's Fig. 7 shows from a
     /// real oscilloscope. Leave empty for no tracing.
     std::function<void(double t_s, double voltage_v, bool active)> probe;
+    /// Optional fault injector (non-owning, may outlive many runs). The
+    /// simulator attaches it to the energy controller (harvest dropouts,
+    /// capacitor degradation, PMIC drift) and consults it on every
+    /// checkpoint restore: a corrupted restore forces re-execution from
+    /// the previous tile boundary, extending the r_exc model.
+    const fault::FaultInjector* faults = nullptr;
 };
+
+/// fatal() with an actionable message when \p config is invalid
+/// (non-positive step or horizon, exception rate outside [0, 1],
+/// non-finite start time). Called on entry by simulate_inference and
+/// simulate_repeated so bad configurations fail fast instead of hanging.
+void validate_sim_config(const SimConfig& config);
 
 /// Outcome of simulating one full inference.
 struct SimResult {
     bool completed = false;
-    std::string failure_reason;  ///< set when !completed
+    fault::SimFailure failure;   ///< failure code + detail when !completed
 
     double latency_s = 0.0;      ///< end-to-end wall-clock (E2ELat)
     double active_time_s = 0.0;  ///< time with the load actually running
@@ -68,6 +81,9 @@ struct SimResult {
     std::int64_t tiles_executed = 0;  ///< includes re-executions
     std::int64_t exceptions = 0;      ///< energy exceptions encountered
     std::int64_t energy_cycles = 0;   ///< charge->active transitions
+    std::int64_t ckpt_restores = 0;   ///< checkpoint restores performed
+    std::int64_t ckpt_corruptions = 0;  ///< restores that read corrupted
+                                        ///< state (forced re-execution)
 
     // Load-side energy breakdown (joules at the load).
     double e_infer_j = 0.0;   ///< compute + local buffers (E_infer)

@@ -137,5 +137,56 @@ TEST(LoggingDeathTest, PanicAborts)
     EXPECT_DEATH(panic("invariant violated"), "invariant violated");
 }
 
+TEST(FatalThrowGuardTest, GuardTurnsFatalIntoException)
+{
+    EXPECT_FALSE(FatalThrowGuard::active());
+    FatalThrowGuard guard;
+    EXPECT_TRUE(FatalThrowGuard::active());
+    bool caught = false;
+    try {
+        fatal("recoverable: ", 7);
+    } catch (const FatalError& error) {
+        caught = true;
+        EXPECT_NE(std::string(error.what()).find("recoverable: 7"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(FatalThrowGuardTest, GuardsNestAndUnwindCorrectly)
+{
+    EXPECT_FALSE(FatalThrowGuard::active());
+    {
+        FatalThrowGuard outer;
+        {
+            FatalThrowGuard inner;
+            EXPECT_TRUE(FatalThrowGuard::active());
+        }
+        // Still active: the outer guard is alive.
+        EXPECT_TRUE(FatalThrowGuard::active());
+        EXPECT_THROW(fatal("still guarded"), FatalError);
+    }
+    EXPECT_FALSE(FatalThrowGuard::active());
+}
+
+TEST(FatalThrowGuardTest, GuardIsThreadLocal)
+{
+    // A guard on this thread must not alter fatal() on another thread.
+    FatalThrowGuard guard;
+    bool other_thread_active = true;
+    std::thread([&] {
+        other_thread_active = FatalThrowGuard::active();
+    }).join();
+    EXPECT_FALSE(other_thread_active);
+}
+
+TEST(FatalThrowGuardDeathTest, FatalStillExitsWithoutGuard)
+{
+    // With no live guard, fatal() keeps its exit(1) contract.
+    { FatalThrowGuard expired; }
+    EXPECT_EXIT(fatal("unguarded"), ::testing::ExitedWithCode(1),
+                "unguarded");
+}
+
 }  // namespace
 }  // namespace chrysalis

@@ -87,7 +87,7 @@ TEST(ChrysalisTest, ValidationAgreesWithAnalytic)
     const ValidationResult validation =
         tool.validate(solution, /*k_eh=*/2e-3, sim::SimConfig{}, 8);
     ASSERT_TRUE(validation.sim.completed)
-        << validation.sim.failure_reason;
+        << validation.sim.failure.message();
     EXPECT_GT(validation.mean_sim_latency_s, 0.0);
     EXPECT_LT(validation.relative_error, 0.40);
 }

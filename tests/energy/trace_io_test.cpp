@@ -35,19 +35,35 @@ TEST(TraceIoTest, ToleratesWhitespace)
     EXPECT_DOUBLE_EQ(env.k_eh(10.0), 0.002);
 }
 
-TEST(TraceIoDeathTest, RejectsMalformedLines)
+TEST(TraceIoTest, SkipsMalformedLinesAndKeepsTheRest)
 {
-    std::istringstream missing_field("0\n");
-    EXPECT_EXIT(parse_irradiance_csv(missing_field),
-                ::testing::ExitedWithCode(1), "expected 2 fields");
+    // Glitchy field recording: a short line, garbage, a NaN sample, a
+    // negative sample and a logger-restart (time going backwards). Only
+    // the three good samples should survive.
+    std::istringstream input(
+        "0,0.001\n"
+        "5\n"
+        "abc,def\n"
+        "10,nan\n"
+        "15,-0.5\n"
+        "3,0.009\n"
+        "20,0.003\n"
+        "40,0.005\n");
+    const auto env = parse_irradiance_csv(input, "glitchy");
+    EXPECT_DOUBLE_EQ(env.k_eh(0.0), 0.001);
+    EXPECT_DOUBLE_EQ(env.k_eh(20.0), 0.003);
+    EXPECT_DOUBLE_EQ(env.k_eh(30.0), 0.004);  // interpolates 20..40
+}
 
-    std::istringstream garbage("abc,def\n");
-    EXPECT_EXIT(parse_irradiance_csv(garbage),
-                ::testing::ExitedWithCode(1), "cannot parse");
-
+TEST(TraceIoDeathTest, NoValidSamplesIsFatal)
+{
     std::istringstream empty("# nothing here\n");
     EXPECT_EXIT(parse_irradiance_csv(empty),
-                ::testing::ExitedWithCode(1), "no samples");
+                ::testing::ExitedWithCode(1), "no valid samples");
+
+    std::istringstream all_bad("abc,def\n0\n1,nan\n");
+    EXPECT_EXIT(parse_irradiance_csv(all_bad),
+                ::testing::ExitedWithCode(1), "no valid samples");
 }
 
 TEST(TraceIoDeathTest, MissingFileIsFatal)

@@ -1,0 +1,74 @@
+/// \file
+/// Tests for the structured failure taxonomy: string round-trips,
+/// penalty ranking and SimFailure semantics.
+
+#include "fault/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chrysalis::fault {
+namespace {
+
+const FailureCode kAllCodes[] = {
+    FailureCode::kNone,          FailureCode::kTileExceedsCycle,
+    FailureCode::kTimeout,       FailureCode::kNvmCapacityExceeded,
+    FailureCode::kMappingInfeasible, FailureCode::kUnavailable,
+    FailureCode::kLeakageDominates,  FailureCode::kMalformedInput,
+    FailureCode::kCrashed,
+};
+
+TEST(FailureTest, CodesRoundTripThroughStrings)
+{
+    for (const FailureCode code : kAllCodes) {
+        const auto text = to_string(code);
+        EXPECT_FALSE(text.empty());
+        EXPECT_EQ(failure_code_from_string(text), code) << text;
+    }
+}
+
+TEST(FailureTest, UnknownStringMapsToNone)
+{
+    EXPECT_EQ(failure_code_from_string("definitely-not-a-code"),
+              FailureCode::kNone);
+    EXPECT_EQ(failure_code_from_string(""), FailureCode::kNone);
+}
+
+TEST(FailureTest, CodeIdentifiersAreUnique)
+{
+    for (const FailureCode a : kAllCodes) {
+        for (const FailureCode b : kAllCodes) {
+            if (a != b)
+                EXPECT_NE(to_string(a), to_string(b));
+        }
+    }
+}
+
+TEST(FailureTest, PenaltyRankFollowsDistanceFromFeasibility)
+{
+    EXPECT_EQ(penalty_rank(FailureCode::kNone), 0);
+    int previous = 0;
+    for (const FailureCode code : kAllCodes) {
+        if (code == FailureCode::kNone)
+            continue;
+        const int rank = penalty_rank(code);
+        EXPECT_GT(rank, previous) << to_string(code);
+        previous = rank;
+    }
+}
+
+TEST(FailureTest, SimFailureBoolAndMessage)
+{
+    const SimFailure none;
+    EXPECT_FALSE(none);
+
+    const SimFailure timeout =
+        make_failure(FailureCode::kTimeout, "after 300000 s");
+    EXPECT_TRUE(timeout);
+    EXPECT_NE(timeout.message().find("after 300000 s"), std::string::npos);
+
+    const SimFailure bare = make_failure(FailureCode::kUnavailable);
+    EXPECT_FALSE(bare.message().empty());
+}
+
+}  // namespace
+}  // namespace chrysalis::fault

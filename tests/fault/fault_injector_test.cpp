@@ -1,0 +1,210 @@
+/// \file
+/// Tests for the seed-deterministic fault injector: spec validation,
+/// order-independent determinism, dropout statistics, ageing derates and
+/// the checkpoint-corruption stream.
+
+#include "fault/fault_injector.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/stable_hash.hpp"
+
+namespace chrysalis::fault {
+namespace {
+
+FaultSpec
+storm_spec(std::uint64_t seed = 42)
+{
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.dropout_window_s = 100.0;
+    spec.dropout_probability = 0.5;
+    spec.dropout_duration_s = 20.0;
+    spec.dropout_depth = 0.0;
+    return spec;
+}
+
+TEST(FaultSpecDeathTest, ValidationRejectsOutOfRangeFields)
+{
+    FaultSpec bad_probability;
+    bad_probability.dropout_probability = 1.5;
+    EXPECT_EXIT(bad_probability.validate(),
+                ::testing::ExitedWithCode(1), "dropout_probability");
+
+    FaultSpec bad_window;
+    bad_window.dropout_window_s = 0.0;
+    EXPECT_EXIT(bad_window.validate(), ::testing::ExitedWithCode(1),
+                "dropout_window_s");
+
+    FaultSpec bad_age;
+    bad_age.mission_age_years = -1.0;
+    EXPECT_EXIT(bad_age.validate(), ::testing::ExitedWithCode(1),
+                "mission_age_years");
+
+    FaultSpec bad_rate;
+    bad_rate.ckpt_corruption_rate = -0.1;
+    EXPECT_EXIT(bad_rate.validate(), ::testing::ExitedWithCode(1),
+                "ckpt_corruption_rate");
+}
+
+TEST(FaultInjectorTest, DefaultSpecInjectsNothing)
+{
+    const FaultSpec spec;
+    EXPECT_FALSE(spec.any_active());
+    const FaultInjector injector(spec);
+    for (double t = 0.0; t < 1000.0; t += 37.0)
+        EXPECT_EQ(injector.harvest_factor(t), 1.0) << t;
+    EXPECT_EQ(injector.capacitance_scale(), 1.0);
+    EXPECT_EQ(injector.leakage_scale(), 1.0);
+    EXPECT_EQ(injector.v_on_offset_v(), 0.0);
+    EXPECT_EQ(injector.v_off_offset_v(), 0.0);
+    EXPECT_FALSE(injector.corrupt_restore(0));
+    EXPECT_EQ(injector.mean_harvest_factor(), 1.0);
+}
+
+TEST(FaultInjectorTest, AnswersAreIndependentOfQueryOrder)
+{
+    // Queries are pure functions of (seed, index): forward, backward and
+    // repeated sweeps must agree exactly — the property behind
+    // threads=N == threads=1 determinism.
+    const FaultInjector injector(storm_spec());
+    std::vector<double> forward;
+    for (int i = 0; i < 500; ++i)
+        forward.push_back(injector.harvest_factor(1.7 * i));
+    for (int i = 499; i >= 0; --i)
+        EXPECT_EQ(injector.harvest_factor(1.7 * i),
+                  forward[static_cast<std::size_t>(i)])
+            << i;
+
+    std::vector<bool> corrupt;
+    FaultSpec spec = storm_spec();
+    spec.ckpt_corruption_rate = 0.3;
+    const FaultInjector with_corruption(spec);
+    for (std::uint64_t i = 0; i < 200; ++i)
+        corrupt.push_back(with_corruption.corrupt_restore(i));
+    for (std::uint64_t i = 200; i-- > 0;)
+        EXPECT_EQ(with_corruption.corrupt_restore(i),
+                  corrupt[static_cast<std::size_t>(i)]);
+}
+
+TEST(FaultInjectorTest, SameSeedSameSequenceDifferentSeedDiffers)
+{
+    const FaultInjector a(storm_spec(7));
+    const FaultInjector b(storm_spec(7));
+    const FaultInjector c(storm_spec(8));
+    int differences = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double t = 3.1 * i;
+        EXPECT_EQ(a.harvest_factor(t), b.harvest_factor(t));
+        if (a.harvest_factor(t) != c.harvest_factor(t))
+            ++differences;
+    }
+    EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, DropoutFrequencyMatchesProbability)
+{
+    // ~50% of 100 s windows carry a 20 s dropout => ~10% of samples dark.
+    const FaultInjector injector(storm_spec());
+    int dark = 0;
+    const int samples = 200000;
+    for (int i = 0; i < samples; ++i) {
+        if (injector.harvest_factor(0.1 * i) < 1.0)
+            ++dark;
+    }
+    const double fraction = static_cast<double>(dark) / samples;
+    EXPECT_NEAR(fraction, 0.10, 0.02);
+    EXPECT_NEAR(injector.mean_harvest_factor(), 0.90, 1e-12);
+}
+
+TEST(FaultInjectorTest, DropoutDepthSetsInStormFactor)
+{
+    FaultSpec spec = storm_spec();
+    spec.dropout_depth = 0.3;
+    spec.dropout_probability = 1.0;
+    spec.dropout_duration_s = 100.0;  // whole window dark
+    const FaultInjector injector(spec);
+    for (double t = 1.0; t < 500.0; t += 13.0)
+        EXPECT_DOUBLE_EQ(injector.harvest_factor(t), 0.3);
+    EXPECT_DOUBLE_EQ(injector.mean_harvest_factor(), 0.3);
+}
+
+TEST(FaultInjectorTest, AgeingDeratesCapacitorAndGrowsLeakage)
+{
+    FaultSpec spec;
+    spec.mission_age_years = 5.0;
+    spec.cap_fade_per_year = 0.02;
+    spec.leakage_growth_per_year = 0.10;
+    const FaultInjector injector(spec);
+    EXPECT_NEAR(injector.capacitance_scale(), std::pow(0.98, 5.0), 1e-12);
+    EXPECT_NEAR(injector.leakage_scale(), std::pow(1.10, 5.0), 1e-12);
+    EXPECT_LT(injector.capacitance_scale(), 1.0);
+    EXPECT_GT(injector.leakage_scale(), 1.0);
+}
+
+TEST(FaultInjectorTest, PmicDriftIsClampedAndStable)
+{
+    FaultSpec spec;
+    spec.seed = 99;
+    spec.v_on_drift_sigma_v = 10.0;  // huge sigma: clamp must bite
+    spec.v_off_drift_sigma_v = 10.0;
+    spec.max_drift_v = 0.25;
+    const FaultInjector injector(spec);
+    EXPECT_LE(std::abs(injector.v_on_offset_v()), 0.25);
+    EXPECT_LE(std::abs(injector.v_off_offset_v()), 0.25);
+    // Static property: a second injector with the same seed agrees.
+    const FaultInjector again(spec);
+    EXPECT_EQ(injector.v_on_offset_v(), again.v_on_offset_v());
+    EXPECT_EQ(injector.v_off_offset_v(), again.v_off_offset_v());
+}
+
+TEST(FaultInjectorTest, CorruptionFrequencyMatchesRate)
+{
+    FaultSpec spec;
+    spec.ckpt_corruption_rate = 0.25;
+    const FaultInjector injector(spec);
+    int corrupted = 0;
+    const int restores = 100000;
+    for (std::uint64_t i = 0; i < restores; ++i) {
+        if (injector.corrupt_restore(i))
+            ++corrupted;
+    }
+    EXPECT_NEAR(static_cast<double>(corrupted) / restores, 0.25, 0.01);
+}
+
+TEST(FaultInjectorTest, HashDistinguishesSpecs)
+{
+    const auto key_of = [](const FaultSpec& spec) {
+        runtime::StableHash hash;
+        FaultInjector(spec).add_to_hash(hash);
+        return hash.key();
+    };
+    FaultSpec a = storm_spec();
+    FaultSpec b = storm_spec();
+    EXPECT_EQ(key_of(a), key_of(b));
+    b.ckpt_corruption_rate = 0.01;
+    EXPECT_FALSE(key_of(a) == key_of(b));
+    FaultSpec c = storm_spec();
+    c.seed = 43;
+    EXPECT_FALSE(key_of(a) == key_of(c));
+}
+
+TEST(FaultInjectorTest, DescribeMentionsActiveClasses)
+{
+    FaultSpec spec = storm_spec();
+    spec.mission_age_years = 3.0;
+    spec.ckpt_corruption_rate = 0.05;
+    const std::string text = FaultInjector(spec).describe();
+    EXPECT_NE(text.find("dropout"), std::string::npos);
+    EXPECT_NE(text.find("age"), std::string::npos);
+    EXPECT_NE(text.find("ckpt-corrupt"), std::string::npos);
+
+    const std::string idle = FaultInjector(FaultSpec{}).describe();
+    EXPECT_NE(idle.find("none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chrysalis::fault

@@ -76,7 +76,7 @@ TEST(EndToEndTest, MobilenetExtensionRunsOnBothSetups)
     const auto validation =
         tool.validate(solution, /*k_eh=*/2e-3, sim::SimConfig{}, 4);
     EXPECT_TRUE(validation.sim.completed)
-        << validation.sim.failure_reason;
+        << validation.sim.failure.message();
 }
 
 TEST(EndToEndTest, SearchedDesignBeatsIdleDefaults)
@@ -115,7 +115,7 @@ TEST(EndToEndTest, SolutionSurvivesStepSimulationInBothEnvironments)
                                               sim::SimConfig{}, 6);
         EXPECT_TRUE(validation.sim.completed)
             << "k_eh=" << k_eh << ": "
-            << validation.sim.failure_reason;
+            << validation.sim.failure.message();
     }
 }
 
@@ -173,7 +173,7 @@ TEST(EndToEndTest, DiurnalEnvironmentDrivesRepeatedInference)
     const auto results =
         sim::simulate_repeated(cost, controller, config, 4);
     for (const auto& result : results)
-        EXPECT_TRUE(result.completed) << result.failure_reason;
+        EXPECT_TRUE(result.completed) << result.failure.message();
 }
 
 }  // namespace

@@ -131,7 +131,7 @@ TEST_P(RandomModelTest, AnalysisStackInvariantsHold)
     const auto eval = sim::analytic_evaluate(result.cost, env);
     if (result.feasible) {
         // A search-feasible plan must be analytically runnable too.
-        EXPECT_TRUE(eval.feasible) << eval.failure_reason;
+        EXPECT_TRUE(eval.feasible) << eval.failure.message();
         EXPECT_GT(eval.latency_s, 0.0);
     }
 }

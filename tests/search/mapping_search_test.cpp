@@ -146,7 +146,7 @@ TEST(MappingSearchTest, TableIvWorkloadsFitMspFram)
         const auto result = search_mappings(
             model, mcu, {make_env(16e-3)}, MappingSearchOptions{});
         EXPECT_TRUE(result.feasible) << name << ": "
-                                     << result.failure_note;
+                                     << result.failure.message();
     }
 }
 
@@ -158,8 +158,8 @@ TEST(MappingSearchTest, OversizedModelFailsFramCapacity)
     const auto result = search_mappings(model, mcu, {make_env(16e-3)},
                                         MappingSearchOptions{});
     EXPECT_FALSE(result.feasible);
-    EXPECT_NE(result.failure_note.find("NVM capacity"),
-              std::string::npos);
+    EXPECT_EQ(result.failure.code,
+              fault::FailureCode::kNvmCapacityExceeded);
 }
 
 TEST(MappingSearchTest, AcceleratorNvmIsUnlimited)

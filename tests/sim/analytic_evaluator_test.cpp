@@ -67,7 +67,7 @@ TEST(AnalyticEvaluateTest, FeasibleCaseComputesLatency)
 {
     const auto cost = kws_cost();
     const AnalyticResult result = analytic_evaluate(cost, make_env(20e-3));
-    ASSERT_TRUE(result.feasible) << result.failure_reason;
+    ASSERT_TRUE(result.feasible) << result.failure.message();
     EXPECT_GT(result.latency_s, 0.0);
     EXPECT_NEAR(result.e_all_j, cost.total_energy_j(), 1e-12);
     // Latency respects both bounds.
@@ -119,7 +119,8 @@ TEST(AnalyticEvaluateTest, InfeasibleOnLeakageDominance)
     const AnalyticResult result =
         analytic_evaluate(cost, make_env(0.1e-3, 10e-3));
     EXPECT_FALSE(result.feasible);
-    EXPECT_NE(result.failure_reason.find("leakage"), std::string::npos);
+    EXPECT_EQ(result.failure.code,
+              fault::FailureCode::kLeakageDominates);
 }
 
 TEST(AnalyticEvaluateTest, InfeasibleWhenTileExceedsCycle)
@@ -130,8 +131,8 @@ TEST(AnalyticEvaluateTest, InfeasibleWhenTileExceedsCycle)
     const AnalyticResult result =
         analytic_evaluate(cost, make_env(0.2e-3, 1e-6));
     EXPECT_FALSE(result.feasible);
-    EXPECT_NE(result.failure_reason.find("energy cycle"),
-              std::string::npos);
+    EXPECT_EQ(result.failure.code,
+              fault::FailureCode::kTileExceedsCycle);
 }
 
 TEST(AnalyticEvaluateTest, InfeasibleCostPropagates)
@@ -140,7 +141,8 @@ TEST(AnalyticEvaluateTest, InfeasibleCostPropagates)
     cost.feasible = false;
     const AnalyticResult result = analytic_evaluate(cost, make_env(20e-3));
     EXPECT_FALSE(result.feasible);
-    EXPECT_NE(result.failure_reason.find("VM"), std::string::npos);
+    EXPECT_EQ(result.failure.code,
+              fault::FailureCode::kMappingInfeasible);
 }
 
 TEST(MinTilesEq9Test, HarvestSufficientNeedsNoSplit)

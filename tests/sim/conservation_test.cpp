@@ -58,7 +58,7 @@ TEST_P(ConservationTest, LedgerNeverCreatesEnergy)
     const SimResult result =
         simulate_inference(cost, controller, config);
     if (!result.completed)
-        GTEST_SKIP() << result.failure_reason;
+        GTEST_SKIP() << result.failure.message();
 
     const auto& ledger = result.ledger;
     // Everything that left the system is bounded by what entered it.
@@ -113,7 +113,7 @@ TEST_P(ConservationTest, ActiveTimeBoundedByLatency)
     const SimResult result =
         simulate_inference(cost, controller, config);
     if (!result.completed)
-        GTEST_SKIP() << result.failure_reason;
+        GTEST_SKIP() << result.failure.message();
     EXPECT_LE(result.active_time_s, result.latency_s * (1.0 + 1e-9));
     EXPECT_GE(result.tiles_executed, result.tiles_total);
     EXPECT_GE(result.energy_cycles, 0);

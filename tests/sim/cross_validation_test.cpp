@@ -47,7 +47,7 @@ TEST_P(CrossValidationTest, SteadyStateLatencyAgreesWithinTolerance)
     const AnalyticResult analytic = analytic_evaluate(cost, env);
     if (!analytic.feasible)
         GTEST_SKIP() << "analytically infeasible: "
-                     << analytic.failure_reason;
+                     << analytic.failure.message();
 
     energy::Capacitor::Config cap_config = env.capacitor;
     cap_config.initial_voltage_v = env.pmic.v_off;
@@ -75,7 +75,7 @@ TEST_P(CrossValidationTest, SteadyStateLatencyAgreesWithinTolerance)
             ++completed;
         }
     }
-    ASSERT_GT(completed, 0) << results.front().failure_reason;
+    ASSERT_GT(completed, 0) << results.front().failure.message();
     const double mean_latency = latency_sum / completed;
 
     // Steady-state agreement within 35% (the analytic form ignores step

@@ -57,7 +57,7 @@ TEST(SimulatorTest, CompletesWithAmplePower)
     auto controller = make_controller(20.0, 2e-3, 470e-6);
     const SimResult result =
         simulate_inference(cost, controller, fast_config());
-    ASSERT_TRUE(result.completed) << result.failure_reason;
+    ASSERT_TRUE(result.completed) << result.failure.message();
     EXPECT_EQ(result.tiles_executed, result.tiles_total);
     EXPECT_GT(result.latency_s, 0.0);
     EXPECT_GT(result.e_infer_j, 0.0);
@@ -87,7 +87,7 @@ TEST(SimulatorTest, ChargeCyclesAppearWhenStarved)
     auto controller = make_controller(1.0, 0.5e-3, 1e-3, 0.0);
     const SimResult result =
         simulate_inference(cost, controller, fast_config());
-    ASSERT_TRUE(result.completed) << result.failure_reason;
+    ASSERT_TRUE(result.completed) << result.failure.message();
     EXPECT_GE(result.energy_cycles, 1);
     EXPECT_GT(result.latency_s, result.active_time_s);
 }
@@ -100,8 +100,7 @@ TEST(SimulatorTest, UnavailableWhenLeakageBlocksTurnOn)
     const SimResult result =
         simulate_inference(cost, controller, fast_config());
     EXPECT_FALSE(result.completed);
-    EXPECT_NE(result.failure_reason.find("unavailable"),
-              std::string::npos);
+    EXPECT_EQ(result.failure.code, fault::FailureCode::kUnavailable);
 }
 
 TEST(SimulatorTest, InfeasibleCostFailsFast)
@@ -112,7 +111,8 @@ TEST(SimulatorTest, InfeasibleCostFailsFast)
     const SimResult result =
         simulate_inference(cost, controller, fast_config());
     EXPECT_FALSE(result.completed);
-    EXPECT_NE(result.failure_reason.find("infeasible"), std::string::npos);
+    EXPECT_EQ(result.failure.code,
+              fault::FailureCode::kMappingInfeasible);
 }
 
 TEST(SimulatorTest, ExceptionsTriggerReexecution)
@@ -124,7 +124,7 @@ TEST(SimulatorTest, ExceptionsTriggerReexecution)
     config.seed = 7;
     const SimResult result =
         simulate_inference(cost, controller, config);
-    ASSERT_TRUE(result.completed) << result.failure_reason;
+    ASSERT_TRUE(result.completed) << result.failure.message();
     EXPECT_GT(result.exceptions, 0);
     // Exceptions cost checkpoint energy.
     EXPECT_GT(result.e_ckpt_j, 0.0);
@@ -202,7 +202,7 @@ TEST(SimulatorTest, TimeoutReportsProgress)
     const SimResult result =
         simulate_inference(cost, controller, config);
     EXPECT_FALSE(result.completed);
-    EXPECT_NE(result.failure_reason.find("timeout"), std::string::npos);
+    EXPECT_EQ(result.failure.code, fault::FailureCode::kTimeout);
 }
 
 TEST(SimulatorTest, RepeatedRunsContinueWallClock)
@@ -249,7 +249,7 @@ TEST(SimulatorTest, OnDemandPolicyStillPaysForBrownOuts)
     auto controller = make_controller(1.0, 0.5e-3, 47e-6, 0.0);
     const SimResult result =
         simulate_inference(cost, controller, config);
-    ASSERT_TRUE(result.completed) << result.failure_reason;
+    ASSERT_TRUE(result.completed) << result.failure.message();
     EXPECT_GT(result.e_ckpt_j, 0.0);
 }
 
@@ -269,7 +269,7 @@ TEST(SimulatorTest, ProbeObservesEnergyCycles)
     };
     const SimResult result =
         simulate_inference(cost, controller, config);
-    ASSERT_TRUE(result.completed) << result.failure_reason;
+    ASSERT_TRUE(result.completed) << result.failure.message();
     EXPECT_GT(charging_samples, 0);
     EXPECT_GT(active_samples, 0);
     // Voltage visits the turn-on threshold and dips below it while
