@@ -100,6 +100,9 @@ main()
         }
         const double hv_nsga = hypervolume(
             search::pareto_front(std::move(nsga_points)), 30.0, ref_y);
+        if (hv_scalar > 0.0)
+            bench::headline(std::string("hv_ratio_nsga_vs_ga/") + name,
+                            hv_nsga / hv_scalar);
         pareto_table.add_row(
             {name, format_fixed(hv_scalar, 1), format_fixed(hv_nsga, 1),
              std::to_string(scalar.pareto.size()),

@@ -113,6 +113,16 @@ main()
             clean_tool.validate(clean, k_eh, sim_config);
         if (!active)
             clean_replay_latency = replay.mean_sim_latency_s;
+        if (replay.sim.completed && clean_replay_latency > 0.0) {
+            if (active)
+                bench::headline(std::string("lat_drift/") + regime.label,
+                                (replay.mean_sim_latency_s -
+                                 clean_replay_latency) /
+                                    clean_replay_latency);
+            else
+                bench::headline("clean_sim_latency_s",
+                                replay.mean_sim_latency_s);
+        }
         const std::string drift =
             clean_replay_latency > 0.0
                 ? format_percent((replay.mean_sim_latency_s -

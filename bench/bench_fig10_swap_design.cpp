@@ -180,6 +180,18 @@ main()
         }
     }
 
+    if (cells > 0)
+        bench::headline("chrysalis_win_rate",
+                        static_cast<double>(chrysalis_wins) / cells);
+    if (wo_ea_cells > 0)
+        bench::headline("wo_ea_dominated_rate",
+                        static_cast<double>(wo_ea_dominated) /
+                            wo_ea_cells);
+    if (!lat_shrink.empty())
+        bench::headline("mean_lat_shrink", summarize(lat_shrink).mean);
+    if (!sp_shrink.empty())
+        bench::headline("mean_sp_shrink", summarize(sp_shrink).mean);
+
     std::cout << "\n=== Shape checks ===\n";
     std::cout << "CHRYSALIS best-or-tied (2% tolerance) in "
               << chrysalis_wins << "/" << cells

@@ -85,6 +85,10 @@ main()
     }
 
     if (!improvements.empty()) {
+        bench::headline("mean_improvement",
+                        summarize(improvements).mean);
+        bench::headline("workloads",
+                        static_cast<double>(improvements.size()));
         std::cout << "\nAverage lat*sp improvement over the iNAS original"
                      " configuration: "
                   << format_percent(summarize(improvements).mean)

@@ -88,6 +88,11 @@ main()
     table.print(std::cout);
     if (!improvements.empty()) {
         const auto stats = summarize(improvements);
+        bench::headline("mean_improvement", stats.mean);
+        bench::headline("min_improvement", stats.min);
+        bench::headline("max_improvement", stats.max);
+        bench::headline("scenarios",
+                        static_cast<double>(improvements.size()));
         std::cout << "\nAverage improvement across "
                   << improvements.size() << " scenarios: "
                   << format_percent(stats.mean)

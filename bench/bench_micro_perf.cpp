@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_util.hpp"
 #include "core/chrysalis.hpp"
 #include "dnn/model_zoo.hpp"
 #include "hw/accelerator.hpp"
@@ -151,4 +152,19 @@ BENCHMARK(BM_EnergyControllerStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    // attach_metrics=false: these loops measure the no-sink fast path of
+    // the instrumented hot code; attaching the registry would fold the
+    // publish cost into every timing.
+    chrysalis::bench::begin_report(
+        "MicroPerf", "google-benchmark micro-benchmarks of the hot paths",
+        /*attach_metrics=*/false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

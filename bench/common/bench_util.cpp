@@ -1,11 +1,158 @@
 #include "common/bench_util.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
 
+#include "common/logging.hpp"
 #include "common/string_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chrysalis::bench {
+
+namespace {
+
+/// State behind begin_report/headline; written out by an atexit hook so
+/// every exit path of a figure binary produces its report.
+struct BenchReport {
+    std::mutex mutex;
+    bool active = false;
+    std::string experiment;
+    std::string description;
+    std::string metrics_path;
+    std::string trace_path;  ///< empty = no trace requested
+    obs::MetricsRegistry registry;
+    obs::TraceSession trace;
+    std::vector<std::pair<std::string, double>> headlines;
+};
+
+BenchReport&
+report_state()
+{
+    static BenchReport report;
+    return report;
+}
+
+/// Executable name minus a leading "bench_": the <name> in
+/// BENCH_<name>.json. Falls back to "report" off glibc.
+std::string
+report_slug()
+{
+#if defined(__GLIBC__)
+    std::string name = program_invocation_short_name;
+    if (name.rfind("bench_", 0) == 0)
+        name.erase(0, std::strlen("bench_"));
+    if (!name.empty())
+        return name;
+#endif
+    return "report";
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+std::string
+json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buffer;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+write_report()
+{
+    BenchReport& report = report_state();
+    std::lock_guard<std::mutex> lock(report.mutex);
+    if (!report.active)
+        return;
+    // Quiescence: by atexit time all benchmark work has joined.
+    obs::attach_metrics(nullptr);
+    obs::attach_trace(nullptr);
+
+    std::FILE* file = std::fopen(report.metrics_path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "[bench] cannot write report '%s': %s\n",
+                     report.metrics_path.c_str(), std::strerror(errno));
+        return;
+    }
+    std::fprintf(file, "{\"schema\":\"chrysalis-bench-v1\"");
+    std::fprintf(file, ",\"experiment\":\"%s\"",
+                 json_escape(report.experiment).c_str());
+    std::fprintf(file, ",\"description\":\"%s\"",
+                 json_escape(report.description).c_str());
+    std::fprintf(file, ",\"headline\":{");
+    std::sort(report.headlines.begin(), report.headlines.end());
+    for (std::size_t i = 0; i < report.headlines.size(); ++i) {
+        std::fprintf(file, "%s\"%s\":%.17g", i > 0 ? "," : "",
+                     json_escape(report.headlines[i].first).c_str(),
+                     report.headlines[i].second);
+    }
+    std::fprintf(file, "},\"metrics\":%s}\n",
+                 report.registry.to_json().c_str());
+    std::fclose(file);
+
+    if (!report.trace_path.empty())
+        report.trace.write_chrome_trace_file(report.trace_path);
+}
+
+}  // namespace
+
+void
+begin_report(const std::string& experiment, const std::string& description,
+             bool attach_metrics)
+{
+    const char* toggle = std::getenv("CHRYSALIS_BENCH_REPORT");
+    if (toggle != nullptr && std::strcmp(toggle, "0") == 0)
+        return;
+    BenchReport& report = report_state();
+    std::lock_guard<std::mutex> lock(report.mutex);
+    if (report.active)
+        return;  // first banner wins; later sections share the report
+    report.active = true;
+    report.experiment = experiment;
+    report.description = description;
+    const char* metrics_out = std::getenv("CHRYSALIS_BENCH_METRICS_OUT");
+    report.metrics_path = metrics_out != nullptr && *metrics_out != '\0'
+                              ? metrics_out
+                              : "BENCH_" + report_slug() + ".json";
+    if (const char* trace_out = std::getenv("CHRYSALIS_BENCH_TRACE_OUT")) {
+        if (*trace_out != '\0') {
+            report.trace_path = trace_out;
+            obs::attach_trace(&report.trace);
+        }
+    }
+    if (attach_metrics)
+        obs::attach_metrics(&report.registry);
+    std::atexit(write_report);
+}
+
+void
+headline(const std::string& key, double value)
+{
+    BenchReport& report = report_state();
+    std::lock_guard<std::mutex> lock(report.mutex);
+    if (!report.active)
+        return;
+    report.headlines.emplace_back(key, value);
+}
 
 Budget
 Budget::from_env()
@@ -44,6 +191,7 @@ Budget::from_env()
 void
 print_banner(const std::string& experiment, const std::string& description)
 {
+    begin_report(experiment, description);
     std::printf("\n================================================"
                 "================\n");
     std::printf("%s\n%s\n", experiment.c_str(), description.c_str());

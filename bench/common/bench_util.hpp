@@ -33,7 +33,30 @@ struct Budget {
     static Budget from_env();
 };
 
-/// Prints the standard benchmark banner (figure id + description).
+/// Starts the benchmark's machine-readable run report. Called by
+/// print_banner, so every figure binary gets one for free: at process
+/// exit a `BENCH_<name>.json` file (working directory; <name> is the
+/// executable name minus the `bench_` prefix) is written with the
+/// experiment id, the headline() numbers and a metrics snapshot.
+///
+/// Knobs (environment):
+///   CHRYSALIS_BENCH_REPORT=0           disable the report entirely
+///   CHRYSALIS_BENCH_METRICS_OUT=FILE   override the report path
+///   CHRYSALIS_BENCH_TRACE_OUT=FILE     also write a Chrome trace
+///
+/// \p attach_metrics=false starts the report without attaching the
+/// global metrics registry — used by micro-benchmarks that measure the
+/// no-sink fast path and must not observe publish costs.
+void begin_report(const std::string& experiment,
+                  const std::string& description,
+                  bool attach_metrics = true);
+
+/// Records one headline number (e.g. the paper-claim ratio a figure
+/// reproduces) into the run report. No-op before begin_report.
+void headline(const std::string& key, double value);
+
+/// Prints the standard benchmark banner (figure id + description) and
+/// starts the run report (see begin_report).
 void print_banner(const std::string& experiment,
                   const std::string& description);
 

@@ -16,20 +16,41 @@
 ///     --pareto                        run NSGA-II and print the front
 ///     --validate                      step-simulate the chosen design
 ///     --csv                           machine-readable summary line
+///     --campaign <n>                  run an n-case campaign (objectives
+///                                     cycle lat/sp/latsp) and print the
+///                                     campaign CSV
+///     --threads <n>                   campaign case fan-out (0 = all)
+///     --metrics-out <file>            write a metrics JSON report
+///     --trace-out <file>              write a Chrome trace-event JSON
+///     --fault-dropout <p>             harvester dropout probability
+///     --fault-age <years>             capacitor mission age
+///     --fault-ckpt <p>                checkpoint corruption rate
+///
+/// Options also accept the --key=value form.
 ///
 /// Examples:
 ///   chrysalis_cli --model har --objective sp --lat-limit 30
 ///   chrysalis_cli --model my_net.model --space future --pareto
+///   chrysalis_cli --campaign 6 --fault-dropout 0.3 \
+///       --metrics-out metrics.json --trace-out trace.json
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
+#include "core/campaign.hpp"
 #include "core/chrysalis.hpp"
 #include "dnn/model_io.hpp"
 #include "dnn/model_zoo.hpp"
+#include "fault/fault_injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -49,6 +70,13 @@ struct CliOptions {
     bool pareto = false;
     bool validate = false;
     bool csv = false;
+    int campaign = 0;  ///< 0 = single-solution mode
+    int threads = 1;
+    std::string metrics_out;
+    std::string trace_out;
+    double fault_dropout = 0.0;
+    double fault_age = 0.0;
+    double fault_ckpt = 0.0;
 };
 
 void
@@ -59,7 +87,11 @@ usage(const char* argv0)
         "          [--objective lat|sp|latsp] [--sp-limit cm2]\n"
         "          [--lat-limit s] [--population n] [--generations n]\n"
         "          [--seed n] [--bright W/cm2] [--dark W/cm2]\n"
-        "          [--pareto] [--validate] [--csv]\n",
+        "          [--pareto] [--validate] [--csv]\n"
+        "          [--campaign n] [--threads n]\n"
+        "          [--metrics-out file] [--trace-out file]\n"
+        "          [--fault-dropout p] [--fault-age years]\n"
+        "          [--fault-ckpt p]\n",
         argv0);
 }
 
@@ -67,8 +99,22 @@ bool
 parse_args(int argc, char** argv, CliOptions& options)
 {
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> const char* {
+        std::string arg = argv[i];
+        // Split the --key=value form so every option accepts both
+        // spellings.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
+        const auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
                 fatal("missing value for ", arg);
             return argv[++i];
@@ -99,6 +145,20 @@ parse_args(int argc, char** argv, CliOptions& options)
             options.validate = true;
         } else if (arg == "--csv") {
             options.csv = true;
+        } else if (arg == "--campaign") {
+            options.campaign = std::stoi(next());
+        } else if (arg == "--threads") {
+            options.threads = std::stoi(next());
+        } else if (arg == "--metrics-out") {
+            options.metrics_out = next();
+        } else if (arg == "--trace-out") {
+            options.trace_out = next();
+        } else if (arg == "--fault-dropout") {
+            options.fault_dropout = std::stod(next());
+        } else if (arg == "--fault-age") {
+            options.fault_age = std::stod(next());
+        } else if (arg == "--fault-ckpt") {
+            options.fault_ckpt = std::stod(next());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -122,9 +182,9 @@ resolve_model(const std::string& spec)
 }
 
 search::Objective
-resolve_objective(const CliOptions& options)
+resolve_objective(const CliOptions& options, const std::string& kind)
 {
-    const std::string key = to_lower(options.objective);
+    const std::string key = to_lower(kind);
     if (key == "lat") {
         return {search::ObjectiveKind::kLatency, options.sp_limit, 0.0};
     }
@@ -134,30 +194,103 @@ resolve_objective(const CliOptions& options)
     }
     if (key == "latsp" || key == "lat*sp")
         return {search::ObjectiveKind::kLatSp, 0.0, 0.0};
-    fatal("unknown objective '", options.objective, "'");
+    fatal("unknown objective '", kind, "'");
 }
 
-}  // namespace
+/// Fault injector from the --fault-* flags, or nullptr when none is set.
+std::unique_ptr<fault::FaultInjector>
+resolve_faults(const CliOptions& options)
+{
+    if (options.fault_dropout <= 0.0 && options.fault_age <= 0.0 &&
+        options.fault_ckpt <= 0.0) {
+        return nullptr;
+    }
+    fault::FaultSpec spec;
+    spec.seed = options.seed;
+    spec.dropout_probability = options.fault_dropout;
+    spec.mission_age_years = options.fault_age;
+    spec.ckpt_corruption_rate = options.fault_ckpt;
+    return std::make_unique<fault::FaultInjector>(spec);
+}
+
+/// Runs an n-case campaign over the selected workload, the objectives
+/// cycling lat/sp/latsp, and prints the campaign CSV. With --validate
+/// the first feasible solution is also replayed on the step simulator.
+int
+run_campaign_mode(const CliOptions& options,
+                  const core::ChrysalisInputs& base)
+{
+    static const char* const kKinds[] = {"latsp", "lat", "sp"};
+    std::vector<core::CampaignCase> cases;
+    cases.reserve(static_cast<std::size_t>(options.campaign));
+    for (int i = 0; i < options.campaign; ++i) {
+        const char* kind = kKinds[static_cast<std::size_t>(i) % 3];
+        cases.push_back({base.model.name() + "-" + kind + "-" +
+                             std::to_string(i),
+                         base.model, base.space,
+                         resolve_objective(options, kind)});
+    }
+
+    core::CampaignOptions campaign_options;
+    campaign_options.threads = options.threads;
+    const core::CampaignResult result =
+        core::run_campaign(cases, base.options, campaign_options);
+    result.write_csv(std::cout);
+
+    if (options.validate) {
+        for (std::size_t i = 0; i < result.entries.size(); ++i) {
+            const auto& entry = result.entries[i];
+            if (!entry.solution.feasible)
+                continue;
+            core::ChrysalisInputs case_inputs{cases[i].model,
+                                              cases[i].space,
+                                              cases[i].objective,
+                                              base.options};
+            const core::Chrysalis case_tool(std::move(case_inputs));
+            const auto validation =
+                case_tool.validate(entry.solution, options.bright);
+            std::printf("# validated %s: sim %s vs analytic %s "
+                        "(error %s)\n",
+                        entry.label.c_str(),
+                        format_si(validation.mean_sim_latency_s, "s")
+                            .c_str(),
+                        format_si(validation.analytic_latency_s, "s")
+                            .c_str(),
+                        format_percent(validation.relative_error)
+                            .c_str());
+            break;  // one replay covers the simulator counters
+        }
+    }
+
+    for (const auto& entry : result.entries) {
+        if (entry.solution.feasible)
+            return 0;
+    }
+    return 1;
+}
 
 int
-main(int argc, char** argv)
+run_cli(const CliOptions& options)
 {
-    CliOptions options;
-    if (!parse_args(argc, argv, options))
-        return 2;
+    const std::unique_ptr<fault::FaultInjector> faults =
+        resolve_faults(options);
 
     core::ChrysalisInputs inputs{
         resolve_model(options.model),
         to_lower(options.space) == "future"
             ? search::DesignSpace::future_aut()
             : search::DesignSpace::existing_aut(),
-        resolve_objective(options),
+        resolve_objective(options, options.objective),
         search::ExplorerOptions{},
     };
     inputs.options.outer.population = options.population;
     inputs.options.outer.generations = options.generations;
     inputs.options.outer.seed = options.seed;
     inputs.options.k_eh_envs = {options.bright, options.dark};
+    inputs.options.faults = faults.get();
+
+    if (options.campaign > 0)
+        return run_campaign_mode(options, inputs);
 
     const core::Chrysalis tool(std::move(inputs));
 
@@ -216,4 +349,33 @@ main(int argc, char** argv)
                     format_percent(validation.relative_error).c_str());
     }
     return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions options;
+    if (!parse_args(argc, argv, options))
+        return 2;
+
+    // Observability sinks live in main so they outlive all the work;
+    // attach before any search runs, detach (quiescent) before writing.
+    obs::MetricsRegistry registry;
+    obs::TraceSession trace_session;
+    if (!options.metrics_out.empty())
+        obs::attach_metrics(&registry);
+    if (!options.trace_out.empty())
+        obs::attach_trace(&trace_session);
+
+    const int exit_code = run_cli(options);
+
+    obs::attach_metrics(nullptr);
+    obs::attach_trace(nullptr);
+    if (!options.metrics_out.empty())
+        registry.write_json_file(options.metrics_out);
+    if (!options.trace_out.empty())
+        trace_session.write_chrome_trace_file(options.trace_out);
+    return exit_code;
 }

@@ -1,16 +1,38 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace chrysalis {
 
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+/// Threshold from CHRYSALIS_LOG_LEVEL, or kWarn when the variable is
+/// unset or unparsable (an unparsable value earns a one-off warning to
+/// stderr — the logging threshold is not trustworthy at that point).
+LogLevel
+initial_log_level()
+{
+    const char* env = std::getenv("CHRYSALIS_LOG_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::kWarn;
+    LogLevel level = LogLevel::kWarn;
+    if (!parse_log_level(env, level)) {
+        std::fprintf(stderr,
+                     "[chrysalis:warn] CHRYSALIS_LOG_LEVEL='%s' is not a "
+                     "log level (debug|info|warn|error|silent); using "
+                     "'warn'\n",
+                     env);
+    }
+    return level;
+}
+
+std::atomic<LogLevel> g_log_level{initial_log_level()};
 
 /// Serializes sink writes so records from parallel evaluations are
 /// emitted whole (never interleaved half-lines). Also guards g_log_sink.
@@ -63,6 +85,28 @@ set_log_level(LogLevel level)
     g_log_level.store(level, std::memory_order_relaxed);
 }
 
+bool
+parse_log_level(std::string_view name, LogLevel& out)
+{
+    std::string lowered(name);
+    for (char& c : lowered)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    if (lowered == "debug")
+        out = LogLevel::kDebug;
+    else if (lowered == "info" || lowered == "inform")
+        out = LogLevel::kInform;
+    else if (lowered == "warn" || lowered == "warning")
+        out = LogLevel::kWarn;
+    else if (lowered == "error")
+        out = LogLevel::kError;
+    else if (lowered == "silent" || lowered == "none" || lowered == "off")
+        out = LogLevel::kSilent;
+    else
+        return false;
+    return true;
+}
+
 void
 set_log_sink(LogSink sink)
 {
@@ -92,15 +136,22 @@ fatal_exit(const std::string& message)
     if (FatalThrowGuard::active())
         throw FatalError(message);
     // Deliberately no mutex: fatal/panic must make it out even if the
-    // crashing thread already holds the logging lock.
+    // crashing thread already holds the logging lock. Flush both
+    // streams so buffered output (reports, partial CSV rows) is not
+    // lost — and is ordered before the fatal line — when stderr is
+    // redirected to a file.
+    std::fflush(stdout);
     std::fprintf(stderr, "[chrysalis:fatal] %s\n", message.c_str());
+    std::fflush(stderr);
     std::exit(1);
 }
 
 void
 panic_abort(const std::string& message)
 {
+    std::fflush(stdout);
     std::fprintf(stderr, "[chrysalis:panic] %s\n", message.c_str());
+    std::fflush(stderr);
     std::abort();
 }
 

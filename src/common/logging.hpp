@@ -53,10 +53,18 @@ enum class LogLevel {
 };
 
 /// Returns the process-wide minimum level that will actually be printed.
+/// On the first call the threshold is initialized from the
+/// `CHRYSALIS_LOG_LEVEL` environment variable (see parse_log_level);
+/// unset or unparsable values leave the kWarn default.
 LogLevel log_level();
 
 /// Sets the process-wide minimum level that will be printed.
 void set_log_level(LogLevel level);
+
+/// Parses a level name: "debug", "info"/"inform", "warn"/"warning",
+/// "error", "silent"/"none"/"off" (case-insensitive). Returns true and
+/// writes \p out on success; false (leaving \p out untouched) otherwise.
+bool parse_log_level(std::string_view name, LogLevel& out);
 
 /// A replaceable log destination. Receives fully formatted records (one
 /// per call); the sink is invoked under the logging mutex, so it never

@@ -10,6 +10,9 @@
 #include "common/logging.hpp"
 #include "core/campaign_journal.hpp"
 #include "hw/accelerator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace chrysalis::core {
@@ -30,6 +33,9 @@ CampaignOptions::validate() const
         !std::isfinite(retry_backoff_cap_s))
         fatal("CampaignOptions: retry_backoff_cap_s must be finite and "
               ">= 0, got ", retry_backoff_cap_s);
+    if (!(progress_interval_s >= 0.0) || !std::isfinite(progress_interval_s))
+        fatal("CampaignOptions: progress_interval_s must be finite and "
+              ">= 0, got ", progress_interval_s);
 }
 
 void
@@ -73,28 +79,40 @@ CampaignResult::entry(const std::string& label) const
 
 namespace {
 
-/// Runs one case end-to-end (explorer construction + search), timing it
-/// on a monotonic clock inside the task so fan-out reports each case's
-/// own duration. May fatal()/throw; the caller handles isolation.
+/// Runs one case end-to-end (explorer construction + search). The span
+/// timer measures the case's own duration on a monotonic clock inside
+/// the task, so fan-out reports stay correct when cases run
+/// concurrently. May fatal()/throw; the caller handles isolation.
 CampaignEntry
 run_case(const CampaignCase& campaign_case,
          const search::ExplorerOptions& base_options, std::size_t index)
 {
-    using Clock = std::chrono::steady_clock;
     search::ExplorerOptions options = base_options;
     options.outer.seed = base_options.outer.seed + 1000 * (index + 1);
     ChrysalisInputs inputs{campaign_case.model, campaign_case.space,
                            campaign_case.objective, options};
     const Chrysalis tool(std::move(inputs));
-    const auto start = Clock::now();
+    obs::SpanTimer timer("case:" + campaign_case.label);
+    const double cpu_before = obs::thread_cpu_seconds();
     AuTSolution solution = tool.generate();
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - start).count();
     CampaignEntry entry;
     entry.label = campaign_case.label;
     entry.objective_label = to_string(campaign_case.objective.kind);
     entry.solution = std::move(solution);
-    entry.wall_time_s = elapsed;
+    entry.wall_time_s = timer.elapsed_s();
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("campaign/cases_evaluated").add(1);
+        // Wall/CPU times are volatile by nature; the histograms record
+        // their order-of-magnitude distribution for the run report.
+        registry
+            ->histogram("campaign/case_wall_s", obs::decade_bounds(),
+                        obs::Stability::kVolatile)
+            .record(entry.wall_time_s);
+        registry
+            ->histogram("campaign/case_cpu_s", obs::decade_bounds(),
+                        obs::Stability::kVolatile)
+            .record(obs::thread_cpu_seconds() - cpu_before);
+    }
     return entry;
 }
 
@@ -105,7 +123,8 @@ run_case(const CampaignCase& campaign_case,
 CampaignEntry
 run_case_isolated(const CampaignCase& campaign_case,
                   const search::ExplorerOptions& base_options,
-                  std::size_t index, const CampaignOptions& campaign_options)
+                  std::size_t index, const CampaignOptions& campaign_options,
+                  obs::ProgressReporter& progress)
 {
     std::string last_error;
     for (int attempt = 1; attempt <= campaign_options.max_attempts;
@@ -122,6 +141,11 @@ run_case_isolated(const CampaignCase& campaign_case,
                  attempt, "/", campaign_options.max_attempts,
                  " failed: ", last_error);
         }
+        if (attempt < campaign_options.max_attempts) {
+            progress.note_retry();
+            if (obs::MetricsRegistry* registry = obs::metrics())
+                registry->counter("campaign/case_retries").add(1);
+        }
         if (attempt < campaign_options.max_attempts &&
             campaign_options.retry_backoff_s > 0.0) {
             const double backoff = std::min(
@@ -132,6 +156,9 @@ run_case_isolated(const CampaignCase& campaign_case,
                 std::chrono::duration<double>(backoff));
         }
     }
+    progress.note_crash();
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->counter("campaign/cases_crashed").add(1);
     CampaignEntry entry;
     entry.label = campaign_case.label;
     entry.objective_label = to_string(campaign_case.objective.kind);
@@ -155,8 +182,7 @@ run_campaign(const std::vector<CampaignCase>& cases,
         fatal("run_campaign: no cases supplied");
     campaign_options.validate();
 
-    using Clock = std::chrono::steady_clock;
-    const auto campaign_start = Clock::now();
+    obs::SpanTimer timer("campaign/run");
 
     // Resume support: compute every case's stable key up front, load the
     // journal once, and only evaluate cases the journal does not cover.
@@ -169,6 +195,19 @@ run_campaign(const std::vector<CampaignCase>& cases,
         journal = load_campaign_journal(campaign_options.journal_path);
     }
 
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("campaign/runs").add(1);
+        registry->counter("campaign/cases_total").add(cases.size());
+        if (journaled) {
+            registry->counter("campaign/journal_loaded")
+                .add(journal.size());
+        }
+    }
+    obs::ProgressReporter::Options progress_options;
+    progress_options.min_interval_s = campaign_options.progress_interval_s;
+    obs::ProgressReporter progress("campaign", cases.size(),
+                                   progress_options);
+
     CampaignResult result;
     result.entries.resize(cases.size());
     std::mutex journal_mutex;
@@ -178,12 +217,14 @@ run_campaign(const std::vector<CampaignCase>& cases,
             const auto it = journal.find(keys[index]);
             if (it != journal.end()) {
                 result.entries[index] = from_journal_record(it->second);
+                progress.note_restored();
+                progress.advance();
                 return;
             }
         }
         CampaignEntry entry = campaign_options.isolate_failures
             ? run_case_isolated(cases[index], base_options, index,
-                                campaign_options)
+                                campaign_options, progress)
             : run_case(cases[index], base_options, index);
         if (journaled) {
             const JournalRecord record =
@@ -192,14 +233,18 @@ run_campaign(const std::vector<CampaignCase>& cases,
             append_campaign_journal(campaign_options.journal_path, record);
         }
         result.entries[index] = std::move(entry);
+        progress.advance();
     });
     for (const auto& entry : result.entries) {
         if (entry.from_journal)
             ++result.journal_skips;
     }
-    result.wall_time_s =
-        std::chrono::duration<double>(Clock::now() - campaign_start)
-            .count();
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("campaign/journal_restored")
+            .add(result.journal_skips);
+    }
+    progress.finish();
+    result.wall_time_s = timer.elapsed_s();
     return result;
 }
 

@@ -89,6 +89,11 @@ struct CampaignOptions {
     /// where it stopped. See campaign_journal.hpp.
     std::string journal_path;
 
+    /// Minimum seconds between progress-heartbeat lines (emitted at
+    /// kInform level through the logging sink; silent at the default
+    /// kWarn threshold). 0 logs a line after every finished case.
+    double progress_interval_s = 5.0;
+
     /// fatal() with an actionable message when any field is out of range.
     void validate() const;
 };

@@ -114,6 +114,8 @@ FaultInjector::harvest_factor(double t_s) const
         hash01(kStreamDropoutPhase, index) * (window - duration);
     const double local = t_s - static_cast<double>(index) * window;
     const bool inside = local >= offset && local < offset + duration;
+    if (inside)
+        dropout_activations_.fetch_add(1, std::memory_order_relaxed);
     return inside ? spec_.dropout_depth : 1.0;
 }
 
@@ -148,8 +150,32 @@ FaultInjector::corrupt_restore(std::uint64_t restore_index) const
 {
     if (spec_.ckpt_corruption_rate <= 0.0)
         return false;
-    return hash01(kStreamCorruption, restore_index) <
-           spec_.ckpt_corruption_rate;
+    const bool corrupted = hash01(kStreamCorruption, restore_index) <
+                           spec_.ckpt_corruption_rate;
+    if (corrupted)
+        ckpt_corruptions_.fetch_add(1, std::memory_order_relaxed);
+    return corrupted;
+}
+
+FaultInjector::ActivationCounts
+FaultInjector::activation_counts() const
+{
+    ActivationCounts counts;
+    counts.dropout_activations =
+        dropout_activations_.load(std::memory_order_relaxed);
+    counts.ckpt_corruptions =
+        ckpt_corruptions_.load(std::memory_order_relaxed);
+    return counts;
+}
+
+void
+FaultInjector::publish(obs::MetricsRegistry& registry) const
+{
+    const ActivationCounts counts = activation_counts();
+    registry.gauge("fault/dropout_activations")
+        .set(static_cast<double>(counts.dropout_activations));
+    registry.gauge("fault/ckpt_corruptions")
+        .set(static_cast<double>(counts.ckpt_corruptions));
 }
 
 double

@@ -24,10 +24,12 @@
 #ifndef CHRYSALIS_FAULT_FAULT_INJECTOR_HPP
 #define CHRYSALIS_FAULT_FAULT_INJECTOR_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "energy/fault_hooks.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/stable_hash.hpp"
 
 namespace chrysalis::fault {
@@ -74,7 +76,9 @@ struct FaultSpec {
 
 /// Deterministic fault model; implements the energy subsystem's
 /// `PowerFaultModel` hook and the simulator's checkpoint-corruption
-/// query. Immutable after construction, safe to share across threads.
+/// query. Logically immutable after construction, safe to share across
+/// threads — the only mutable state is a pair of relaxed activation
+/// counters, which never feed back into any query answer.
 class FaultInjector final : public energy::PowerFaultModel
 {
   public:
@@ -107,6 +111,19 @@ class FaultInjector final : public energy::PowerFaultModel
 
     const FaultSpec& spec() const { return spec_; }
 
+    /// Lifetime activation totals across every query answered so far.
+    struct ActivationCounts {
+        std::uint64_t dropout_activations = 0;  ///< queries in a dropout
+        std::uint64_t ckpt_corruptions = 0;     ///< corrupted restores
+    };
+    ActivationCounts activation_counts() const;
+
+    /// Publishes activation_counts() onto \p registry as "fault/*"
+    /// gauges. Gauges (not counters) so repeated publishes stay
+    /// idempotent; volatile because how often the hooks fire depends on
+    /// caching and step scheduling, not only on the fault stream.
+    void publish(obs::MetricsRegistry& registry) const;
+
   private:
     /// Uniform [0, 1) hash of (seed, stream, index); pure and stateless.
     double hash01(std::uint64_t stream, std::uint64_t index) const;
@@ -114,6 +131,11 @@ class FaultInjector final : public energy::PowerFaultModel
     FaultSpec spec_;
     double v_on_offset_ = 0.0;   ///< pre-sampled drift [V]
     double v_off_offset_ = 0.0;  ///< pre-sampled drift [V]
+    /// Activations are rare events (a dropout window hit, a corrupted
+    /// restore), so counting them unconditionally costs nothing on the
+    /// hot query paths.
+    mutable std::atomic<std::uint64_t> dropout_activations_{0};
+    mutable std::atomic<std::uint64_t> ckpt_corruptions_{0};
 };
 
 }  // namespace chrysalis::fault

@@ -1,0 +1,213 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hpp"
+
+namespace chrysalis::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_trace{nullptr};
+std::atomic<std::uint64_t> g_next_session_id{1};
+
+/// Current nesting depth of *recorded* spans on this thread.
+thread_local std::uint32_t t_depth = 0;
+
+/// Cache of this thread's buffer in the current session, keyed by the
+/// session id so a detached/destroyed session can never be dereferenced
+/// through a stale pointer.
+struct ThreadBufferCache {
+    std::uint64_t session_id = 0;
+    void* buffer = nullptr;
+};
+thread_local ThreadBufferCache t_buffer_cache;
+
+double
+microseconds_between(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now())
+{}
+
+TraceSession::~TraceSession()
+{
+    if (trace() == this)
+        attach_trace(nullptr);
+}
+
+TraceSession::ThreadBuffer&
+TraceSession::buffer_for_this_thread()
+{
+    if (t_buffer_cache.session_id == id_ &&
+        t_buffer_cache.buffer != nullptr)
+        return *static_cast<ThreadBuffer*>(t_buffer_cache.buffer);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    ThreadBuffer& ref = *buffer;
+    buffers_.push_back(std::move(buffer));
+    t_buffer_cache = {id_, &ref};
+    return ref;
+}
+
+void
+TraceSession::record(std::string_view name,
+                     std::chrono::steady_clock::time_point start,
+                     std::chrono::steady_clock::time_point end,
+                     std::uint32_t depth)
+{
+    ThreadBuffer& buffer = buffer_for_this_thread();
+    TraceEvent event;
+    event.name.assign(name.data(), name.size());
+    event.tid = buffer.tid;
+    event.depth = depth;
+    event.start_us = microseconds_between(epoch_, start);
+    event.duration_us = microseconds_between(start, end);
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceSession::merged() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            events.insert(events.end(), buffer->events.begin(),
+                          buffer->events.end());
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.start_us != b.start_us)
+                      return a.start_us < b.start_us;
+                  return a.depth < b.depth;
+              });
+    return events;
+}
+
+void
+TraceSession::write_chrome_trace(std::ostream& out) const
+{
+    const std::vector<TraceEvent> events = merged();
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char buffer[64];
+    for (const auto& event : events) {
+        out << (first ? "" : ",") << "{\"name\":\"";
+        // Span names are code-controlled plus campaign labels; escape
+        // the JSON-significant characters so labels cannot tear the file.
+        for (const char c : event.name) {
+            if (c == '"' || c == '\\')
+                out << '\\' << c;
+            else if (static_cast<unsigned char>(c) < 0x20)
+                out << ' ';
+            else
+                out << c;
+        }
+        out << "\",\"cat\":\"chrysalis\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+            << event.tid;
+        std::snprintf(buffer, sizeof(buffer), "%.3f", event.start_us);
+        out << ",\"ts\":" << buffer;
+        std::snprintf(buffer, sizeof(buffer), "%.3f", event.duration_us);
+        out << ",\"dur\":" << buffer << ",\"args\":{\"depth\":"
+            << event.depth << "}}";
+        first = false;
+    }
+    out << "]}\n";
+}
+
+void
+TraceSession::write_chrome_trace_file(const std::string& path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("TraceSession: cannot open '", path, "' for writing");
+    write_chrome_trace(out);
+    out.flush();
+    if (!out)
+        fatal("TraceSession: failed writing Chrome trace to '", path, "'");
+}
+
+TraceSession*
+trace()
+{
+    return g_trace.load(std::memory_order_acquire);
+}
+
+void
+attach_trace(TraceSession* session)
+{
+    g_trace.store(session, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name)
+{
+    TraceSession* session = trace();
+    if (session == nullptr)
+        return;  // inert: no clock read, no state
+    session_ = session;
+    session_id_ = session->id();
+    name_ = name;
+    depth_ = t_depth++;
+    start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (session_ == nullptr)
+        return;
+    const auto end = std::chrono::steady_clock::now();
+    --t_depth;
+    // Only record into a session that is still attached: a session that
+    // detached mid-span may already be flushing (or gone).
+    TraceSession* current = trace();
+    if (current == session_ && current->id() == session_id_)
+        session_->record(name_, start_, end, depth_);
+}
+
+SpanTimer::SpanTimer(std::string name) : name_(std::move(name))
+{
+    if (trace() != nullptr) {
+        tracing_ = true;
+        depth_ = t_depth++;
+    }
+    start_ = std::chrono::steady_clock::now();
+}
+
+SpanTimer::~SpanTimer()
+{
+    if (!tracing_)
+        return;
+    const auto end = std::chrono::steady_clock::now();
+    --t_depth;
+    TraceSession* current = trace();
+    if (current != nullptr)
+        current->record(name_, start_, end, depth_);
+}
+
+double
+SpanTimer::elapsed_s() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+}
+
+}  // namespace chrysalis::obs

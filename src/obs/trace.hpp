@@ -1,0 +1,163 @@
+/// \file
+/// Scoped tracing spans with Chrome trace-event export.
+///
+/// `OBS_SPAN("ga/generation")` opens a span that records hierarchical
+/// wall time onto a per-thread buffer of the attached `TraceSession`;
+/// `TraceSession::write_chrome_trace()` merges every thread's buffer
+/// (thread-safe) into a `chrome://tracing` / Perfetto-loadable JSON
+/// file. With no session attached a span is two relaxed atomic loads —
+/// no clock read, no allocation — so leaving the macros in hot-ish
+/// paths (one span per GA generation, per inner mapping search, per
+/// campaign case) costs nothing in production runs.
+///
+/// Concurrency contract: spans may open and close on any thread while a
+/// session is attached. Attaching, detaching, flushing and destroying a
+/// session must happen while no instrumented code is running
+/// concurrently (attach before spawning work, flush after joining) —
+/// the same quiescence rule as `obs::attach_metrics`.
+
+#ifndef CHRYSALIS_OBS_TRACE_HPP
+#define CHRYSALIS_OBS_TRACE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chrysalis::obs {
+
+/// One completed span ("X" complete event in the Chrome trace format).
+struct TraceEvent {
+    std::string name;
+    std::uint32_t tid = 0;    ///< session-local thread id (registration
+                              ///< order, not an OS tid)
+    std::uint32_t depth = 0;  ///< nesting depth on its thread (0 = root)
+    double start_us = 0.0;    ///< relative to the session epoch
+    double duration_us = 0.0;
+};
+
+/// Collects spans from all threads; owns the per-thread buffers.
+class TraceSession
+{
+  public:
+    TraceSession();
+    ~TraceSession();  ///< detaches itself if still the current session
+    TraceSession(const TraceSession&) = delete;
+    TraceSession& operator=(const TraceSession&) = delete;
+
+    /// All recorded events, merged across threads and sorted by
+    /// (tid, start, depth) for a stable order. Quiescence required.
+    std::vector<TraceEvent> merged() const;
+
+    /// Writes the merged events as Chrome trace-event JSON
+    /// (`{"traceEvents":[...]}`), loadable in chrome://tracing and
+    /// https://ui.perfetto.dev. Quiescence required.
+    void write_chrome_trace(std::ostream& out) const;
+
+    /// write_chrome_trace to \p path; fatal() when unwritable.
+    void write_chrome_trace_file(const std::string& path) const;
+
+    /// Unique id of this session (monotonic across the process); lets
+    /// thread-local caches detect a stale session after detach.
+    std::uint64_t id() const { return id_; }
+
+  private:
+    friend class ScopedSpan;
+    friend class SpanTimer;
+
+    struct ThreadBuffer {
+        std::mutex mutex;  ///< append vs merge; uncontended in steady state
+        std::uint32_t tid = 0;
+        std::vector<TraceEvent> events;
+    };
+
+    /// Buffer of the calling thread, registering one on first use.
+    ThreadBuffer& buffer_for_this_thread();
+
+    void record(std::string_view name,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end,
+                std::uint32_t depth);
+
+    std::uint64_t id_ = 0;
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;  ///< guards buffers_ registration/merge
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Process-global session; nullptr (the default) disables all spans.
+/// Non-owning; see the quiescence contract in the file comment.
+TraceSession* trace();
+void attach_trace(TraceSession* session);
+
+/// RAII attach/detach for tools and tests.
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(TraceSession& session) { attach_trace(&session); }
+    ~ScopedTrace() { attach_trace(nullptr); }
+    ScopedTrace(const ScopedTrace&) = delete;
+    ScopedTrace& operator=(const ScopedTrace&) = delete;
+};
+
+/// A span over its C++ scope. Inert (no clock read) when no session is
+/// attached at construction; prefer the OBS_SPAN macro at call sites.
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string_view name);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  private:
+    TraceSession* session_ = nullptr;  ///< nullptr = inert
+    std::uint64_t session_id_ = 0;
+    std::string_view name_;
+    std::uint32_t depth_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Like ScopedSpan, but always times its scope (one steady_clock read at
+/// each end) and exposes the elapsed wall time, so code that *reports*
+/// durations (campaign wall_time_s, explorer wall_time_s) shares one
+/// timing implementation with the trace instead of hand-rolling
+/// steady_clock arithmetic. Records a trace event only when a session
+/// is attached.
+class SpanTimer
+{
+  public:
+    explicit SpanTimer(std::string name);
+    ~SpanTimer();  ///< records the span if a session is attached
+    SpanTimer(const SpanTimer&) = delete;
+    SpanTimer& operator=(const SpanTimer&) = delete;
+
+    /// Wall time since construction [s].
+    double elapsed_s() const;
+
+  private:
+    std::string name_;
+    std::uint32_t depth_ = 0;
+    bool tracing_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace chrysalis::obs
+
+#define CHRYSALIS_OBS_CONCAT_INNER(a, b) a##b
+#define CHRYSALIS_OBS_CONCAT(a, b) CHRYSALIS_OBS_CONCAT_INNER(a, b)
+
+/// Opens a scoped span named \p name over the rest of the enclosing
+/// block. Free when no TraceSession is attached.
+#define OBS_SPAN(name)                                  \
+    ::chrysalis::obs::ScopedSpan CHRYSALIS_OBS_CONCAT(  \
+        chrysalis_obs_span_, __LINE__)                  \
+    {                                                   \
+        (name)                                          \
+    }
+
+#endif  // CHRYSALIS_OBS_TRACE_HPP

@@ -26,6 +26,21 @@ EvalCacheStats::describe() const
     return os.str();
 }
 
+void
+EvalCacheStats::publish(obs::MetricsRegistry& registry) const
+{
+    using obs::Stability;
+    registry.counter("runtime/cache/hits", Stability::kVolatile).add(hits);
+    registry.counter("runtime/cache/misses", Stability::kVolatile)
+        .add(misses);
+    registry.counter("runtime/cache/insertions", Stability::kVolatile)
+        .add(insertions);
+    registry.counter("runtime/cache/evictions", Stability::kVolatile)
+        .add(evictions);
+    registry.gauge("runtime/cache/entries")
+        .set(static_cast<double>(entries));
+}
+
 EvalCacheStats
 operator-(const EvalCacheStats& after, const EvalCacheStats& before)
 {

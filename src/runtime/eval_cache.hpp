@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/stable_hash.hpp"
 
 namespace chrysalis::runtime {
@@ -46,6 +47,12 @@ struct EvalCacheStats {
 
     /// One-line summary, e.g. "hits=120 misses=380 (24.0%) entries=380".
     std::string describe() const;
+
+    /// Adds these (delta) counters onto \p registry under
+    /// "runtime/cache/*". Volatile: two threads racing on the same key
+    /// may both count a miss (see the concurrency contract above), so
+    /// the split is not reproducible across thread counts.
+    void publish(obs::MetricsRegistry& registry) const;
 };
 
 /// Per-interval counters: `after - before` for every monotonic field.

@@ -3,6 +3,35 @@
 #include <atomic>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace chrysalis::runtime {
+
+namespace {
+
+/// Publishes one finished batch to the global metrics registry, if any.
+/// Batch/task totals are schedule-invariant (the same parallel_for calls
+/// happen at every thread count); the inline split is not (threads=1
+/// runs everything inline), so it lands in the volatile section.
+void
+publish_batch(std::size_t tasks, bool ran_inline)
+{
+    obs::MetricsRegistry* registry = obs::metrics();
+    if (registry == nullptr)
+        return;
+    registry->counter("runtime/pool/batches").add(1);
+    registry->counter("runtime/pool/tasks").add(tasks);
+    if (ran_inline) {
+        registry
+            ->counter("runtime/pool/inline_batches",
+                      obs::Stability::kVolatile)
+            .add(1);
+    }
+}
+
+}  // namespace
+
+}  // namespace chrysalis::runtime
 
 namespace chrysalis::runtime {
 
@@ -133,10 +162,13 @@ ThreadPool::parallel_for(std::size_t count,
         // This path is what `threads == 1` reproducibility rests on.
         for (std::size_t i = 0; i < count; ++i)
             body(i);
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.batches;
-        ++stats_.inline_batches;
-        stats_.tasks += count;
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.batches;
+            ++stats_.inline_batches;
+            stats_.tasks += count;
+        }
+        publish_batch(count, /*ran_inline=*/true);
         return;
     }
 
@@ -151,6 +183,12 @@ ThreadPool::parallel_for(std::size_t count,
         std::lock_guard<std::mutex> lock(queue_mutex_);
         for (std::size_t i = 0; i + 1 < runners; ++i)
             queue_.emplace_back([&batch, this] { run_batch(batch); });
+        if (obs::MetricsRegistry* registry = obs::metrics()) {
+            registry->gauge("runtime/pool/max_queue_depth")
+                .set_max(static_cast<double>(queue_.size()));
+            registry->gauge("runtime/pool/max_threads")
+                .set_max(static_cast<double>(threads_));
+        }
     }
     queue_cv_.notify_all();
     run_batch(batch);  // the caller is one of the runners
@@ -160,11 +198,14 @@ ThreadPool::parallel_for(std::size_t count,
         batch.done_cv.wait(lock,
                            [&batch] { return batch.pending_runners == 0; });
     }
+    const std::size_t executed =
+        batch.executed.load(std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.batches;
-        stats_.tasks += batch.executed.load(std::memory_order_relaxed);
+        stats_.tasks += executed;
     }
+    publish_batch(executed, /*ran_inline=*/false);
     if (batch.error)
         std::rethrow_exception(batch.error);
 }

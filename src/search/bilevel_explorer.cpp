@@ -1,13 +1,14 @@
 #include "search/bilevel_explorer.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <utility>
 
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chrysalis::search {
 
@@ -224,7 +225,7 @@ BiLevelExplorer::encode(const HwCandidate& raw) const
 ExplorationResult
 BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
 {
-    const auto start_time = std::chrono::steady_clock::now();
+    obs::SpanTimer timer("search/explore");
     const runtime::EvalCacheStats cache_before = cache_stats();
     ExplorationResult result;
     const auto expected = static_cast<std::size_t>(
@@ -285,16 +286,23 @@ BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
     }
     result.pareto = pareto_front(std::move(points));
     result.cache = cache_stats() - cache_before;
-    result.wall_time_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start_time)
-            .count();
+    result.wall_time_s = timer.elapsed_s();
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("search/explorations").add(1);
+        registry->counter("search/evaluations")
+            .add(static_cast<std::uint64_t>(result.evaluations));
+        result.cache.publish(*registry);
+        if (options_.faults != nullptr)
+            options_.faults->publish(*registry);
+    }
     return result;
 }
 
 std::vector<EvaluatedDesign>
 BiLevelExplorer::explore_pareto() const
 {
+    OBS_SPAN("search/explore_pareto");
+    const runtime::EvalCacheStats cache_before = cache_stats();
     std::mutex evaluated_mutex;
     std::vector<std::pair<std::size_t, EvaluatedDesign>> evaluated;
     evaluated.reserve(static_cast<std::size_t>(
@@ -341,6 +349,13 @@ BiLevelExplorer::explore_pareto() const
                 break;
             }
         }
+    }
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("search/explorations").add(1);
+        registry->counter("search/evaluations").add(history.size());
+        (cache_stats() - cache_before).publish(*registry);
+        if (options_.faults != nullptr)
+            options_.faults->publish(*registry);
     }
     return front;
 }

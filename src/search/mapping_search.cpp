@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "dataflow/tiling.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chrysalis::search {
 
@@ -177,6 +179,7 @@ search_mappings(const dnn::Model& model,
 {
     if (envs.empty())
         fatal("search_mappings: at least one energy environment required");
+    OBS_SPAN("search/inner");
 
     const dataflow::CostParams params = hardware.cost_params();
     const auto dataflows = hardware.supported_dataflows();
@@ -235,6 +238,11 @@ search_mappings(const dnn::Model& model,
                     " B exceeds NVM capacity " + std::to_string(capacity) +
                     " B");
         }
+    }
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->counter("search/inner/searches").add(1);
+        registry->counter("search/inner/evaluations")
+            .add(static_cast<std::uint64_t>(result.evaluations));
     }
     return result;
 }

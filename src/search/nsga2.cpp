@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace chrysalis::search {
@@ -217,6 +219,9 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
     };
 
     for (int gen = 1; gen < opts.generations; ++gen) {
+        OBS_SPAN("nsga2/generation");
+        if (obs::MetricsRegistry* registry = obs::metrics())
+            registry->counter("search/nsga2/generations").add(1);
         // Offspring via crossover + mutation: all genomes are drawn
         // serially (variation only reads the scored parent population),
         // then the batch is evaluated in parallel.

@@ -7,6 +7,8 @@
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace chrysalis::search {
@@ -106,7 +108,31 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
     // draw-evaluate loop exactly.
     std::vector<Individual> population(
         static_cast<std::size_t>(opts.population));
+
+    // Per-generation fitness summary. Scores are reduced in index order
+    // (see evaluate_batch), so these observations are schedule-invariant
+    // and the histograms land in the stable report section.
+    const auto publish_generation = [&population] {
+        obs::MetricsRegistry* registry = obs::metrics();
+        if (registry == nullptr || population.empty())
+            return;
+        registry->counter("search/ga/generations").add(1);
+        double best = population.front().score;
+        double sum = 0.0;
+        for (const auto& individual : population) {
+            best = std::min(best, individual.score);
+            sum += individual.score;
+        }
+        registry
+            ->histogram("search/ga/gen_best_score", obs::decade_bounds())
+            .record(best);
+        registry
+            ->histogram("search/ga/gen_mean_score", obs::decade_bounds())
+            .record(sum / static_cast<double>(population.size()));
+    };
+
     {
+        OBS_SPAN("ga/generation");
         std::vector<std::vector<double>> genomes;
         genomes.reserve(population.size());
         for (std::size_t i = 0; i < population.size(); ++i) {
@@ -127,6 +153,7 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
             population[i].genes = std::move(genomes[i]);
             population[i].score = scores[i];
         }
+        publish_generation();
     }
 
     const auto by_score = [](const Individual& a, const Individual& b) {
@@ -144,6 +171,7 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
     };
 
     for (int gen = 1; gen < opts.generations; ++gen) {
+        OBS_SPAN("ga/generation");
         std::sort(population.begin(), population.end(), by_score);
         std::vector<Individual> next;
         next.reserve(population.size());
@@ -180,6 +208,7 @@ optimize_genetic(int gene_count, const OptimizerOptions& opts,
         for (std::size_t i = 0; i < offspring.size(); ++i)
             next.push_back({std::move(offspring[i]), scores[i]});
         population = std::move(next);
+        publish_generation();
     }
 
     const auto best = std::min_element(population.begin(), population.end(),

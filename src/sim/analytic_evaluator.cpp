@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace chrysalis::sim {
 
@@ -72,6 +73,8 @@ min_tiles_eq9(double e_body_j, double t_body_s, double e_ckpt_tile_j,
 AnalyticResult
 analytic_evaluate(const dataflow::ModelCost& cost, const EnergyEnv& env)
 {
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->counter("sim/analytic_evals").add(1);
     AnalyticResult result;
     result.e_all_j = cost.total_energy_j();
     result.max_tile_energy_j = cost.max_tile_energy_j();

@@ -5,6 +5,8 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chrysalis::sim {
 
@@ -90,10 +92,38 @@ validate_sim_config(const SimConfig& config)
     // The injector's own spec was validated at construction.
 }
 
+namespace {
+
+/// Counts one finished simulation into the global registry, if attached.
+/// The run itself aggregates onto SimResult locals; this is the only
+/// registry touch per inference, keeping the step loop metrics-free.
+void
+publish_run(const SimResult& result)
+{
+    obs::MetricsRegistry* registry = obs::metrics();
+    if (registry == nullptr)
+        return;
+    const auto add = [&](std::string_view name, std::int64_t value) {
+        registry->counter(name).add(static_cast<std::uint64_t>(value));
+    };
+    add("sim/runs", 1);
+    add("sim/steps", result.steps);
+    add("sim/tiles_executed", result.tiles_executed);
+    add("sim/exceptions", result.exceptions);
+    add("sim/energy_cycles", result.energy_cycles);
+    add("sim/power_offs", result.power_offs);
+    add("sim/ckpt_saves", result.ckpt_saves);
+    add("sim/ckpt_restores", result.ckpt_restores);
+    add("sim/ckpt_corruptions", result.ckpt_corruptions);
+    add(result.completed ? "sim/completed" : "sim/failures", 1);
+}
+
+/// simulate_inference body; the public wrapper publishes metrics so that
+/// every return path is counted exactly once.
 SimResult
-simulate_inference(const dataflow::ModelCost& cost,
-                   energy::EnergyController& controller,
-                   const SimConfig& config)
+run_inference(const dataflow::ModelCost& cost,
+              energy::EnergyController& controller,
+              const SimConfig& config)
 {
     validate_sim_config(config);
     SimResult result;
@@ -177,6 +207,7 @@ simulate_inference(const dataflow::ModelCost& cost,
                                         config.step_s);
                     }
                     controller.step(t, dt, 0.0);
+                    ++result.steps;
                     t += dt;
                     if (config.probe)
                         config.probe(t, controller.voltage(), false);
@@ -189,6 +220,7 @@ simulate_inference(const dataflow::ModelCost& cost,
                     ? std::min(config.step_s, need_j / tile_power)
                     : config.step_s;
                 const auto res = controller.step(t, span, tile_power);
+                ++result.steps;
                 t += span;
                 result.active_time_s += span;
                 if (config.probe)
@@ -233,6 +265,8 @@ simulate_inference(const dataflow::ModelCost& cost,
                     // the PMIC's reserve margin below U_off (not modelled
                     // as capacitor charge), and a restore is owed when
                     // power returns.
+                    ++result.power_offs;
+                    ++result.ckpt_saves;
                     result.e_ckpt_j += profile.save_j;
                     restore_due_j += profile.restore_j;
                     was_interrupted = true;
@@ -243,6 +277,7 @@ simulate_inference(const dataflow::ModelCost& cost,
             // write the boundary checkpoint (Fig. 4 steps 5-6).
             if (config.checkpoint_policy ==
                 CheckpointPolicy::kEagerBoundary) {
+                ++result.ckpt_saves;
                 result.e_ckpt_j += profile.save_j;
             }
             const double body = profile.body_energy_j;
@@ -268,6 +303,19 @@ simulate_inference(const dataflow::ModelCost& cost,
     result.ledger.cycle_count =
         after.cycle_count - ledger_before.cycle_count;
     result.energy_cycles = result.ledger.cycle_count;
+    return result;
+}
+
+}  // namespace
+
+SimResult
+simulate_inference(const dataflow::ModelCost& cost,
+                   energy::EnergyController& controller,
+                   const SimConfig& config)
+{
+    OBS_SPAN("sim/inference");
+    SimResult result = run_inference(cost, controller, config);
+    publish_run(result);
     return result;
 }
 

@@ -77,10 +77,13 @@ struct SimResult {
 
     double latency_s = 0.0;      ///< end-to-end wall-clock (E2ELat)
     double active_time_s = 0.0;  ///< time with the load actually running
+    std::int64_t steps = 0;      ///< energy-controller steps advanced
     std::int64_t tiles_total = 0;
     std::int64_t tiles_executed = 0;  ///< includes re-executions
     std::int64_t exceptions = 0;      ///< energy exceptions encountered
     std::int64_t energy_cycles = 0;   ///< charge->active transitions
+    std::int64_t power_offs = 0;      ///< brown-outs mid-tile
+    std::int64_t ckpt_saves = 0;      ///< checkpoint saves written
     std::int64_t ckpt_restores = 0;   ///< checkpoint restores performed
     std::int64_t ckpt_corruptions = 0;  ///< restores that read corrupted
                                         ///< state (forced re-execution)

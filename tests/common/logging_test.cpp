@@ -126,6 +126,35 @@ TEST_F(LoggingTest, ConcurrentLoggingKeepsRecordsWhole)
     }
 }
 
+TEST(ParseLogLevelTest, AcceptsAllSpellings)
+{
+    const struct {
+        const char* name;
+        LogLevel expected;
+    } cases[] = {
+        {"debug", LogLevel::kDebug},    {"info", LogLevel::kInform},
+        {"inform", LogLevel::kInform},  {"warn", LogLevel::kWarn},
+        {"warning", LogLevel::kWarn},   {"error", LogLevel::kError},
+        {"silent", LogLevel::kSilent},  {"none", LogLevel::kSilent},
+        {"off", LogLevel::kSilent},     {"DEBUG", LogLevel::kDebug},
+        {"Info", LogLevel::kInform},    {"WARN", LogLevel::kWarn},
+    };
+    for (const auto& c : cases) {
+        LogLevel level = LogLevel::kWarn;
+        EXPECT_TRUE(parse_log_level(c.name, level)) << c.name;
+        EXPECT_EQ(level, c.expected) << c.name;
+    }
+}
+
+TEST(ParseLogLevelTest, RejectsUnknownNamesWithoutClobbering)
+{
+    LogLevel level = LogLevel::kError;
+    EXPECT_FALSE(parse_log_level("verbose", level));
+    EXPECT_FALSE(parse_log_level("", level));
+    EXPECT_FALSE(parse_log_level("warn ", level));  // no trimming
+    EXPECT_EQ(level, LogLevel::kError);
+}
+
 TEST(LoggingDeathTest, FatalExitsWithCodeOne)
 {
     EXPECT_EXIT(fatal("bad config: ", 42), ::testing::ExitedWithCode(1),

@@ -1,0 +1,151 @@
+/// \file
+/// Observability of campaign runs: the metric families a run publishes,
+/// byte-identical deterministic reports across thread counts, and
+/// resume-from-journal runs not double-counting evaluations.
+
+#include "core/campaign.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace chrysalis::core {
+namespace {
+
+search::ExplorerOptions
+small_options(std::uint64_t seed = 3)
+{
+    search::ExplorerOptions options;
+    options.outer.population = 8;
+    options.outer.generations = 4;
+    options.outer.seed = seed;
+    options.inner.max_candidates_per_dim = 4;
+    return options;
+}
+
+std::vector<CampaignCase>
+two_cases()
+{
+    std::vector<CampaignCase> cases;
+    cases.push_back({"conv-latsp", dnn::make_simple_conv(),
+                     search::DesignSpace::existing_aut(),
+                     {search::ObjectiveKind::kLatSp, 0.0, 0.0}});
+    cases.push_back({"kws-lat", dnn::make_kws_mlp(),
+                     search::DesignSpace::existing_aut(),
+                     {search::ObjectiveKind::kLatency, 10.0, 0.0}});
+    return cases;
+}
+
+std::string
+journal_path(const char* name)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(CampaignObsTest, RunPublishesCoreMetricFamilies)
+{
+    obs::MetricsRegistry registry;
+    {
+        obs::ScopedMetrics scope(registry);
+        run_campaign(two_cases(), small_options());
+    }
+    EXPECT_EQ(registry.counter("campaign/runs").value(), 1u);
+    EXPECT_EQ(registry.counter("campaign/cases_total").value(), 2u);
+    EXPECT_EQ(registry.counter("campaign/cases_evaluated").value(), 2u);
+    EXPECT_GT(registry.counter("search/explorations").value(), 0u);
+    EXPECT_GT(registry.counter("search/evaluations").value(), 0u);
+    EXPECT_GT(registry.counter("search/ga/generations").value(), 0u);
+    EXPECT_GT(registry.counter("search/inner/searches").value(), 0u);
+    EXPECT_GT(registry.counter("sim/analytic_evals").value(), 0u);
+    EXPECT_EQ(registry
+                  .histogram("campaign/case_wall_s", {},
+                             obs::Stability::kVolatile)
+                  .count(),
+              2u);
+}
+
+TEST(CampaignObsTest, RunRecordsTraceSpans)
+{
+    obs::TraceSession session;
+    {
+        obs::ScopedTrace scope(session);
+        run_campaign(two_cases(), small_options());
+    }
+    bool saw_run = false, saw_case = false, saw_generation = false;
+    for (const obs::TraceEvent& event : session.merged()) {
+        saw_run |= event.name == "campaign/run";
+        saw_case |= event.name.rfind("case:", 0) == 0;
+        saw_generation |= event.name == "ga/generation";
+    }
+    EXPECT_TRUE(saw_run);
+    EXPECT_TRUE(saw_case);
+    EXPECT_TRUE(saw_generation);
+}
+
+TEST(CampaignObsTest, DeterministicReportIsThreadCountInvariant)
+{
+    // The golden check behind the stability model: a fixed-seed campaign
+    // must produce a byte-identical deterministic metrics report at any
+    // thread count. The memo is disabled because its hit/miss split (and
+    // hence the evaluation count that dodged recomputation) is
+    // scheduling-dependent — exactly what kVolatile exists for.
+    search::ExplorerOptions options = small_options();
+    options.cache_capacity = 0;
+
+    std::string reports[2];
+    const int thread_counts[2] = {1, 2};
+    for (int i = 0; i < 2; ++i) {
+        obs::MetricsRegistry registry;
+        CampaignOptions campaign_options;
+        campaign_options.threads = thread_counts[i];
+        {
+            obs::ScopedMetrics scope(registry);
+            run_campaign(two_cases(), options, campaign_options);
+        }
+        reports[i] =
+            registry.to_json(obs::ReportMode::kDeterministic);
+    }
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_NE(reports[0].find("campaign/cases_evaluated"),
+              std::string::npos);
+}
+
+TEST(CampaignObsTest, ResumedRunDoesNotRecountEvaluations)
+{
+    CampaignOptions options;
+    options.journal_path = journal_path("obs_resume.jsonl");
+    run_campaign(two_cases(), small_options(), options);
+
+    // Second run restores every case from the journal; a fresh registry
+    // must show zero fresh evaluations and N restores.
+    obs::MetricsRegistry registry;
+    {
+        obs::ScopedMetrics scope(registry);
+        const CampaignResult resumed =
+            run_campaign(two_cases(), small_options(), options);
+        EXPECT_EQ(resumed.journal_skips, 2u);
+    }
+    EXPECT_EQ(registry.counter("campaign/cases_evaluated").value(), 0u);
+    EXPECT_EQ(registry.counter("campaign/journal_restored").value(), 2u);
+    EXPECT_EQ(registry.counter("campaign/journal_loaded").value(), 2u);
+    EXPECT_EQ(registry.counter("search/explorations").value(), 0u);
+}
+
+TEST(CampaignObsDeathTest, ValidationRejectsNegativeProgressInterval)
+{
+    CampaignOptions options;
+    options.progress_interval_s = -1.0;
+    EXPECT_EXIT(run_campaign(two_cases(), small_options(), options),
+                ::testing::ExitedWithCode(1), "progress_interval_s");
+}
+
+}  // namespace
+}  // namespace chrysalis::core
