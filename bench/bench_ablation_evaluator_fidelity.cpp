@@ -5,7 +5,6 @@
 /// both sides of that tradeoff — per-configuration latency error and the
 /// evaluation-speed ratio.
 
-#include <chrono>
 #include <iostream>
 
 #include "common/bench_util.hpp"
@@ -15,6 +14,7 @@
 #include "dnn/model_zoo.hpp"
 #include "energy/energy_controller.hpp"
 #include "hw/msp430_lea.hpp"
+#include "obs/trace.hpp"
 #include "search/mapping_search.hpp"
 #include "sim/analytic_evaluator.hpp"
 #include "sim/intermittent_simulator.hpp"
@@ -22,7 +22,6 @@
 namespace {
 
 using namespace chrysalis;
-using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
@@ -66,13 +65,14 @@ main()
 
         // Analytic timing: average over many repetitions.
         constexpr int kAnalyticReps = 2000;
-        auto start = Clock::now();
         sim::AnalyticResult analytic;
-        for (int i = 0; i < kAnalyticReps; ++i)
-            analytic = sim::analytic_evaluate(mapping.cost, env);
-        const double analytic_time =
-            std::chrono::duration<double>(Clock::now() - start).count() /
-            kAnalyticReps;
+        double analytic_time = 0.0;
+        {
+            const obs::SpanTimer timer("bench/analytic_eval");
+            for (int i = 0; i < kAnalyticReps; ++i)
+                analytic = sim::analytic_evaluate(mapping.cost, env);
+            analytic_time = timer.elapsed_s() / kAnalyticReps;
+        }
 
         if (!analytic.feasible) {
             table.add_row({test_case.model,
@@ -95,12 +95,10 @@ main()
         sim::SimConfig sim_config;
         sim_config.step_s = 0.02;
         sim_config.drain_between_runs = true;
-        start = Clock::now();
+        const obs::SpanTimer sim_timer("bench/step_sim");
         const auto runs = sim::simulate_repeated(mapping.cost, controller,
                                                  sim_config, 4);
-        const double sim_time =
-            std::chrono::duration<double>(Clock::now() - start).count() /
-            4.0;
+        const double sim_time = sim_timer.elapsed_s() / 4.0;
 
         double sum = 0.0;
         int completed = 0;

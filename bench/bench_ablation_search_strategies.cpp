@@ -6,24 +6,17 @@
 /// This quantifies the "bi-level GA vs flat search" design choice called
 /// out in DESIGN.md.
 
-#include <chrono>
 #include <iostream>
 
 #include "common/bench_util.hpp"
 #include "common/string_utils.hpp"
 #include "common/table.hpp"
 #include "dnn/model_zoo.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
 using namespace chrysalis;
-using Clock = std::chrono::steady_clock;
-
-double
-seconds_since(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 }  // namespace
 
@@ -52,9 +45,9 @@ main()
             const search::BiLevelExplorer explorer(
                 model, search::DesignSpace::existing_aut(), objective,
                 options);
-            const auto start = Clock::now();
+            const obs::SpanTimer timer("bench/strategy");
             const auto result = explorer.explore();
-            const double elapsed = seconds_since(start);
+            const double elapsed = timer.elapsed_s();
             table.add_row(
                 {name, to_string(strategy),
                  result.best.feasible

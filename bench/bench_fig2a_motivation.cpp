@@ -48,7 +48,7 @@ main()
             model, dataflow::Dataflow::kWeightStationary,
             mcu.cost_params());
         rows.push_back({"MSP430FR5994+LEA", "MNIST-CNN", "1x28x28",
-                        cost.time_s, model.total_flops() / 1e6,
+                        cost.time_s, static_cast<double>(model.total_flops()) / 1e6,
                         cost.total_energy_j() / cost.time_s,
                         cost.total_energy_j(), 1.447, 7.5e-3});
     }
@@ -63,7 +63,7 @@ main()
             model, dataflow::Dataflow::kRowStationary,
             accel.cost_params());
         rows.push_back({"Eyeriss V1 (168 PE)", "AlexNet", "3x224x224",
-                        cost.time_s, model.total_flops() / 1e6,
+                        cost.time_s, static_cast<double>(model.total_flops()) / 1e6,
                         cost.total_energy_j() / cost.time_s,
                         cost.total_energy_j(), 0.1153, 278e-3});
     }

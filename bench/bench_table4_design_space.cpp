@@ -57,10 +57,13 @@ main()
             model.name(),
             row.input,
             std::to_string(model.layer_count()),
-            format_fixed(model.total_params() / 1e3, 1),
+            format_fixed(static_cast<double>(model.total_params()) / 1e3,
+                         1),
             format_fixed(row.params_k, 1),
-            format_fixed(model.total_macs() / 1e3, 1),
-            format_fixed(model.total_flops() / 1e3, 1),
+            format_fixed(static_cast<double>(model.total_macs()) / 1e3,
+                         1),
+            format_fixed(static_cast<double>(model.total_flops()) / 1e3,
+                         1),
             format_fixed(row.kflops, 1),
         });
     }

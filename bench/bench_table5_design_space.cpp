@@ -59,10 +59,13 @@ main()
             model.name(),
             row.input,
             std::to_string(model.weight_layer_count()),
-            format_fixed(model.total_params() / 1e6, 1),
+            format_fixed(static_cast<double>(model.total_params()) / 1e6,
+                         1),
             format_fixed(row.params_m, 1),
-            format_fixed(model.total_macs() / 1e9, 2),
-            format_fixed(model.total_flops() / 1e9, 2),
+            format_fixed(static_cast<double>(model.total_macs()) / 1e9,
+                         2),
+            format_fixed(static_cast<double>(model.total_flops()) / 1e9,
+                         2),
             format_fixed(row.gflops, 2),
         });
     }

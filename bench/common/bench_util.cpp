@@ -101,9 +101,9 @@ write_report()
     std::fprintf(file, ",\"headline\":{");
     std::sort(report.headlines.begin(), report.headlines.end());
     for (std::size_t i = 0; i < report.headlines.size(); ++i) {
-        std::fprintf(file, "%s\"%s\":%.17g", i > 0 ? "," : "",
+        std::fprintf(file, "%s\"%s\":%s", i > 0 ? "," : "",
                      json_escape(report.headlines[i].first).c_str(),
-                     report.headlines[i].second);
+                     format_double_17g(report.headlines[i].second).c_str());
     }
     std::fprintf(file, "},\"metrics\":%s}\n",
                  report.registry.to_json().c_str());

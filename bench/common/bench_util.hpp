@@ -3,8 +3,8 @@
 /// control, consistent headers, and the standard search/evaluation recipes
 /// used across figures.
 
-#ifndef CHRYSALIS_BENCH_BENCH_UTIL_HPP
-#define CHRYSALIS_BENCH_BENCH_UTIL_HPP
+#ifndef CHRYSALIS_BENCH_COMMON_BENCH_UTIL_HPP
+#define CHRYSALIS_BENCH_COMMON_BENCH_UTIL_HPP
 
 #include <string>
 
@@ -80,4 +80,4 @@ search::HwCandidate inas_reference_candidate();
 
 }  // namespace chrysalis::bench
 
-#endif  // CHRYSALIS_BENCH_BENCH_UTIL_HPP
+#endif  // CHRYSALIS_BENCH_COMMON_BENCH_UTIL_HPP

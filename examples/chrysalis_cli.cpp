@@ -31,7 +31,7 @@
 /// Examples:
 ///   chrysalis_cli --model har --objective sp --lat-limit 30
 ///   chrysalis_cli --model my_net.model --space future --pareto
-///   chrysalis_cli --campaign 6 --fault-dropout 0.3 \
+///   chrysalis_cli --campaign 6 --fault-dropout 0.3
 ///       --metrics-out metrics.json --trace-out trace.json
 
 #include <cstdio>

@@ -16,6 +16,14 @@ format_fixed(double value, int decimals)
 }
 
 std::string
+format_double_17g(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string
 format_si(double value, std::string_view unit, int decimals)
 {
     struct Prefix { double scale; const char* symbol; };

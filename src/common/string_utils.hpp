@@ -24,6 +24,14 @@ std::string format_si(double value, std::string_view unit, int decimals = 3);
 /// Formats a fraction as a percentage, e.g. format_percent(0.564) -> "56.4%".
 std::string format_percent(double fraction, int decimals = 1);
 
+/// Serializes \p value with "%.17g" (max_digits10) precision so the
+/// text round-trips to the bit-identical double. Every journal/report
+/// writer (campaign journal, metrics JSON, campaign CSV, bench
+/// headlines) must route doubles through this helper — the property
+/// behind byte-identical resumed campaigns and thread-count-invariant
+/// reports. Enforced by the chrysalis-float-format lint rule.
+std::string format_double_17g(double value);
+
 /// Splits \p text on \p delimiter; consecutive delimiters yield empty fields.
 std::vector<std::string> split(std::string_view text, char delimiter);
 

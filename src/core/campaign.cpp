@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "common/string_utils.hpp"
 #include "core/campaign_journal.hpp"
 #include "hw/accelerator.hpp"
 #include "obs/metrics.hpp"
@@ -47,22 +48,26 @@ CampaignResult::write_csv(std::ostream& output, CsvColumns columns) const
     if (columns == CsvColumns::kAll)
         output << ",wall_time_s";
     output << '\n';
+    // Doubles go through format_double_17g so the CSV round-trips
+    // bit-exactly and a journal-resumed run's export stays
+    // byte-identical to an uninterrupted one.
     for (const auto& entry : entries) {
         const auto& solution = entry.solution;
         output << entry.label << ',' << (solution.feasible ? 1 : 0)
                << ',' << entry.objective_label << ','
-               << solution.hardware.solar_cm2 << ','
-               << solution.hardware.capacitance_f << ','
-               << hw::to_string(solution.hardware.arch) << ','
+               << format_double_17g(solution.hardware.solar_cm2) << ','
+               << format_double_17g(solution.hardware.capacitance_f)
+               << ',' << hw::to_string(solution.hardware.arch) << ','
                << solution.hardware.n_pe << ','
                << solution.hardware.cache_bytes << ','
-               << solution.mean_latency_s << ',' << solution.lat_sp
-               << ',' << solution.score << ','
+               << format_double_17g(solution.mean_latency_s) << ','
+               << format_double_17g(solution.lat_sp) << ','
+               << format_double_17g(solution.score) << ','
                << fault::to_string(solution.failure.code) << ','
                << solution.evaluations << ',' << solution.cache_hits
                << ',' << solution.cache_misses << ',' << entry.attempts;
         if (columns == CsvColumns::kAll)
-            output << ',' << entry.wall_time_s;
+            output << ',' << format_double_17g(entry.wall_time_s);
         output << '\n';
     }
 }

@@ -9,21 +9,11 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/string_utils.hpp"
 
 namespace chrysalis::core {
 
 namespace {
-
-/// Doubles are serialized with max_digits10 precision so the value read
-/// back is bit-identical to the value written — the property that makes
-/// a resumed campaign's CSV byte-identical to an uninterrupted run's.
-std::string
-format_double(double value)
-{
-    char buffer[64];
-    std::snprintf(buffer, sizeof buffer, "%.17g", value);
-    return buffer;
-}
 
 void
 append_escaped(std::string& out, const std::string& text)
@@ -396,17 +386,17 @@ to_json_line(const JournalRecord& record)
     append_field(out, "objective", record.objective_label);
     append_raw_field(out, "feasible", record.feasible ? "1" : "0");
     append_raw_field(out, "family", std::to_string(record.family));
-    append_raw_field(out, "solar_cm2", format_double(record.solar_cm2));
+    append_raw_field(out, "solar_cm2", format_double_17g(record.solar_cm2));
     append_raw_field(out, "capacitance_f",
-                     format_double(record.capacitance_f));
+                     format_double_17g(record.capacitance_f));
     append_raw_field(out, "arch", std::to_string(record.arch));
     append_raw_field(out, "n_pe", std::to_string(record.n_pe));
     append_raw_field(out, "cache_bytes",
                      std::to_string(record.cache_bytes));
     append_raw_field(out, "mean_latency_s",
-                     format_double(record.mean_latency_s));
-    append_raw_field(out, "lat_sp", format_double(record.lat_sp));
-    append_raw_field(out, "score", format_double(record.score));
+                     format_double_17g(record.mean_latency_s));
+    append_raw_field(out, "lat_sp", format_double_17g(record.lat_sp));
+    append_raw_field(out, "score", format_double_17g(record.score));
     append_raw_field(out, "evaluations",
                      std::to_string(record.evaluations));
     append_raw_field(out, "cache_hits",
@@ -414,9 +404,9 @@ to_json_line(const JournalRecord& record)
     append_raw_field(out, "cache_misses",
                      std::to_string(record.cache_misses));
     append_raw_field(out, "search_wall_time_s",
-                     format_double(record.search_wall_time_s));
+                     format_double_17g(record.search_wall_time_s));
     append_raw_field(out, "wall_time_s",
-                     format_double(record.wall_time_s));
+                     format_double_17g(record.wall_time_s));
     append_field(out, "failure_code", record.failure_code);
     append_field(out, "failure_detail", record.failure_detail);
     append_raw_field(out, "attempts", std::to_string(record.attempts));

@@ -117,8 +117,8 @@ analyze_layer(const dnn::Layer& layer, const LayerMapping& mapping,
                 static_cast<double>(layer.dims.c) *
                 static_cast<double>(layer.dims.n) * elem;
         cost.nvm_read_bytes = static_cast<std::int64_t>(bytes);
-        cost.nvm_write_bytes =
-            static_cast<std::int64_t>(layer.output_elems() * elem);
+        cost.nvm_write_bytes = static_cast<std::int64_t>(
+            static_cast<double>(layer.output_elems()) * elem);
         cost.e_nvm_j =
             bytes * params.e_nvm_read_byte_j +
             static_cast<double>(cost.nvm_write_bytes) *

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "common/string_utils.hpp"
 
 #if defined(__linux__)
 #include <time.h>
@@ -18,16 +19,6 @@ namespace chrysalis::obs {
 namespace {
 
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
-
-/// Shortest round-trip representation of a double, matching the
-/// campaign journal's "%.17g" convention.
-std::string
-format_double(double value)
-{
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
-}
 
 const char*
 kind_name(bool counter, bool gauge)
@@ -197,7 +188,7 @@ MetricsRegistry::to_json(ReportMode mode) const
             if (entry.kind != Kind::kGauge || entry.stability != stability)
                 continue;
             os << (first ? "" : ",") << '"' << name
-               << "\":" << format_double(entry.gauge->value());
+               << "\":" << format_double_17g(entry.gauge->value());
             first = false;
         }
         os << "},\"histograms\":{";
@@ -210,13 +201,13 @@ MetricsRegistry::to_json(ReportMode mode) const
             os << (first ? "" : ",") << '"' << name << "\":{\"count\":"
                << histogram.count();
             if (with_sums)
-                os << ",\"sum\":" << format_double(histogram.sum());
-            os << ",\"min\":" << format_double(histogram.min())
-               << ",\"max\":" << format_double(histogram.max())
+                os << ",\"sum\":" << format_double_17g(histogram.sum());
+            os << ",\"min\":" << format_double_17g(histogram.min())
+               << ",\"max\":" << format_double_17g(histogram.max())
                << ",\"bounds\":[";
             const auto& bounds = histogram.bounds();
             for (std::size_t i = 0; i < bounds.size(); ++i)
-                os << (i == 0 ? "" : ",") << format_double(bounds[i]);
+                os << (i == 0 ? "" : ",") << format_double_17g(bounds[i]);
             os << "],\"counts\":[";
             const auto counts = histogram.bucket_counts();
             for (std::size_t i = 0; i < counts.size(); ++i)

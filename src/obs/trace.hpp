@@ -36,7 +36,12 @@ struct TraceEvent {
     std::uint32_t tid = 0;    ///< session-local thread id (registration
                               ///< order, not an OS tid)
     std::uint32_t depth = 0;  ///< nesting depth on its thread (0 = root)
+    // Chrome's trace-event JSON schema mandates microsecond timestamps;
+    // keeping these fields in the emitted unit avoids a lossy convert
+    // at every span record.
+    // NOLINTNEXTLINE(chrysalis-unit-suffix): Chrome trace spec uses us
     double start_us = 0.0;    ///< relative to the session epoch
+    // NOLINTNEXTLINE(chrysalis-unit-suffix): Chrome trace spec uses us
     double duration_us = 0.0;
 };
 

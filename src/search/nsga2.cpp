@@ -177,14 +177,14 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
     std::vector<Individual> population =
         evaluate_batch(std::move(initial));
 
-    const auto assign_ranks = [&](std::vector<Individual>& pool) {
+    const auto assign_ranks = [&](std::vector<Individual>& group) {
         std::vector<std::array<double, 2>> objectives;
-        objectives.reserve(pool.size());
-        for (const auto& individual : pool)
+        objectives.reserve(group.size());
+        for (const auto& individual : group)
             objectives.push_back(individual.objectives);
         const auto ranks = non_dominated_ranks(objectives);
-        for (std::size_t i = 0; i < pool.size(); ++i)
-            pool[i].rank = ranks[i];
+        for (std::size_t i = 0; i < group.size(); ++i)
+            group[i].rank = ranks[i];
         // Crowding per front.
         int max_rank = 0;
         for (int rank : ranks)
@@ -192,15 +192,15 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
         for (int front = 0; front <= max_rank; ++front) {
             std::vector<std::size_t> members;
             std::vector<std::array<double, 2>> member_objectives;
-            for (std::size_t i = 0; i < pool.size(); ++i) {
-                if (pool[i].rank == front) {
+            for (std::size_t i = 0; i < group.size(); ++i) {
+                if (group[i].rank == front) {
                     members.push_back(i);
-                    member_objectives.push_back(pool[i].objectives);
+                    member_objectives.push_back(group[i].objectives);
                 }
             }
             const auto distances = crowding_distances(member_objectives);
             for (std::size_t k = 0; k < members.size(); ++k)
-                pool[members[k]].crowding = distances[k];
+                group[members[k]].crowding = distances[k];
         }
     };
     assign_ranks(population);
@@ -249,14 +249,14 @@ optimize_nsga2(int gene_count, const OptimizerOptions& opts,
             evaluate_batch(std::move(offspring_genomes));
 
         // Environmental selection from the combined pool.
-        std::vector<Individual> pool = std::move(population);
-        pool.insert(pool.end(),
-                    std::make_move_iterator(offspring.begin()),
-                    std::make_move_iterator(offspring.end()));
-        assign_ranks(pool);
-        std::sort(pool.begin(), pool.end(), better);
-        pool.resize(static_cast<std::size_t>(opts.population));
-        population = std::move(pool);
+        std::vector<Individual> combined = std::move(population);
+        combined.insert(combined.end(),
+                        std::make_move_iterator(offspring.begin()),
+                        std::make_move_iterator(offspring.end()));
+        assign_ranks(combined);
+        std::sort(combined.begin(), combined.end(), better);
+        combined.resize(static_cast<std::size_t>(opts.population));
+        population = std::move(combined);
         assign_ranks(population);
     }
 

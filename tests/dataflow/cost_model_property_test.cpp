@@ -188,9 +188,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Dataflow::kOutputStationary,
                                          Dataflow::kInputStationary,
                                          Dataflow::kRowStationary)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-        return probe_layers()[std::get<0>(info.param)].name + "_" +
-               to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+        return probe_layers()[std::get<0>(param_info.param)].name + "_" +
+               to_string(std::get<1>(param_info.param));
     });
 
 TEST(CostModelWholeModelProperty, TilingWholeModelRaisesEnergyButShrinksTiles)

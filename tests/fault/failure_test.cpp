@@ -37,8 +37,9 @@ TEST(FailureTest, CodeIdentifiersAreUnique)
 {
     for (const FailureCode a : kAllCodes) {
         for (const FailureCode b : kAllCodes) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_NE(to_string(a), to_string(b));
+            }
         }
     }
 }

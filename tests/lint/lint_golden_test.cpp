@@ -1,0 +1,141 @@
+// End-to-end tests for the chrysalis_lint CLI: each fixture directory
+// under tools/lint/testdata/ is a miniature repo tree whose stdout must
+// match its expected.txt golden byte-for-byte, plus baseline round-trip
+// and the meta-test that the real tree lints clean.
+//
+// CHRYSALIS_LINT_BIN and CHRYSALIS_SOURCE_DIR are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+    int exit_code = -1;
+    std::string output;  // stdout only; stderr carries the summary
+};
+
+RunResult run_lint(const std::string& arguments)
+{
+    const std::string command =
+        std::string(CHRYSALIS_LINT_BIN) + " " + arguments + " 2>/dev/null";
+    RunResult result;
+    FILE* pipe = ::popen(command.c_str(), "r");
+    if (pipe == nullptr) {
+        return result;
+    }
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof buffer, pipe)) > 0) {
+        result.output.append(buffer, n);
+    }
+    const int status = ::pclose(pipe);
+    result.exit_code = (status >= 0 && WIFEXITED(status))
+                           ? WEXITSTATUS(status)
+                           : -1;
+    return result;
+}
+
+std::string read_file(const fs::path& path)
+{
+    std::ifstream stream(path);
+    std::ostringstream contents;
+    contents << stream.rdbuf();
+    return contents.str();
+}
+
+fs::path testdata_root()
+{
+    return fs::path(CHRYSALIS_SOURCE_DIR) / "tools" / "lint" / "testdata";
+}
+
+// Runs the linter over one fixture tree and compares stdout to the
+// golden file. Fixtures with findings must exit 1; clean ones exit 0.
+void check_fixture(const std::string& name)
+{
+    const fs::path root = testdata_root() / name;
+    ASSERT_TRUE(fs::exists(root / "expected.txt")) << root;
+    const std::string expected = read_file(root / "expected.txt");
+
+    const RunResult result = run_lint("--root " + root.string() + " " +
+                                      (root / "src").string());
+    EXPECT_EQ(result.output, expected) << "fixture: " << name;
+    EXPECT_EQ(result.exit_code, expected.empty() ? 0 : 1)
+        << "fixture: " << name;
+}
+
+TEST(LintGolden, Rand) { check_fixture("rand"); }
+TEST(LintGolden, Clock) { check_fixture("clock"); }
+TEST(LintGolden, Getenv) { check_fixture("getenv"); }
+TEST(LintGolden, UnorderedIter) { check_fixture("unordered"); }
+TEST(LintGolden, FloatFormat) { check_fixture("floatfmt"); }
+TEST(LintGolden, UnitSuffix) { check_fixture("unit"); }
+TEST(LintGolden, HeaderGuard) { check_fixture("guard"); }
+TEST(LintGolden, Include) { check_fixture("include"); }
+TEST(LintGolden, MalformedNolint) { check_fixture("nolint"); }
+TEST(LintGolden, WellFormedSuppressions) { check_fixture("suppressed"); }
+
+TEST(LintGolden, ListRulesShowsEveryFixtureRule)
+{
+    const RunResult result = run_lint("--list-rules");
+    EXPECT_EQ(result.exit_code, 0);
+    for (const char* rule :
+         {"chrysalis-rand", "chrysalis-clock", "chrysalis-getenv",
+          "chrysalis-unordered-iter", "chrysalis-float-format",
+          "chrysalis-unit-suffix", "chrysalis-header-guard",
+          "chrysalis-include", "chrysalis-nolint"}) {
+        EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
+    }
+}
+
+TEST(LintGolden, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(run_lint("--no-such-flag").exit_code, 2);
+    EXPECT_EQ(run_lint("").exit_code, 2);
+}
+
+TEST(LintGolden, BaselineRoundTripSilencesFixture)
+{
+    const fs::path root = testdata_root() / "rand";
+    const fs::path baseline =
+        fs::temp_directory_path() / "chrysalis_lint_baseline_test.txt";
+    const std::string scan_args =
+        "--root " + root.string() + " " + (root / "src").string();
+
+    ASSERT_EQ(run_lint("--write-baseline " + baseline.string() + " " +
+                       scan_args)
+                  .exit_code,
+              0);
+    // With the freshly written baseline every finding is absorbed.
+    const RunResult masked =
+        run_lint("--baseline " + baseline.string() + " " + scan_args);
+    EXPECT_EQ(masked.exit_code, 0);
+    EXPECT_TRUE(masked.output.empty()) << masked.output;
+    fs::remove(baseline);
+}
+
+// The meta-test: the real tree must lint clean with no baseline. This
+// is the same invocation CI runs; a regression anywhere in src/, bench/
+// or examples/ fails here first.
+TEST(LintGolden, RealTreeIsClean)
+{
+    const fs::path repo(CHRYSALIS_SOURCE_DIR);
+    const RunResult result =
+        run_lint("--root " + repo.string() + " " + (repo / "src").string() +
+                 " " + (repo / "bench").string() + " " +
+                 (repo / "examples").string() + " " +
+                 (repo / "tools").string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_TRUE(result.output.empty()) << result.output;
+}
+
+}  // namespace

@@ -160,8 +160,9 @@ TEST_P(BaselineFreezeTest, FreezesTheRightKnobs)
 
 INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineFreezeTest,
                          ::testing::ValuesIn(all_baselines()),
-                         [](const auto& info) {
-                             std::string name = to_string(info.param);
+                         [](const auto& param_info) {
+                             std::string name =
+                                 to_string(param_info.param);
                              for (char& c : name) {
                                  if (c == '/')
                                      c = '_';

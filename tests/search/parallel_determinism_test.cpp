@@ -248,8 +248,10 @@ TEST(ParallelDeterminismTest, CampaignMatchesSerialAtTwoThreads)
 
     const auto serial =
         core::run_campaign(cases, explorer_options(1, 1024));
+    core::CampaignOptions campaign_options;
+    campaign_options.threads = 2;
     const auto parallel = core::run_campaign(
-        cases, explorer_options(1, 1024), core::CampaignOptions{2});
+        cases, explorer_options(1, 1024), campaign_options);
     ASSERT_EQ(serial.entries.size(), parallel.entries.size());
     for (std::size_t i = 0; i < serial.entries.size(); ++i) {
         EXPECT_EQ(serial.entries[i].label, parallel.entries[i].label);

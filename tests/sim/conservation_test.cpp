@@ -127,11 +127,11 @@ INSTANTIATE_TEST_SUITE_P(
                       ConservationParam{3.0, 100e-6, 0.3},
                       ConservationParam{8.0, 1e-3, 0.1},
                       ConservationParam{1.5, 220e-6, 0.05}),
-    [](const ::testing::TestParamInfo<ConservationParam>& info) {
+    [](const ::testing::TestParamInfo<ConservationParam>& param_info) {
         std::ostringstream name;
-        name << "p" << static_cast<int>(std::get<0>(info.param) * 10)
-             << "_c" << static_cast<int>(std::get<1>(info.param) * 1e6)
-             << "_r" << static_cast<int>(std::get<2>(info.param) * 100);
+        name << "p" << static_cast<int>(std::get<0>(param_info.param) * 10)
+             << "_c" << static_cast<int>(std::get<1>(param_info.param) * 1e6)
+             << "_r" << static_cast<int>(std::get<2>(param_info.param) * 100);
         return name.str();
     });
 

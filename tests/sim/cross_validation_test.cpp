@@ -97,12 +97,12 @@ INSTANTIATE_TEST_SUITE_P(
         CrossParam{"har", 15.0, 100e-6},
         CrossParam{"fc", 4.0, 100e-6},
         CrossParam{"cnn_s", 10.0, 470e-6}),
-    [](const ::testing::TestParamInfo<CrossParam>& info) {
-        return std::get<0>(info.param) + "_a" +
-               std::to_string(static_cast<int>(std::get<1>(info.param))) +
+    [](const ::testing::TestParamInfo<CrossParam>& param_info) {
+        return std::get<0>(param_info.param) + "_a" +
+               std::to_string(static_cast<int>(std::get<1>(param_info.param))) +
                "_c" +
                std::to_string(
-                   static_cast<int>(std::get<2>(info.param) * 1e6));
+                   static_cast<int>(std::get<2>(param_info.param) * 1e6));
     });
 
 }  // namespace

@@ -1,0 +1,208 @@
+/// \file
+/// CLI driver for the project-invariant linter. Typical invocations:
+///
+///     chrysalis_lint src bench examples            # scan, exit 1 on hit
+///     chrysalis_lint --list-rules
+///     chrysalis_lint --write-baseline lint.base src
+///     chrysalis_lint --baseline lint.base src      # incremental adoption
+///
+/// Violations print as "file:line: rule: message" with repo-relative
+/// paths, sorted, so output is stable across machines and thread
+/// counts — the same property the tool exists to defend.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+using chrysalis::lint::Violation;
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+
+bool
+lintable(const fs::path& path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Collects every lintable file under \p target (or the file itself),
+/// sorted so reports are byte-stable regardless of directory order.
+bool
+collect(const fs::path& target, std::vector<fs::path>& files)
+{
+    std::error_code error;
+    if (fs::is_directory(target, error)) {
+        for (fs::recursive_directory_iterator it(target, error), end;
+             !error && it != end; it.increment(error)) {
+            if (it->is_regular_file() && lintable(it->path()))
+                files.push_back(it->path());
+        }
+        return !error;
+    }
+    if (fs::is_regular_file(target, error)) {
+        files.push_back(target);
+        return true;
+    }
+    std::fprintf(stderr, "chrysalis_lint: no such file or directory: %s\n",
+                 target.string().c_str());
+    return false;
+}
+
+std::string
+relative_path(const fs::path& path, const fs::path& root)
+{
+    std::error_code error;
+    const fs::path rel =
+        fs::proximate(fs::absolute(path, error), root, error);
+    if (error || rel.empty())
+        return path.generic_string();
+    return rel.generic_string();
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: chrysalis_lint [options] <file-or-dir>...\n"
+        "  --root DIR            repo root for relative paths and\n"
+        "                        path-scoped rules (default: cwd)\n"
+        "  --baseline FILE       suppress violations listed in FILE\n"
+        "  --write-baseline FILE write current violations to FILE and\n"
+        "                        exit 0 (incremental adoption)\n"
+        "  --list-rules          print rule ids and summaries\n");
+    return kExitUsage;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    fs::path root = fs::current_path();
+    std::string baseline_path;
+    std::string write_baseline_path;
+    std::vector<fs::path> targets;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto& rule : chrysalis::lint::rules())
+                std::printf("%s: %s\n", rule.id.c_str(),
+                            rule.summary.c_str());
+            return kExitClean;
+        }
+        if (arg == "--root" || arg == "--baseline" ||
+            arg == "--write-baseline") {
+            if (i + 1 >= argc)
+                return usage();
+            const std::string value = argv[++i];
+            if (arg == "--root")
+                root = value;
+            else if (arg == "--baseline")
+                baseline_path = value;
+            else
+                write_baseline_path = value;
+            continue;
+        }
+        if (!arg.empty() && arg[0] == '-')
+            return usage();
+        targets.emplace_back(arg);
+    }
+    if (targets.empty())
+        return usage();
+
+    std::error_code error;
+    root = fs::absolute(root, error);
+
+    std::vector<fs::path> files;
+    for (const fs::path& target : targets) {
+        if (!collect(target, files))
+            return kExitUsage;
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Violation> violations;
+    for (const fs::path& file : files) {
+        std::ifstream input(file, std::ios::binary);
+        if (!input) {
+            std::fprintf(stderr, "chrysalis_lint: cannot read %s\n",
+                         file.string().c_str());
+            return kExitUsage;
+        }
+        std::ostringstream content;
+        content << input.rdbuf();
+        const std::string rel = relative_path(file, root);
+        // The golden-fixture corpus is intentionally full of
+        // violations; a repo-root scan must not flag it. Fixture runs
+        // pass --root tools/lint/testdata/<rule>, so their relative
+        // paths start with src/ and are unaffected.
+        if (rel.rfind("tools/lint/testdata/", 0) == 0)
+            continue;
+        for (Violation& violation :
+             chrysalis::lint::scan_source(rel, content.str()))
+            violations.push_back(std::move(violation));
+    }
+    std::sort(violations.begin(), violations.end(),
+              [](const Violation& a, const Violation& b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+
+    if (!write_baseline_path.empty()) {
+        std::ofstream output(write_baseline_path);
+        if (!output) {
+            std::fprintf(stderr, "chrysalis_lint: cannot write %s\n",
+                         write_baseline_path.c_str());
+            return kExitUsage;
+        }
+        for (const Violation& violation : violations)
+            output << chrysalis::lint::baseline_key(violation) << '\n';
+        std::printf("chrysalis_lint: wrote %zu baseline entries to %s\n",
+                    violations.size(), write_baseline_path.c_str());
+        return kExitClean;
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream input(baseline_path);
+        if (!input) {
+            std::fprintf(stderr, "chrysalis_lint: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return kExitUsage;
+        }
+        std::vector<std::string> keys;
+        std::string line;
+        while (std::getline(input, line)) {
+            if (!line.empty())
+                keys.push_back(line);
+        }
+        violations = chrysalis::lint::apply_baseline(
+            std::move(violations), keys);
+    }
+
+    for (const Violation& violation : violations) {
+        std::printf("%s:%d: %s: %s\n", violation.file.c_str(),
+                    violation.line, violation.rule.c_str(),
+                    violation.message.c_str());
+    }
+    if (!violations.empty()) {
+        std::fprintf(stderr,
+                     "chrysalis_lint: %zu violation(s) in %zu file(s) "
+                     "scanned\n",
+                     violations.size(), files.size());
+        return kExitViolations;
+    }
+    return kExitClean;
+}

@@ -1,0 +1,63 @@
+/// \file
+/// Core of `chrysalis_lint`: a tokenizer-based checker for the project
+/// invariants no compiler enforces — deterministic randomness and
+/// timing, ordered iteration in report paths, `%.17g` float
+/// serialization, SI-unit naming, and header hygiene.
+///
+/// The scanner is deliberately not a compiler: it strips comments and
+/// string literals with a small state machine and then matches rules
+/// against the remaining code text. That keeps the tool dependency-free
+/// (no libclang) and fast enough to run as a ctest, at the cost of
+/// heuristics documented per rule in docs/static_analysis.md.
+
+#ifndef CHRYSALIS_TOOLS_LINT_LINT_CORE_HPP
+#define CHRYSALIS_TOOLS_LINT_LINT_CORE_HPP
+
+#include <string>
+#include <vector>
+
+namespace chrysalis::lint {
+
+/// One finding, printed as "file:line: rule: message".
+struct Violation {
+    std::string file;     ///< repo-relative path, '/'-separated
+    int line = 0;         ///< 1-based
+    std::string rule;     ///< "chrysalis-..." rule id
+    std::string message;
+    std::string source;   ///< trimmed source line (baseline matching key)
+};
+
+/// A rule's id plus the one-line summary shown by --list-rules.
+struct RuleInfo {
+    std::string id;
+    std::string summary;
+};
+
+/// All rules the scanner implements, in report order.
+const std::vector<RuleInfo>& rules();
+
+/// Scans one translation unit / header. \p rel_path must be the path
+/// relative to the repository root ('/'-separated) — several rules are
+/// path-scoped (e.g. monotonic clocks are legal only under src/obs/).
+/// Returned violations are sorted by (line, rule) and already account
+/// for NOLINT suppressions; malformed suppressions are themselves
+/// reported as "chrysalis-nolint" violations.
+std::vector<Violation> scan_source(const std::string& rel_path,
+                                   const std::string& content);
+
+/// Baseline entry for \p violation: "file|rule|trimmed source line".
+/// Line numbers are deliberately excluded so unrelated edits above a
+/// baselined site do not invalidate the baseline.
+std::string baseline_key(const Violation& violation);
+
+/// Removes violations covered by \p baseline_keys. Each baseline entry
+/// absorbs at most one violation (duplicate lines need duplicate
+/// entries), so fixing one of two identical sites still surfaces the
+/// other.
+std::vector<Violation>
+apply_baseline(std::vector<Violation> violations,
+               const std::vector<std::string>& baseline_keys);
+
+}  // namespace chrysalis::lint
+
+#endif  // CHRYSALIS_TOOLS_LINT_LINT_CORE_HPP

@@ -1,0 +1,12 @@
+// Fixture: monotonic clocks outside src/obs/ and wall clocks anywhere
+// must fire chrysalis-clock; the <chrono> include itself is fine.
+#include <chrono>
+
+double
+now_pair()
+{
+    const auto mono = std::chrono::steady_clock::now();
+    const auto wall = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(mono.time_since_epoch()).count() +
+           std::chrono::duration<double>(wall.time_since_epoch()).count();
+}

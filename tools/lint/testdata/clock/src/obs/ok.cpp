@@ -1,0 +1,10 @@
+// Fixture: src/obs/ owns monotonic timing; steady_clock is legal here
+// (system_clock still is not — it appears nowhere in this file).
+#include <chrono>
+
+double
+monotonic_seconds()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,10 @@
+// Fixture: src/common/string_utils.cpp is the formatting-helper home;
+// the sanctioned "%.17g" implementation lives here without firing.
+#include <cstdio>
+
+const char*
+format_double_17g_impl(double value, char (&buffer)[64])
+{
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}

@@ -1,0 +1,14 @@
+// Fixture: a raw printf float conversion in a journal/report path
+// (src/core/campaign*) fires chrysalis-float-format; integer and hex
+// conversions do not.
+#include <cstdio>
+
+void
+emit(double score, int attempts)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", score);
+    std::snprintf(buffer, sizeof buffer, "%f", score);
+    std::snprintf(buffer, sizeof buffer, "%d %08x", attempts,
+                  static_cast<unsigned>(attempts));
+}

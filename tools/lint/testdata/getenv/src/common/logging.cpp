@@ -1,0 +1,9 @@
+// Fixture: src/common/logging.cpp is the designated log-level env knob;
+// getenv is allowlisted here and must not fire.
+#include <cstdlib>
+
+const char*
+log_level_from_env()
+{
+    return std::getenv("CHRYSALIS_LOG_LEVEL");
+}

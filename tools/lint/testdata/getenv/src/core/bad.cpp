@@ -1,0 +1,8 @@
+// Fixture: getenv outside the env-knob allowlist fires chrysalis-getenv.
+#include <cstdlib>
+
+const char*
+seed_from_env()
+{
+    return std::getenv("MY_SEED");
+}

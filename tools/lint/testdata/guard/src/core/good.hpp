@@ -1,0 +1,9 @@
+// Fixture: correct path-derived guard (src/ stripped, upper-cased) is
+// clean.
+
+#ifndef CHRYSALIS_CORE_GOOD_HPP
+#define CHRYSALIS_CORE_GOOD_HPP
+
+int guarded();
+
+#endif  // CHRYSALIS_CORE_GOOD_HPP

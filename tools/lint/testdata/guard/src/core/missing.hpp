@@ -1,0 +1,4 @@
+// Fixture: a header with no guard at all fires chrysalis-header-guard
+// at its first code line.
+
+int unguarded();

@@ -1,0 +1,6 @@
+// Fixture: #pragma once fires chrysalis-header-guard (the project uses
+// path-derived include guards).
+
+#pragma once
+
+int pragma_once_header();

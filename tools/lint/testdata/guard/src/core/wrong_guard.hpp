@@ -1,0 +1,9 @@
+// Fixture: guard name not derived from the path fires
+// chrysalis-header-guard.
+
+#ifndef SOME_OTHER_GUARD_HPP
+#define SOME_OTHER_GUARD_HPP
+
+int wrong();
+
+#endif  // SOME_OTHER_GUARD_HPP

@@ -1,0 +1,12 @@
+// Fixture: C-compat headers, <random>, and <ctime> outside src/obs/
+// fire chrysalis-include.
+#include <ctime>
+#include <random>
+#include <stdio.h>
+#include <stdlib.h>
+
+int
+uses_banned_headers()
+{
+    return 0;
+}

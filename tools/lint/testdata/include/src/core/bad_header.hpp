@@ -1,0 +1,11 @@
+// Fixture: <iostream> in a header fires chrysalis-include (<iosfwd> is
+// the sanctioned forward declaration).
+
+#ifndef CHRYSALIS_CORE_BAD_HEADER_HPP
+#define CHRYSALIS_CORE_BAD_HEADER_HPP
+
+#include <iostream>
+
+void print_all(std::ostream& output);
+
+#endif  // CHRYSALIS_CORE_BAD_HEADER_HPP

@@ -1,0 +1,10 @@
+// Fixture: <time.h> inside src/obs/ is allowed (thread CPU-time
+// clocks); <cstdio> is always fine.
+#include <cstdio>
+#include <time.h>
+
+int
+obs_clock_header_ok()
+{
+    return 0;
+}

@@ -1,0 +1,14 @@
+// Fixture: malformed suppressions fire chrysalis-nolint and do NOT
+// silence the underlying rule.
+#include <cstdlib>
+
+const char*
+sloppy_suppressions()
+{
+    const char* a = std::getenv("A");  // NOLINT(): no rules listed
+    const char* b = std::getenv("B");  // NOLINT(chrysalis-getenv) missing justification
+    const char* c = std::getenv("C");  // NOLINT(chrysalis-nonsense): unknown rule id
+    (void)a;
+    (void)b;
+    return c;
+}

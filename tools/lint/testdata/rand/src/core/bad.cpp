@@ -1,0 +1,12 @@
+// Fixture: every banned randomness source must fire chrysalis-rand.
+#include <cstdlib>
+
+int
+entropy()
+{
+    std::srand(42);
+    int total = std::rand();
+    std::random_device device;  // hypothetical; fixture is not compiled
+    total += static_cast<int>(device());
+    return total;
+}

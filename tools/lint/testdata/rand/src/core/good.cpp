@@ -1,0 +1,12 @@
+// Fixture: seeded Rng use, a "rand()" inside a string, and identifiers
+// that merely contain the substring must all stay clean.
+#include "common/rng.hpp"
+
+double
+sample(chrysalis::Rng& rng)
+{
+    const char* note = "calling rand() here would be a bug";
+    (void)note;
+    double operand = rng.uniform();  // 'rand' inside a word is fine
+    return operand;
+}

@@ -1,0 +1,15 @@
+// Fixture: well-formed NOLINT / NOLINTNEXTLINE suppressions with rule
+// lists and justifications silence the named rule — this whole file
+// must scan clean (exit 0).
+#include <chrono>
+#include <cstdlib>
+
+double
+timed_section()
+{
+    // NOLINTNEXTLINE(chrysalis-clock): fixture exercising suppression
+    const auto start = std::chrono::steady_clock::now();
+    const char* knob = std::getenv("FIXTURE_KNOB");  // NOLINT(chrysalis-getenv): fixture exercising same-line suppression
+    (void)knob;
+    return std::chrono::duration<double>(start.time_since_epoch()).count();
+}

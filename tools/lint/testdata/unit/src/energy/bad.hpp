@@ -1,0 +1,17 @@
+// Fixture: non-SI unit suffixes on floating-point declarations fire
+// chrysalis-unit-suffix; SI suffixes and dimensionless names are clean.
+
+#ifndef CHRYSALIS_ENERGY_BAD_HPP
+#define CHRYSALIS_ENERGY_BAD_HPP
+
+struct ChargeProfile {
+    double capacitance_uf = 100.0;
+    double latency_ms = 3.0;
+    double capacitance_f = 100e-6;  // SI: clean
+    double latency_s = 3e-3;        // SI: clean
+    double efficiency = 0.85;       // dimensionless: clean
+};
+
+double charge_time(double capacitance_f, float budget_mj);
+
+#endif  // CHRYSALIS_ENERGY_BAD_HPP

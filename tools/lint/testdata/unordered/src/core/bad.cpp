@@ -1,0 +1,17 @@
+// Fixture: range-for and iterator loops over unordered containers fire
+// chrysalis-unordered-iter.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+emit(const std::unordered_map<std::string, int>& scores)
+{
+    std::unordered_set<int> seen;
+    int total = 0;
+    for (const auto& [name, value] : scores)
+        total += static_cast<int>(name.size()) + value;
+    for (auto it = seen.begin(); it != seen.end(); ++it)
+        total += *it;
+    return total;
+}

@@ -1,0 +1,18 @@
+// Fixture: point lookups into unordered containers and iteration over
+// ordered ones are fine.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int
+lookup(const std::unordered_map<std::string, int>& scores,
+       const std::map<std::string, int>& ranking)
+{
+    int total = 0;
+    const auto it = scores.find("alpha");
+    if (it != scores.end())
+        total += it->second;
+    for (const auto& [name, value] : ranking)
+        total += static_cast<int>(name.size()) + value;
+    return total;
+}
