@@ -117,7 +117,7 @@ write_report()
 
 void
 begin_report(const std::string& experiment, const std::string& description,
-             bool attach_metrics)
+             bool attach_metrics, const std::string& slug)
 {
     const char* toggle = std::getenv("CHRYSALIS_BENCH_REPORT");
     if (toggle != nullptr && std::strcmp(toggle, "0") == 0)
@@ -130,9 +130,10 @@ begin_report(const std::string& experiment, const std::string& description,
     report.experiment = experiment;
     report.description = description;
     const char* metrics_out = std::getenv("CHRYSALIS_BENCH_METRICS_OUT");
-    report.metrics_path = metrics_out != nullptr && *metrics_out != '\0'
-                              ? metrics_out
-                              : "BENCH_" + report_slug() + ".json";
+    report.metrics_path =
+        metrics_out != nullptr && *metrics_out != '\0'
+            ? metrics_out
+            : "BENCH_" + (slug.empty() ? report_slug() : slug) + ".json";
     if (const char* trace_out = std::getenv("CHRYSALIS_BENCH_TRACE_OUT")) {
         if (*trace_out != '\0') {
             report.trace_path = trace_out;

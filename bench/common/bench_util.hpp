@@ -47,9 +47,14 @@ struct Budget {
 /// \p attach_metrics=false starts the report without attaching the
 /// global metrics registry — used by micro-benchmarks that measure the
 /// no-sink fast path and must not observe publish costs.
+///
+/// \p slug overrides the executable-derived report name (the <name> in
+/// BENCH_<name>.json) for binaries whose name does not match their
+/// report, e.g. chrysalis_bench_load writing BENCH_serve_load.json.
 void begin_report(const std::string& experiment,
                   const std::string& description,
-                  bool attach_metrics = true);
+                  bool attach_metrics = true,
+                  const std::string& slug = "");
 
 /// Records one headline number (e.g. the paper-claim ratio a figure
 /// reproduces) into the run report. No-op before begin_report.

@@ -3,6 +3,8 @@
 /// Fig. 3 from the shell, on zoo workloads or user model files.
 ///
 /// Usage:
+///   chrysalis_cli serve [serve options]   run the evaluation daemon
+///   chrysalis_cli call [call options]     send one serve-v1 request
 ///   chrysalis_cli [options]
 ///     --model <zoo-name|path.model>   workload (default: kws). A path is
 ///                                     parsed with dnn::load_model.
@@ -51,6 +53,7 @@
 #include "fault/fault_injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/daemon.hpp"
 
 namespace {
 
@@ -356,6 +359,14 @@ run_cli(const CliOptions& options)
 int
 main(int argc, char** argv)
 {
+    // Subcommands: `serve` runs the evaluation daemon, `call` sends one
+    // chrysalis-serve-v1 request. Everything else is the classic
+    // flag-driven search front end.
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return serve::run_serve_cli(argc, argv, 2);
+    if (argc > 1 && std::strcmp(argv[1], "call") == 0)
+        return serve::run_call_cli(argc, argv, 2);
+
     CliOptions options;
     if (!parse_args(argc, argv, options))
         return 2;

@@ -1,0 +1,24 @@
+/// \file
+/// Standalone `chrysalis-serve-v1` daemon: evaluation-as-a-service for
+/// the analytic evaluator, mapping search and step simulator.
+///
+/// Usage:
+///   chrysalis_served [--host addr] [--port n] [--threads n]
+///                    [--cache-capacity n] [--max-connections n]
+///                    [--max-inflight n] [--queue-depth n]
+///                    [--batch-max n] [--drain-timeout s]
+///                    [--metrics-out file] [--trace-out file]
+///
+/// Prints "chrysalis_served listening on HOST:PORT" once accepting
+/// (with --port 0 the kernel picks the port, so parse this line), then
+/// serves until SIGINT/SIGTERM, drains in-flight work and exits 0.
+/// Equivalent to `chrysalis_cli serve`; see docs/serving.md for the
+/// protocol.
+
+#include "serve/daemon.hpp"
+
+int
+main(int argc, char** argv)
+{
+    return chrysalis::serve::run_serve_cli(argc, argv, 1);
+}

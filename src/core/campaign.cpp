@@ -44,7 +44,7 @@ CampaignResult::write_csv(std::ostream& output, CsvColumns columns) const
 {
     output << "label,feasible,objective,sp_cm2,capacitance_f,arch,n_pe,"
               "cache_bytes,mean_latency_s,lat_sp,score,failure,"
-              "evaluations,cache_hits,cache_misses,attempts";
+              "evaluations,cache_hits,cache_misses,cache_evictions,attempts";
     if (columns == CsvColumns::kAll)
         output << ",wall_time_s";
     output << '\n';
@@ -65,7 +65,8 @@ CampaignResult::write_csv(std::ostream& output, CsvColumns columns) const
                << format_double_17g(solution.score) << ','
                << fault::to_string(solution.failure.code) << ','
                << solution.evaluations << ',' << solution.cache_hits
-               << ',' << solution.cache_misses << ',' << entry.attempts;
+               << ',' << solution.cache_misses << ','
+               << solution.cache_evictions << ',' << entry.attempts;
         if (columns == CsvColumns::kAll)
             output << ',' << format_double_17g(entry.wall_time_s);
         output << '\n';

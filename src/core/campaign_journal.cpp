@@ -1,224 +1,14 @@
 #include "core/campaign_journal.hpp"
 
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <sstream>
+#include <utility>
 
+#include "common/flat_json.hpp"
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
 
 namespace chrysalis::core {
-
-namespace {
-
-void
-append_escaped(std::string& out, const std::string& text)
-{
-    out += '"';
-    for (const char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof buffer, "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buffer;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-}
-
-void
-append_field(std::string& out, const char* name, const std::string& value)
-{
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += name;
-    out += "\":";
-    append_escaped(out, value);
-}
-
-void
-append_raw_field(std::string& out, const char* name,
-                 const std::string& value)
-{
-    if (out.back() != '{')
-        out += ',';
-    out += '"';
-    out += name;
-    out += "\":";
-    out += value;
-}
-
-/// Minimal scanner for the flat JSON objects this module writes: one
-/// level of {"key":value,...} with string or bare-number values. Returns
-/// false on any structural problem (the torn-line case after a kill).
-bool
-scan_flat_json(const std::string& line,
-               std::unordered_map<std::string, std::string>& fields)
-{
-    std::size_t i = 0;
-    const auto skip_ws = [&] {
-        while (i < line.size() && std::isspace(
-                   static_cast<unsigned char>(line[i])))
-            ++i;
-    };
-    const auto parse_string = [&](std::string& out) {
-        if (i >= line.size() || line[i] != '"')
-            return false;
-        ++i;
-        out.clear();
-        while (i < line.size() && line[i] != '"') {
-            char c = line[i++];
-            if (c == '\\') {
-                if (i >= line.size())
-                    return false;
-                const char esc = line[i++];
-                switch (esc) {
-                  case '"': c = '"'; break;
-                  case '\\': c = '\\'; break;
-                  case 'n': c = '\n'; break;
-                  case 'r': c = '\r'; break;
-                  case 't': c = '\t'; break;
-                  case 'u': {
-                    if (i + 4 > line.size())
-                        return false;
-                    c = static_cast<char>(std::strtoul(
-                        line.substr(i, 4).c_str(), nullptr, 16));
-                    i += 4;
-                    break;
-                  }
-                  default: return false;
-                }
-            }
-            out += c;
-        }
-        if (i >= line.size())
-            return false;  // unterminated string: torn line
-        ++i;               // closing quote
-        return true;
-    };
-
-    skip_ws();
-    if (i >= line.size() || line[i] != '{')
-        return false;
-    ++i;
-    skip_ws();
-    if (i < line.size() && line[i] == '}')
-        return true;
-    while (true) {
-        skip_ws();
-        std::string key;
-        if (!parse_string(key))
-            return false;
-        skip_ws();
-        if (i >= line.size() || line[i] != ':')
-            return false;
-        ++i;
-        skip_ws();
-        std::string value;
-        if (i < line.size() && line[i] == '"') {
-            if (!parse_string(value))
-                return false;
-        } else {
-            const std::size_t start = i;
-            while (i < line.size() && line[i] != ',' && line[i] != '}')
-                ++i;
-            value = line.substr(start, i - start);
-            while (!value.empty() &&
-                   std::isspace(static_cast<unsigned char>(value.back())))
-                value.pop_back();
-            if (value.empty())
-                return false;
-        }
-        fields.emplace(key, std::move(value));
-        skip_ws();
-        if (i >= line.size())
-            return false;  // torn line: no closing brace
-        if (line[i] == '}')
-            return true;
-        if (line[i] != ',')
-            return false;
-        ++i;
-    }
-}
-
-bool
-get_string(const std::unordered_map<std::string, std::string>& fields,
-           const char* name, std::string& out)
-{
-    const auto it = fields.find(name);
-    if (it == fields.end())
-        return false;
-    out = it->second;
-    return true;
-}
-
-bool
-get_double(const std::unordered_map<std::string, std::string>& fields,
-           const char* name, double& out)
-{
-    const auto it = fields.find(name);
-    if (it == fields.end())
-        return false;
-    errno = 0;
-    char* end = nullptr;
-    out = std::strtod(it->second.c_str(), &end);
-    return end != it->second.c_str() && *end == '\0' && errno == 0;
-}
-
-bool
-get_int64(const std::unordered_map<std::string, std::string>& fields,
-          const char* name, std::int64_t& out)
-{
-    const auto it = fields.find(name);
-    if (it == fields.end())
-        return false;
-    errno = 0;
-    char* end = nullptr;
-    out = std::strtoll(it->second.c_str(), &end, 10);
-    return end != it->second.c_str() && *end == '\0' && errno == 0;
-}
-
-bool
-get_uint64(const std::unordered_map<std::string, std::string>& fields,
-           const char* name, std::uint64_t& out)
-{
-    const auto it = fields.find(name);
-    if (it == fields.end())
-        return false;
-    errno = 0;
-    char* end = nullptr;
-    out = std::strtoull(it->second.c_str(), &end, 10);
-    return end != it->second.c_str() && *end == '\0' && errno == 0;
-}
-
-bool
-get_int(const std::unordered_map<std::string, std::string>& fields,
-        const char* name, int& out)
-{
-    std::int64_t wide = 0;
-    if (!get_int64(fields, name, wide))
-        return false;
-    out = static_cast<int>(wide);
-    return true;
-}
-
-}  // namespace
 
 std::string
 campaign_case_key_hex(const CampaignCase& campaign_case,
@@ -332,6 +122,7 @@ to_journal_record(const CampaignEntry& entry, const std::string& key)
     record.evaluations = solution.evaluations;
     record.cache_hits = solution.cache_hits;
     record.cache_misses = solution.cache_misses;
+    record.cache_evictions = solution.cache_evictions;
     record.search_wall_time_s = solution.search_wall_time_s;
     record.wall_time_s = entry.wall_time_s;
     if (solution.failure) {
@@ -368,6 +159,7 @@ from_journal_record(const JournalRecord& record)
     solution.evaluations = static_cast<int>(record.evaluations);
     solution.cache_hits = record.cache_hits;
     solution.cache_misses = record.cache_misses;
+    solution.cache_evictions = record.cache_evictions;
     solution.search_wall_time_s = record.search_wall_time_s;
     if (!record.failure_code.empty()) {
         solution.failure = fault::make_failure(
@@ -381,35 +173,37 @@ std::string
 to_json_line(const JournalRecord& record)
 {
     std::string out = "{";
-    append_field(out, "key", record.key);
-    append_field(out, "label", record.label);
-    append_field(out, "objective", record.objective_label);
-    append_raw_field(out, "feasible", record.feasible ? "1" : "0");
-    append_raw_field(out, "family", std::to_string(record.family));
-    append_raw_field(out, "solar_cm2", format_double_17g(record.solar_cm2));
-    append_raw_field(out, "capacitance_f",
-                     format_double_17g(record.capacitance_f));
-    append_raw_field(out, "arch", std::to_string(record.arch));
-    append_raw_field(out, "n_pe", std::to_string(record.n_pe));
-    append_raw_field(out, "cache_bytes",
-                     std::to_string(record.cache_bytes));
-    append_raw_field(out, "mean_latency_s",
-                     format_double_17g(record.mean_latency_s));
-    append_raw_field(out, "lat_sp", format_double_17g(record.lat_sp));
-    append_raw_field(out, "score", format_double_17g(record.score));
-    append_raw_field(out, "evaluations",
-                     std::to_string(record.evaluations));
-    append_raw_field(out, "cache_hits",
-                     std::to_string(record.cache_hits));
-    append_raw_field(out, "cache_misses",
-                     std::to_string(record.cache_misses));
-    append_raw_field(out, "search_wall_time_s",
-                     format_double_17g(record.search_wall_time_s));
-    append_raw_field(out, "wall_time_s",
-                     format_double_17g(record.wall_time_s));
-    append_field(out, "failure_code", record.failure_code);
-    append_field(out, "failure_detail", record.failure_detail);
-    append_raw_field(out, "attempts", std::to_string(record.attempts));
+    json_append_field(out, "key", record.key);
+    json_append_field(out, "label", record.label);
+    json_append_field(out, "objective", record.objective_label);
+    json_append_raw_field(out, "feasible", record.feasible ? "1" : "0");
+    json_append_raw_field(out, "family", std::to_string(record.family));
+    json_append_raw_field(out, "solar_cm2", format_double_17g(record.solar_cm2));
+    json_append_raw_field(out, "capacitance_f",
+                          format_double_17g(record.capacitance_f));
+    json_append_raw_field(out, "arch", std::to_string(record.arch));
+    json_append_raw_field(out, "n_pe", std::to_string(record.n_pe));
+    json_append_raw_field(out, "cache_bytes",
+                          std::to_string(record.cache_bytes));
+    json_append_raw_field(out, "mean_latency_s",
+                          format_double_17g(record.mean_latency_s));
+    json_append_raw_field(out, "lat_sp", format_double_17g(record.lat_sp));
+    json_append_raw_field(out, "score", format_double_17g(record.score));
+    json_append_raw_field(out, "evaluations",
+                          std::to_string(record.evaluations));
+    json_append_raw_field(out, "cache_hits",
+                          std::to_string(record.cache_hits));
+    json_append_raw_field(out, "cache_misses",
+                          std::to_string(record.cache_misses));
+    json_append_raw_field(out, "cache_evictions",
+                          std::to_string(record.cache_evictions));
+    json_append_raw_field(out, "search_wall_time_s",
+                          format_double_17g(record.search_wall_time_s));
+    json_append_raw_field(out, "wall_time_s",
+                          format_double_17g(record.wall_time_s));
+    json_append_field(out, "failure_code", record.failure_code);
+    json_append_field(out, "failure_detail", record.failure_detail);
+    json_append_raw_field(out, "attempts", std::to_string(record.attempts));
     out += '}';
     return out;
 }
@@ -417,33 +211,35 @@ to_json_line(const JournalRecord& record)
 bool
 parse_json_line(const std::string& line, JournalRecord& record)
 {
-    std::unordered_map<std::string, std::string> fields;
+    FlatJsonFields fields;
     if (!scan_flat_json(line, fields))
         return false;
     std::int64_t feasible = 0;
     const bool ok =
-        get_string(fields, "key", record.key) &&
-        get_string(fields, "label", record.label) &&
-        get_string(fields, "objective", record.objective_label) &&
-        get_int64(fields, "feasible", feasible) &&
-        get_int(fields, "family", record.family) &&
-        get_double(fields, "solar_cm2", record.solar_cm2) &&
-        get_double(fields, "capacitance_f", record.capacitance_f) &&
-        get_int(fields, "arch", record.arch) &&
-        get_int64(fields, "n_pe", record.n_pe) &&
-        get_int64(fields, "cache_bytes", record.cache_bytes) &&
-        get_double(fields, "mean_latency_s", record.mean_latency_s) &&
-        get_double(fields, "lat_sp", record.lat_sp) &&
-        get_double(fields, "score", record.score) &&
-        get_int64(fields, "evaluations", record.evaluations) &&
-        get_uint64(fields, "cache_hits", record.cache_hits) &&
-        get_uint64(fields, "cache_misses", record.cache_misses) &&
-        get_double(fields, "search_wall_time_s",
-                   record.search_wall_time_s) &&
-        get_double(fields, "wall_time_s", record.wall_time_s) &&
-        get_string(fields, "failure_code", record.failure_code) &&
-        get_string(fields, "failure_detail", record.failure_detail) &&
-        get_int(fields, "attempts", record.attempts);
+        json_get_string(fields, "key", record.key) &&
+        json_get_string(fields, "label", record.label) &&
+        json_get_string(fields, "objective", record.objective_label) &&
+        json_get_int64(fields, "feasible", feasible) &&
+        json_get_int(fields, "family", record.family) &&
+        json_get_double(fields, "solar_cm2", record.solar_cm2) &&
+        json_get_double(fields, "capacitance_f", record.capacitance_f) &&
+        json_get_int(fields, "arch", record.arch) &&
+        json_get_int64(fields, "n_pe", record.n_pe) &&
+        json_get_int64(fields, "cache_bytes", record.cache_bytes) &&
+        json_get_double(fields, "mean_latency_s", record.mean_latency_s) &&
+        json_get_double(fields, "lat_sp", record.lat_sp) &&
+        json_get_double(fields, "score", record.score) &&
+        json_get_int64(fields, "evaluations", record.evaluations) &&
+        json_get_uint64(fields, "cache_hits", record.cache_hits) &&
+        json_get_uint64(fields, "cache_misses", record.cache_misses) &&
+        json_get_uint64(fields, "cache_evictions",
+                        record.cache_evictions) &&
+        json_get_double(fields, "search_wall_time_s",
+                        record.search_wall_time_s) &&
+        json_get_double(fields, "wall_time_s", record.wall_time_s) &&
+        json_get_string(fields, "failure_code", record.failure_code) &&
+        json_get_string(fields, "failure_detail", record.failure_detail) &&
+        json_get_int(fields, "attempts", record.attempts);
     record.feasible = feasible != 0;
     return ok;
 }

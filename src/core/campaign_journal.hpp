@@ -43,6 +43,7 @@ struct JournalRecord {
     std::int64_t evaluations = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
     double search_wall_time_s = 0.0;
     double wall_time_s = 0.0;
     std::string failure_code;    ///< fault::to_string(code); "" for none

@@ -67,6 +67,7 @@ Chrysalis::to_solution(const search::EvaluatedDesign& design,
         solution.evaluations = result->evaluations;
         solution.cache_hits = result->cache.hits;
         solution.cache_misses = result->cache.misses;
+        solution.cache_evictions = result->cache.evictions;
         solution.search_wall_time_s = result->wall_time_s;
     }
     return solution;

@@ -45,6 +45,7 @@ struct AuTSolution {
     int evaluations = 0;             ///< design points evaluated
     std::uint64_t cache_hits = 0;    ///< memoized design evaluations
     std::uint64_t cache_misses = 0;  ///< evaluations actually computed
+    std::uint64_t cache_evictions = 0;  ///< memo entries dropped by LRU
     double search_wall_time_s = 0.0; ///< exploration wall-clock time
 
     /// Multi-line human-readable report (the "AuT HW and SW Describer"

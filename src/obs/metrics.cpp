@@ -96,6 +96,18 @@ decade_bounds()
     return bounds;
 }
 
+std::vector<double>
+latency_bounds()
+{
+    std::vector<double> bounds;
+    for (int exponent = -5; exponent <= 1; ++exponent) {
+        for (const double mantissa : {1.0, 2.0, 5.0})
+            bounds.push_back(mantissa * std::pow(10.0, exponent));
+    }
+    bounds.push_back(100.0);
+    return bounds;
+}
+
 MetricsRegistry::Entry&
 MetricsRegistry::entry_for(std::string_view name, Kind kind,
                            Stability stability)

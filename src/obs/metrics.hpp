@@ -141,6 +141,11 @@ class Histogram
 /// wall-time histograms whose dynamic range spans many orders.
 std::vector<double> decade_bounds();
 
+/// 1-2-5 bucket edges from 10 us to 100 s; the default for request- and
+/// queue-latency histograms (serving paths) where decade buckets are
+/// too coarse to read a p99 from.
+std::vector<double> latency_bounds();
+
 /// Which metrics a JSON report includes.
 enum class ReportMode {
     kFull,           ///< stable + volatile sections, histogram sums

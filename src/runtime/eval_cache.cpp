@@ -50,6 +50,7 @@ operator-(const EvalCacheStats& after, const EvalCacheStats& before)
     delta.insertions = after.insertions - before.insertions;
     delta.evictions = after.evictions - before.evictions;
     delta.entries = after.entries;  // entries is a level, not a counter
+    delta.capacity = after.capacity;  // so is capacity
     return delta;
 }
 

@@ -41,6 +41,7 @@ struct EvalCacheStats {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;   ///< entries dropped by the LRU policy
     std::uint64_t entries = 0;     ///< current resident entries
+    std::uint64_t capacity = 0;    ///< configured maximum entries
 
     /// hits / (hits + misses), 0 when no lookups happened.
     double hit_rate() const;
@@ -139,6 +140,7 @@ class EvalCache
     stats() const
     {
         EvalCacheStats total;
+        total.capacity = capacity();
         for (const auto& shard : shards_) {
             std::lock_guard<std::mutex> lock(shard->mutex);
             total.hits += shard->hits;

@@ -1,0 +1,207 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace chrysalis::serve {
+namespace {
+
+/// True when \p text is entirely one JSON-compatible number.
+bool
+is_bare_number(const std::string& text)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0' && errno == 0 &&
+           std::isfinite(value);
+}
+
+}  // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_id_(other.next_id_),
+      decoder_(std::move(other.decoder_))
+{
+    other.fd_ = -1;
+}
+
+Client&
+Client::operator=(Client&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        next_id_ = other.next_id_;
+        decoder_ = std::move(other.decoder_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+bool
+Client::connect(const std::string& host, int port, double timeout_s)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return false;
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) != 0) {
+        close();
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (timeout_s > 0.0) {
+        timeval timeout{};
+        timeout.tv_sec = static_cast<time_t>(timeout_s);
+        timeout.tv_usec = static_cast<suseconds_t>(
+            (timeout_s - static_cast<double>(timeout.tv_sec)) * 1e6);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof timeout);
+    }
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    decoder_ = FrameDecoder();
+}
+
+void
+Client::shutdown_write()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+bool
+Client::send_bytes(const void* data, std::size_t size)
+{
+    const char* bytes = static_cast<const char*>(data);
+    std::size_t sent_total = 0;
+    while (sent_total < size) {
+        const ssize_t sent = ::send(fd_, bytes + sent_total,
+                                    size - sent_total, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent_total += static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+bool
+Client::send_frame(const std::string& payload)
+{
+    const std::string frame = encode_frame(payload);
+    return send_bytes(frame.data(), frame.size());
+}
+
+bool
+Client::recv_frame(std::string& payload)
+{
+    while (true) {
+        switch (decoder_.next(payload)) {
+          case FrameDecoder::Status::kFrame:
+            return true;
+          case FrameDecoder::Status::kOversized:
+            return false;
+          case FrameDecoder::Status::kNeedMore:
+            break;
+        }
+        char buffer[4096];
+        const ssize_t received = ::recv(fd_, buffer, sizeof buffer, 0);
+        if (received > 0) {
+            decoder_.feed(buffer, static_cast<std::size_t>(received));
+            continue;
+        }
+        if (received < 0 && errno == EINTR)
+            continue;
+        return false;  // EOF, timeout (EAGAIN under SO_RCVTIMEO) or error
+    }
+}
+
+std::string
+Client::build_request(const std::string& type,
+                      const FlatJsonFields& params)
+{
+    std::string payload = "{";
+    json_append_field(payload, "v", kProtocolVersion);
+    json_append_raw_field(payload, "id", std::to_string(next_id_++));
+    json_append_field(payload, "type", type);
+    for (const auto& [key, value] : params) {
+        if (key == "v" || key == "id" || key == "type")
+            continue;
+        if (is_bare_number(value))
+            json_append_raw_field(payload, key.c_str(), value);
+        else
+            json_append_field(payload, key.c_str(), value);
+    }
+    payload += '}';
+    return payload;
+}
+
+bool
+Client::call(const std::string& type, const FlatJsonFields& params,
+             Response& response)
+{
+    if (!send_frame(build_request(type, params)))
+        return false;
+    std::string payload;
+    if (!recv_frame(payload))
+        return false;
+    return parse_response(payload, response);
+}
+
+bool
+parse_response(const std::string& payload, Response& response)
+{
+    response = Response();
+    response.raw = payload;
+    if (!scan_flat_json(payload, response.fields))
+        return false;
+    std::uint64_t ok = 0;
+    json_get_uint64(response.fields, "ok", ok);
+    response.ok = ok != 0;
+    json_get_uint64(response.fields, "id", response.id);
+    json_get_string(response.fields, "error", response.error);
+    json_get_string(response.fields, "detail", response.detail);
+    return true;
+}
+
+}  // namespace chrysalis::serve

@@ -1,0 +1,96 @@
+/// \file
+/// Blocking `chrysalis-serve-v1` client: connect, frame requests, read
+/// framed replies. Used by `chrysalis_cli call`, the load-generator
+/// bench and the protocol tests (which also use the raw send_bytes()
+/// escape hatch to produce deliberately broken frames).
+
+#ifndef CHRYSALIS_SERVE_CLIENT_HPP
+#define CHRYSALIS_SERVE_CLIENT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/flat_json.hpp"
+#include "serve/protocol.hpp"
+
+namespace chrysalis::serve {
+
+/// One parsed response.
+struct Response {
+    bool ok = false;           ///< the "ok" flag of the reply
+    std::uint64_t id = 0;      ///< echoed request id
+    std::string error;         ///< kErr* code when !ok
+    std::string detail;        ///< human-readable error context
+    std::string raw;           ///< full reply payload (exact bytes)
+    FlatJsonFields fields;     ///< every reply field, parsed
+};
+
+/// Blocking TCP client. Movable (so benches can hold a vector of
+/// connections), not copyable.
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+    Client(Client&& other) noexcept;
+    Client& operator=(Client&& other) noexcept;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Connects to host:port. \p timeout_s bounds each blocking recv()
+    /// (0 = wait forever). Returns false on failure (fd left closed).
+    bool connect(const std::string& host, int port,
+                 double timeout_s = 30.0);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /// Closes the socket (both directions).
+    void close();
+
+    /// Half-closes the write side; the server sees EOF after the bytes
+    /// in flight, replies to what it received, then closes.
+    void shutdown_write();
+
+    /// Sends raw bytes as-is — no framing. For tests that need
+    /// truncated or hand-corrupted frames.
+    bool send_bytes(const void* data, std::size_t size);
+
+    /// Frames and sends one payload.
+    bool send_frame(const std::string& payload);
+
+    /// Blocks until one complete reply frame arrives. Returns false on
+    /// EOF, timeout or protocol corruption.
+    bool recv_frame(std::string& payload);
+
+    /// Builds a request payload: `"v"`, an auto-incremented `"id"`,
+    /// `"type"`, then \p params in key-sorted order. Parameter values
+    /// that parse fully as numbers are emitted bare, everything else as
+    /// a JSON string — matching what the handlers accept either way.
+    std::string build_request(const std::string& type,
+                              const FlatJsonFields& params);
+
+    /// send_frame(build_request(...)) + recv_frame + parse, in one
+    /// call. Returns false on any transport failure; protocol-level
+    /// errors ("ok":0) still return true with response.ok == false.
+    bool call(const std::string& type, const FlatJsonFields& params,
+              Response& response);
+
+    /// The "id" the next build_request() will use.
+    std::uint64_t next_id() const { return next_id_; }
+    void set_next_id(std::uint64_t id) { next_id_ = id; }
+
+  private:
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+    FrameDecoder decoder_;
+};
+
+/// Parses a reply payload into a Response. Returns false (and fills
+/// response.error with kErrBadRequest semantics) when the payload is
+/// not a flat JSON object.
+bool parse_response(const std::string& payload, Response& response);
+
+}  // namespace chrysalis::serve
+
+#endif  // CHRYSALIS_SERVE_CLIENT_HPP

@@ -1,0 +1,54 @@
+#include "serve/protocol.hpp"
+
+#include "common/logging.hpp"
+
+namespace chrysalis::serve {
+
+std::string
+encode_frame(std::string_view payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        fatal("serve: frame payload of ", payload.size(),
+              " bytes exceeds the ", kMaxFrameBytes, "-byte limit");
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(kLengthPrefixBytes + payload.size());
+    frame += static_cast<char>((length >> 24) & 0xff);
+    frame += static_cast<char>((length >> 16) & 0xff);
+    frame += static_cast<char>((length >> 8) & 0xff);
+    frame += static_cast<char>(length & 0xff);
+    frame.append(payload.data(), payload.size());
+    return frame;
+}
+
+void
+FrameDecoder::feed(const char* data, std::size_t size)
+{
+    buffer_.append(data, size);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(std::string& payload)
+{
+    if (oversized_length_ > 0)
+        return Status::kOversized;
+    if (buffer_.size() < kLengthPrefixBytes)
+        return Status::kNeedMore;
+    const auto byte = [&](std::size_t i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(buffer_[i]));
+    };
+    const std::uint32_t length =
+        (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+    if (length > kMaxFrameBytes) {
+        oversized_length_ = length;
+        return Status::kOversized;
+    }
+    if (buffer_.size() < kLengthPrefixBytes + length)
+        return Status::kNeedMore;
+    payload.assign(buffer_, kLengthPrefixBytes, length);
+    buffer_.erase(0, kLengthPrefixBytes + length);
+    return Status::kFrame;
+}
+
+}  // namespace chrysalis::serve

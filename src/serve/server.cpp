@@ -1,0 +1,559 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+
+namespace chrysalis::serve {
+namespace {
+
+void
+set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("serve: fcntl(O_NONBLOCK): ", std::strerror(errno));
+}
+
+void
+close_fd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+bump(const char* name, std::uint64_t delta = 1)
+{
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->counter(name, obs::Stability::kVolatile).add(delta);
+}
+
+/// True for replies the server counts as errors ("ok":0). The flag is
+/// always the first body field, right after the fixed "v"/"id" prefix.
+bool
+is_error_reply(const std::string& response)
+{
+    return response.find("\"ok\":0") != std::string::npos;
+}
+
+}  // namespace
+
+void
+ServerOptions::validate() const
+{
+    if (host.empty())
+        fatal("serve: bind host must not be empty");
+    if (port < 0 || port > 65535)
+        fatal("serve: port ", port, " outside [0, 65535]");
+    if (threads < 0)
+        fatal("serve: threads must be >= 0 (0 = hardware threads)");
+    if (max_connections < 1)
+        fatal("serve: max_connections must be >= 1");
+    if (max_inflight < 1)
+        fatal("serve: max_inflight must be >= 1");
+    if (queue_depth < 1)
+        fatal("serve: queue_depth must be >= 1");
+    if (batch_max < 1)
+        fatal("serve: batch_max must be >= 1");
+    if (!(drain_timeout_s > 0.0))
+        fatal("serve: drain_timeout_s must be > 0");
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options))
+{
+    options_.validate();
+}
+
+Server::~Server()
+{
+    stop();
+    close_fd(listen_fd_);
+    close_fd(wake_read_fd_);
+    close_fd(wake_write_fd_);
+}
+
+void
+Server::start()
+{
+    if (running_.load())
+        fatal("serve: start() called on a running server");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("serve: socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) != 1)
+        fatal("serve: invalid bind address \"", options_.host, "\"");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof address) != 0)
+        fatal("serve: cannot bind ", options_.host, ":", options_.port,
+              ": ", std::strerror(errno));
+    if (::listen(listen_fd_, 128) != 0)
+        fatal("serve: listen(): ", std::strerror(errno));
+    socklen_t length = sizeof address;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      &length) != 0)
+        fatal("serve: getsockname(): ", std::strerror(errno));
+    port_ = static_cast<int>(ntohs(address.sin_port));
+    set_nonblocking(listen_fd_);
+
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+        fatal("serve: pipe(): ", std::strerror(errno));
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    set_nonblocking(wake_read_fd_);
+    set_nonblocking(wake_write_fd_);
+
+    pool_ = std::make_unique<runtime::ThreadPool>(options_.threads);
+    if (options_.cache_capacity > 0)
+        cache_ = std::make_unique<ResponseCache>(options_.cache_capacity);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        counters_.threads = pool_->thread_count();
+    }
+
+    stop_requested_.store(false);
+    running_.store(true);
+    io_thread_ = std::thread([this] { loop(); });
+}
+
+void
+Server::stop()
+{
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (!io_thread_.joinable())
+        return;
+    stop_requested_.store(true);
+    const char byte = 1;
+    // The self-pipe is the only wakeup the blocked poll() needs; a full
+    // pipe already guarantees a pending wakeup, so the result is moot.
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_write_fd_, &byte, 1);
+    io_thread_.join();
+    running_.store(false);
+}
+
+ServerStatsSnapshot
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return snapshot_locked();
+}
+
+ServerStatsSnapshot
+Server::snapshot_locked() const
+{
+    ServerStatsSnapshot snapshot = counters_;
+    if (cache_ != nullptr)
+        snapshot.cache = cache_->stats();
+    return snapshot;
+}
+
+// ---- I/O thread ----------------------------------------------------------
+
+void
+Server::loop()
+{
+    while (!stop_requested_.load()) {
+        std::vector<pollfd> fds;
+        fds.push_back({wake_read_fd_, POLLIN, 0});
+        const bool accepting =
+            static_cast<int>(connections_.size()) <
+            options_.max_connections;
+        const std::size_t listen_index = fds.size();
+        if (accepting)
+            fds.push_back({listen_fd_, POLLIN, 0});
+        const std::size_t connection_base = fds.size();
+        std::vector<std::uint64_t> ids;
+        ids.reserve(connections_.size());
+        for (const Connection& connection : connections_) {
+            short events = POLLIN;
+            if (connection.out_offset < connection.out.size())
+                events |= POLLOUT;
+            fds.push_back({connection.fd, events, 0});
+            ids.push_back(connection.id);
+        }
+
+        const int timeout_ms = pending_.empty() ? -1 : 0;
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()),
+                                 timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll(): ", std::strerror(errno));
+            break;
+        }
+
+        if ((fds[0].revents & POLLIN) != 0) {
+            char drain[64];
+            while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+            }
+        }
+        if (accepting && (fds[listen_index].revents & POLLIN) != 0)
+            accept_ready();
+
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const pollfd& entry = fds[connection_base + i];
+            Connection* connection = find_connection(ids[i]);
+            if (connection == nullptr)
+                continue;
+            if ((entry.revents & POLLNVAL) != 0 ||
+                (entry.revents & POLLERR) != 0) {
+                close_connection(ids[i]);
+                continue;
+            }
+            // Read before honoring POLLHUP: a closed peer may still
+            // have queued bytes we must consume (recv() returning 0 is
+            // the real EOF signal).
+            if ((entry.revents & POLLIN) != 0)
+                read_ready(*connection);
+            connection = find_connection(ids[i]);
+            if (connection == nullptr)
+                continue;
+            if ((entry.revents & POLLOUT) != 0)
+                flush(*connection);
+            connection = find_connection(ids[i]);
+            if (connection == nullptr)
+                continue;
+            if ((entry.revents & POLLHUP) != 0 &&
+                (entry.revents & POLLIN) == 0)
+                close_connection(ids[i]);
+        }
+
+        if (!pending_.empty())
+            dispatch_batch();
+    }
+    drain_and_close();
+}
+
+void
+Server::accept_ready()
+{
+    while (static_cast<int>(connections_.size()) <
+           options_.max_connections) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // EAGAIN: accepted everything pending. Other errors
+            // (aborted handshakes, fd pressure) drop this attempt but
+            // never the listener.
+            return;
+        }
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        Connection connection;
+        connection.fd = fd;
+        connection.id = next_connection_id_++;
+        connections_.push_back(std::move(connection));
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.connections_total;
+            ++counters_.connections_open;
+        }
+        bump("serve/connections");
+    }
+}
+
+void
+Server::read_ready(Connection& connection)
+{
+    char buffer[4096];
+    while (true) {
+        const ssize_t received =
+            ::recv(connection.fd, buffer, sizeof buffer, 0);
+        if (received > 0) {
+            OBS_SPAN("serve/decode");
+            connection.decoder.feed(
+                buffer, static_cast<std::size_t>(received));
+            std::string payload;
+            while (true) {
+                const FrameDecoder::Status status =
+                    connection.decoder.next(payload);
+                if (status == FrameDecoder::Status::kNeedMore)
+                    break;
+                if (status == FrameDecoder::Status::kOversized) {
+                    // The stream cannot be resynchronized past a frame
+                    // that was never buffered: reply, then close once
+                    // the reply (and any queued ones) is flushed.
+                    enqueue_reply(
+                        connection,
+                        error_response(
+                            0, kErrBadFrame,
+                            "announced frame length " +
+                                std::to_string(connection.decoder
+                                                   .oversized_length()) +
+                                " exceeds the " +
+                                std::to_string(kMaxFrameBytes) +
+                                "-byte limit"));
+                    connection.closing = true;
+                    ::shutdown(connection.fd, SHUT_RD);
+                    return;
+                }
+                ingest_payload(connection, payload);
+                if (connection.closing)
+                    return;
+            }
+            continue;
+        }
+        if (received == 0) {
+            // EOF: the peer finished sending (possibly shutdown(WR))
+            // but may still be reading; finish queued replies first.
+            connection.closing = true;
+            if (connection.queued == 0 &&
+                connection.out_offset >= connection.out.size())
+                close_connection(connection.id);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (errno == EINTR)
+            continue;
+        close_connection(connection.id);
+        return;
+    }
+}
+
+void
+Server::ingest_payload(Connection& connection, const std::string& payload)
+{
+    FlatJsonFields fields;
+    if (!scan_flat_json(payload, fields)) {
+        // Malformed payload inside a well-delimited frame: the stream
+        // is still in sync, so answer and keep the connection.
+        enqueue_reply(connection,
+                      error_response(0, kErrBadRequest,
+                                     "payload is not a flat JSON object"));
+        return;
+    }
+    const std::uint64_t id = request_id(fields);
+    if (static_cast<int>(pending_.size()) >= options_.max_inflight ||
+        connection.queued >= options_.queue_depth) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.overload_rejections;
+        }
+        bump("serve/overloaded");
+        enqueue_reply(
+            connection,
+            error_response(id, kErrOverloaded,
+                           "server queue is full; retry after replies "
+                           "drain"));
+        return;
+    }
+
+    PendingRequest request;
+    request.connection_id = connection.id;
+    request.id = id;
+    std::string type;
+    json_get_string(fields, "type", type);
+    request.type = type;
+    request.fields = std::move(fields);
+    request.timer = std::make_unique<obs::SpanTimer>("serve/request");
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.requests_total;
+        if (type == "eval_design_point")
+            ++counters_.requests_eval_design_point;
+        else if (type == "eval_mapping")
+            ++counters_.requests_eval_mapping;
+        else if (type == "sim_step")
+            ++counters_.requests_sim_step;
+        else if (type == "server_stats")
+            ++counters_.requests_server_stats;
+    }
+    bump("serve/requests");
+    pending_.push_back(std::move(request));
+    ++connection.queued;
+}
+
+void
+Server::dispatch_batch()
+{
+    const std::size_t count =
+        std::min(pending_.size(),
+                 static_cast<std::size_t>(options_.batch_max));
+    std::vector<PendingRequest> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+    }
+
+    ServerStatsSnapshot snapshot;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.batches;
+        counters_.max_batch =
+            std::max(counters_.max_batch,
+                     static_cast<std::uint64_t>(count));
+        counters_.pending =
+            static_cast<std::uint64_t>(pending_.size());
+        snapshot = snapshot_locked();
+    }
+    bump("serve/batches");
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->gauge("serve/queue_depth", obs::Stability::kVolatile)
+            .set(static_cast<double>(pending_.size()));
+
+    std::vector<std::string> responses;
+    {
+        OBS_SPAN("serve/eval_batch");
+        responses = pool_->parallel_map(count, [&](std::size_t i) {
+            return finish_response(
+                batch[i].id,
+                handle_request_body(batch[i].fields, cache_.get(),
+                                    snapshot));
+        });
+    }
+
+    for (std::size_t i = 0; i < count; ++i) {
+        if (obs::MetricsRegistry* registry = obs::metrics())
+            registry
+                ->histogram("serve/request_latency_s",
+                            obs::latency_bounds(),
+                            obs::Stability::kVolatile)
+                .record(batch[i].timer->elapsed_s());
+        batch[i].timer.reset();  // records the trace span
+        Connection* connection =
+            find_connection(batch[i].connection_id);
+        if (connection == nullptr)
+            continue;  // client disconnected mid-request: drop reply
+        --connection->queued;
+        enqueue_reply(*connection, responses[i]);
+    }
+}
+
+void
+Server::enqueue_reply(Connection& connection, const std::string& response)
+{
+    {
+        OBS_SPAN("serve/encode");
+        connection.out += encode_frame(response);
+    }
+    if (is_error_reply(response)) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++counters_.errors_total;
+        bump("serve/errors");
+    }
+    flush(connection);
+}
+
+void
+Server::flush(Connection& connection)
+{
+    while (connection.out_offset < connection.out.size()) {
+        const ssize_t sent = ::send(
+            connection.fd, connection.out.data() + connection.out_offset,
+            connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+        if (sent > 0) {
+            connection.out_offset += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return;  // poll() will report POLLOUT
+        if (sent < 0 && errno == EINTR)
+            continue;
+        close_connection(connection.id);
+        return;
+    }
+    connection.out.clear();
+    connection.out_offset = 0;
+    if (connection.closing && connection.queued == 0)
+        close_connection(connection.id);
+}
+
+void
+Server::close_connection(std::uint64_t connection_id)
+{
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+        if (connections_[i].id != connection_id)
+            continue;
+        ::close(connections_[i].fd);
+        connections_.erase(
+            connections_.begin() + static_cast<std::ptrdiff_t>(i));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        --counters_.connections_open;
+        return;
+    }
+}
+
+void
+Server::drain_and_close()
+{
+    // Evaluate everything already admitted; new reads stopped with the
+    // loop, so the queue only shrinks.
+    while (!pending_.empty())
+        dispatch_batch();
+
+    // Flush outstanding replies, bounded by the drain timeout.
+    obs::SpanTimer deadline("serve/drain");
+    while (deadline.elapsed_s() < options_.drain_timeout_s) {
+        std::vector<pollfd> fds;
+        std::vector<std::uint64_t> ids;
+        for (const Connection& connection : connections_) {
+            if (connection.out_offset < connection.out.size()) {
+                fds.push_back({connection.fd, POLLOUT, 0});
+                ids.push_back(connection.id);
+            }
+        }
+        if (fds.empty())
+            break;
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()), 50);
+        if (ready < 0 && errno != EINTR)
+            break;
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+            if ((fds[i].revents &
+                 (POLLOUT | POLLERR | POLLHUP | POLLNVAL)) == 0)
+                continue;
+            if ((fds[i].revents & POLLOUT) != 0) {
+                if (Connection* connection = find_connection(ids[i]))
+                    flush(*connection);
+            } else {
+                close_connection(ids[i]);
+            }
+        }
+    }
+
+    for (const Connection& connection : connections_)
+        ::close(connection.fd);
+    connections_.clear();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    counters_.connections_open = 0;
+}
+
+Server::Connection*
+Server::find_connection(std::uint64_t connection_id)
+{
+    for (Connection& connection : connections_) {
+        if (connection.id == connection_id)
+            return &connection;
+    }
+    return nullptr;
+}
+
+}  // namespace chrysalis::serve

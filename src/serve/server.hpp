@@ -1,0 +1,156 @@
+/// \file
+/// The `chrysalis-serve-v1` TCP server: evaluation-as-a-service on a
+/// plain POSIX socket, no external dependencies.
+///
+/// Architecture: one I/O thread owns every socket and runs a poll()
+/// loop — accept, incremental frame reassembly, admission control and
+/// reply writes all happen there, so connection state needs no locking.
+/// Complete requests queue up and are dispatched in arrival order as
+/// micro-batches onto a `runtime::ThreadPool` (`parallel_map`, which
+/// preserves index order); handlers are pure functions of the request
+/// fields (serve/handlers.hpp), so replies are byte-identical at any
+/// thread count. A sharded `ResponseCache` is shared by all
+/// connections: two clients asking the same question cost one
+/// evaluation.
+///
+/// Admission control: at most `max_connections` sockets (beyond that
+/// the listener simply stops accepting; nothing is dropped), at most
+/// `max_inflight` queued requests in total and `queue_depth` per
+/// connection (beyond either, the request is answered immediately with
+/// an `overloaded` error instead of growing the queue). Malformed
+/// payloads get a structured `bad_request` reply and the connection
+/// lives on; only an oversized length prefix — after which the byte
+/// stream cannot be resynchronized — closes a connection, and even then
+/// a `bad_frame` reply is flushed first.
+///
+/// stop() drains: queued requests are evaluated, replies are flushed
+/// (bounded by `drain_timeout_s`), then sockets close.
+
+#ifndef CHRYSALIS_SERVE_SERVER_HPP
+#define CHRYSALIS_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/handlers.hpp"
+#include "serve/protocol.hpp"
+
+namespace chrysalis::serve {
+
+/// Server knobs; validate() fatals on nonsense values.
+struct ServerOptions {
+    std::string host = "127.0.0.1";  ///< bind address (dotted quad)
+    int port = 0;                    ///< 0 = kernel-chosen (see port())
+    /// Eval worker threads; 0 = all hardware threads. Replies are
+    /// byte-identical at any value.
+    int threads = 1;
+    /// Shared response-memo capacity (entries); 0 disables caching.
+    std::size_t cache_capacity = 4096;
+    int max_connections = 64;   ///< sockets accepted concurrently
+    int max_inflight = 256;     ///< total queued requests
+    int queue_depth = 32;       ///< queued requests per connection
+    int batch_max = 32;         ///< requests per dispatched micro-batch
+    double drain_timeout_s = 5.0;  ///< reply-flush bound during stop()
+
+    void validate() const;
+};
+
+/// The daemon core. Construct, start(), eventually stop(). Thread-safe
+/// methods: stop() and stats() may be called from any thread.
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();  ///< stop()s if still running
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds, listens and launches the I/O thread. fatal() when the
+    /// address cannot be bound. After start() returns, port() is the
+    /// resolved listening port and clients may connect.
+    void start();
+
+    /// Requests shutdown, drains queued work and joins the I/O thread.
+    /// Idempotent.
+    void stop();
+
+    /// True between start() and stop().
+    bool running() const { return running_.load(); }
+
+    /// Resolved listening port (after start()).
+    int port() const { return port_; }
+
+    const ServerOptions& options() const { return options_; }
+
+    /// Point-in-time copy of the serving counters.
+    ServerStatsSnapshot stats() const;
+
+  private:
+    struct Connection {
+        int fd = -1;
+        std::uint64_t id = 0;     ///< stable handle across vector moves
+        FrameDecoder decoder;
+        std::string out;          ///< unflushed reply bytes
+        std::size_t out_offset = 0;
+        int queued = 0;           ///< requests awaiting evaluation
+        bool closing = false;     ///< close once `out` is flushed
+    };
+
+    struct PendingRequest {
+        std::uint64_t connection_id = 0;
+        std::uint64_t id = 0;     ///< request "id" echo token
+        FlatJsonFields fields;
+        std::string type;
+        /// Queue+eval latency probe; records a trace span when released.
+        std::unique_ptr<obs::SpanTimer> timer;
+    };
+
+    void loop();
+    void accept_ready();
+    void read_ready(Connection& connection);
+    void ingest_payload(Connection& connection, const std::string& payload);
+    void dispatch_batch();
+    void flush(Connection& connection);
+    void enqueue_reply(Connection& connection, const std::string& response);
+    void close_connection(std::uint64_t connection_id);
+    Connection* find_connection(std::uint64_t connection_id);
+    void drain_and_close();
+    ServerStatsSnapshot snapshot_locked() const;
+
+    ServerOptions options_;
+    std::unique_ptr<runtime::ThreadPool> pool_;
+    std::unique_ptr<ResponseCache> cache_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;   ///< self-pipe: stop() wakes the poll loop
+    int wake_write_fd_ = -1;
+    int port_ = 0;
+
+    std::thread io_thread_;
+    std::mutex stop_mutex_;  ///< serializes concurrent stop() calls
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+
+    // I/O-thread state (no locking needed).
+    std::vector<Connection> connections_;
+    std::deque<PendingRequest> pending_;
+    std::uint64_t next_connection_id_ = 1;
+
+    // Counters, shared with stats() callers.
+    mutable std::mutex stats_mutex_;
+    ServerStatsSnapshot counters_;
+};
+
+}  // namespace chrysalis::serve
+
+#endif  // CHRYSALIS_SERVE_SERVER_HPP

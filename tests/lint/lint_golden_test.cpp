@@ -81,6 +81,7 @@ TEST(LintGolden, FloatFormat) { check_fixture("floatfmt"); }
 TEST(LintGolden, UnitSuffix) { check_fixture("unit"); }
 TEST(LintGolden, HeaderGuard) { check_fixture("guard"); }
 TEST(LintGolden, Include) { check_fixture("include"); }
+TEST(LintGolden, NetworkHeaders) { check_fixture("network"); }
 TEST(LintGolden, MalformedNolint) { check_fixture("nolint"); }
 TEST(LintGolden, WellFormedSuppressions) { check_fixture("suppressed"); }
 

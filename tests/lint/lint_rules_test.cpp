@@ -205,6 +205,23 @@ TEST(LintRules, IncludeRuleBansCCompatAndScopesTime)
                  "chrysalis-include"));
 }
 
+TEST(LintRules, NetworkHeadersScopedToServe)
+{
+    EXPECT_TRUE(has_rule(
+        scan_source("src/core/x.cpp", "#include <sys/socket.h>\n"),
+        "chrysalis-include"));
+    EXPECT_TRUE(has_rule(scan_source("src/hw/x.cpp", "#include <unistd.h>\n"),
+                         "chrysalis-include"));
+    EXPECT_TRUE(has_rule(scan_source("bench/x.cpp", "#include <poll.h>\n"),
+                         "chrysalis-include"));
+    EXPECT_FALSE(has_rule(scan_source("src/serve/server.cpp",
+                                      "#include <sys/socket.h>\n"
+                                      "#include <netinet/in.h>\n"
+                                      "#include <poll.h>\n"
+                                      "#include <unistd.h>\n"),
+                          "chrysalis-include"));
+}
+
 TEST(LintRules, IostreamBannedInHeadersOnly)
 {
     const std::string header =

@@ -65,6 +65,17 @@ struct BannedHeader {
     const char* message;
 };
 
+/// OS networking / raw-fd headers are the serving layer's concern;
+/// confining them to src/serve/ keeps every evaluator, search and
+/// simulator translation unit byte-reproducible and trivially portable
+/// (no accidental socket, poll or fd dependencies in core code).
+constexpr const char* kNetworkAllowedPrefix = "src/serve/";
+
+constexpr const char* kNetworkHeaders[] = {
+    "sys/socket.h", "netinet/in.h", "netinet/tcp.h", "arpa/inet.h",
+    "unistd.h",     "poll.h",       "fcntl.h",       "sys/time.h",
+};
+
 constexpr BannedHeader kBannedHeaders[] = {
     {"stdio.h", "include <cstdio> instead of the C header"},
     {"stdlib.h", "include <cstdlib> instead of the C header"},
@@ -699,6 +710,16 @@ check_includes(std::vector<Violation>& out, const FileView& view)
                 "banned header <random>; all randomness flows through "
                 "the seeded chrysalis::Rng (common/rng.hpp)");
         }
+        if (!starts_with(view.path, kNetworkAllowedPrefix)) {
+            for (const char* network : kNetworkHeaders) {
+                if (header == network) {
+                    add(out, view, line, kRuleInclude,
+                        "network/fd header <" + header +
+                            "> outside src/serve/; sockets and raw file "
+                            "descriptors live in the serving layer only");
+                }
+            }
+        }
         if (header == "iostream" && view.is_header()) {
             add(out, view, line, kRuleInclude,
                 "<iostream> in a header injects static initializers "
@@ -737,7 +758,8 @@ rules()
          "(no #pragma once)"},
         {kRuleInclude,
          "banned headers: C-compat headers, <random>, <time.h>/<ctime> "
-         "outside src/obs/, <iostream> in headers"},
+         "outside src/obs/, network/fd headers outside src/serve/, "
+         "<iostream> in headers"},
         {kRuleNolint,
          "NOLINT comments must name known rules and give a "
          "justification"},

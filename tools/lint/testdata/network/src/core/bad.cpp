@@ -1,0 +1,12 @@
+// Fixture: network/fd headers outside src/serve/ fire
+// chrysalis-include.
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+int
+core_code_may_not_open_sockets()
+{
+    return 0;
+}

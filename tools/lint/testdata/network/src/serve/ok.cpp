@@ -1,0 +1,16 @@
+// Fixture: the full network/fd header set is permitted inside
+// src/serve/ — the serving layer owns sockets and raw descriptors.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+int
+serving_layer_may_use_sockets()
+{
+    return 0;
+}
