@@ -210,4 +210,13 @@ SpanTimer::elapsed_s() const
         .count();
 }
 
+double
+monotonic_seconds()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+}
+
 }  // namespace chrysalis::obs

@@ -151,6 +151,14 @@ class SpanTimer
     std::chrono::steady_clock::time_point start_;
 };
 
+/// Monotonic wall-clock seconds since an arbitrary process-local epoch
+/// (first call). The deadline/timeout primitive for code outside
+/// src/obs/ — raw clock reads are confined to this subsystem, so
+/// serving-path deadline arithmetic (client request deadlines, server
+/// idle sweeps, chaos schedules) goes through this helper. Never goes
+/// backwards; not comparable across processes.
+double monotonic_seconds();
+
 }  // namespace chrysalis::obs
 
 #define CHRYSALIS_OBS_CONCAT_INNER(a, b) a##b

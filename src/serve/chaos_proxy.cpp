@@ -1,0 +1,521 @@
+#include "serve/chaos_proxy.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hpp"
+#include "obs/trace.hpp"
+
+namespace chrysalis::serve {
+namespace {
+
+void
+set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("chaos_proxy: fcntl(O_NONBLOCK): ", std::strerror(errno));
+}
+
+void
+close_fd(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+rst_close(int fd)
+{
+    // SO_LINGER with zero timeout turns close() into an immediate RST.
+    const linger hard_reset{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                 sizeof hard_reset);
+    ::close(fd);
+}
+
+}  // namespace
+
+void
+ChaosProxyOptions::validate() const
+{
+    if (host.empty() || upstream_host.empty())
+        fatal("chaos_proxy: addresses must not be empty");
+    if (port < 0 || port > 65535)
+        fatal("chaos_proxy: port ", port, " outside [0, 65535]");
+    if (upstream_port < 1 || upstream_port > 65535)
+        fatal("chaos_proxy: upstream_port ", upstream_port,
+              " outside [1, 65535]");
+    if (max_buffer_bytes < 4096)
+        fatal("chaos_proxy: max_buffer_bytes must be >= 4096");
+}
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : options_(std::move(options))
+{
+    options_.validate();
+}
+
+ChaosProxy::~ChaosProxy()
+{
+    stop();
+    close_fd(listen_fd_);
+    close_fd(wake_read_fd_);
+    close_fd(wake_write_fd_);
+}
+
+void
+ChaosProxy::start()
+{
+    if (running_.load())
+        fatal("chaos_proxy: start() called on a running proxy");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("chaos_proxy: socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &address.sin_addr) !=
+        1)
+        fatal("chaos_proxy: invalid bind address \"", options_.host,
+              "\"");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
+               sizeof address) != 0)
+        fatal("chaos_proxy: cannot bind ", options_.host, ":",
+              options_.port, ": ", std::strerror(errno));
+    if (::listen(listen_fd_, 128) != 0)
+        fatal("chaos_proxy: listen(): ", std::strerror(errno));
+    socklen_t length = sizeof address;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                      &length) != 0)
+        fatal("chaos_proxy: getsockname(): ", std::strerror(errno));
+    port_ = static_cast<int>(ntohs(address.sin_port));
+    set_nonblocking(listen_fd_);
+
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+        fatal("chaos_proxy: pipe(): ", std::strerror(errno));
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    set_nonblocking(wake_read_fd_);
+    set_nonblocking(wake_write_fd_);
+
+    stop_requested_.store(false);
+    running_.store(true);
+    io_thread_ = std::thread([this] { loop(); });
+}
+
+void
+ChaosProxy::stop()
+{
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (!io_thread_.joinable())
+        return;
+    stop_requested_.store(true);
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+    io_thread_.join();
+    running_.store(false);
+}
+
+double
+ChaosProxy::next_deadline_s(double now_s) const
+{
+    double next_s = std::numeric_limits<double>::infinity();
+    if (accept_not_before_s > now_s)
+        next_s = std::min(next_s, accept_not_before_s);
+    for (const Link& link : links_) {
+        if (link.to_client_offset < link.to_client.size() &&
+            link.write_not_before_s > now_s)
+            next_s = std::min(next_s, link.write_not_before_s);
+        if (!link.upstream_eof && link.read_not_before_s > now_s)
+            next_s = std::min(next_s, link.read_not_before_s);
+    }
+    return next_s;
+}
+
+void
+ChaosProxy::loop()
+{
+    while (!stop_requested_.load()) {
+        const double now_s = obs::monotonic_seconds();
+        std::vector<pollfd> fds;
+        fds.push_back({wake_read_fd_, POLLIN, 0});
+        const bool accepting = now_s >= accept_not_before_s;
+        const std::size_t listen_index = fds.size();
+        if (accepting)
+            fds.push_back({listen_fd_, POLLIN, 0});
+        const std::size_t link_base = fds.size();
+        std::vector<std::uint64_t> ids;
+        ids.reserve(links_.size());
+        for (const Link& link : links_) {
+            // Backpressure: stop reading a side while its forward
+            // buffer is full; chaos deferrals mask readiness the same
+            // way the server's loop does.
+            short client_events = 0;
+            if (!link.client_eof &&
+                link.to_upstream.size() - link.to_upstream_offset <
+                    options_.max_buffer_bytes)
+                client_events |= POLLIN;
+            if (link.to_client_offset < link.to_client.size() &&
+                now_s >= link.write_not_before_s)
+                client_events |= POLLOUT;
+            fds.push_back({link.client_fd, client_events, 0});
+            short upstream_events = 0;
+            if (!link.upstream_eof &&
+                link.to_client.size() - link.to_client_offset <
+                    options_.max_buffer_bytes &&
+                now_s >= link.read_not_before_s)
+                upstream_events |= POLLIN;
+            if (link.to_upstream_offset < link.to_upstream.size())
+                upstream_events |= POLLOUT;
+            fds.push_back({link.upstream_fd, upstream_events, 0});
+            ids.push_back(link.id);
+        }
+
+        int timeout_ms = -1;
+        const double deadline_s = next_deadline_s(now_s);
+        if (std::isfinite(deadline_s)) {
+            const double wait_s = std::max(0.0, deadline_s - now_s);
+            timeout_ms =
+                static_cast<int>(std::min(wait_s * 1000.0, 60000.0)) + 1;
+        }
+        const int ready = ::poll(fds.data(),
+                                 static_cast<nfds_t>(fds.size()),
+                                 timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("chaos_proxy: poll(): ", std::strerror(errno));
+            break;
+        }
+
+        if ((fds[0].revents & POLLIN) != 0) {
+            char drain[64];
+            while (true) {
+                const ssize_t got =
+                    ::read(wake_read_fd_, drain, sizeof drain);
+                if (got > 0 || (got < 0 && errno == EINTR))
+                    continue;
+                break;
+            }
+        }
+        if (accepting && (fds[listen_index].revents & POLLIN) != 0)
+            accept_ready();
+
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            // Re-find by id: earlier iterations may have erased links.
+            std::size_t index = links_.size();
+            for (std::size_t j = 0; j < links_.size(); ++j) {
+                if (links_[j].id == ids[i]) {
+                    index = j;
+                    break;
+                }
+            }
+            if (index == links_.size())
+                continue;
+            const pollfd& client_pfd = fds[link_base + 2 * i];
+            const pollfd& upstream_pfd = fds[link_base + 2 * i + 1];
+            if ((client_pfd.revents & (POLLERR | POLLNVAL)) != 0 ||
+                (upstream_pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+                close_link(index, false);
+                continue;
+            }
+
+            // client -> to_upstream
+            if ((client_pfd.revents & POLLIN) != 0) {
+                Link& link = links_[index];
+                char buffer[4096];
+                bool closed = false;
+                while (link.to_upstream.size() -
+                           link.to_upstream_offset <
+                       options_.max_buffer_bytes) {
+                    const ssize_t received = ::recv(
+                        link.client_fd, buffer, sizeof buffer, 0);
+                    if (received > 0) {
+                        link.to_upstream.append(
+                            buffer, static_cast<std::size_t>(received));
+                        continue;
+                    }
+                    if (received == 0) {
+                        link.client_eof = true;
+                        break;
+                    }
+                    if (errno == EAGAIN || errno == EWOULDBLOCK)
+                        break;
+                    if (errno == EINTR)
+                        continue;
+                    close_link(index, false);
+                    closed = true;
+                    break;
+                }
+                if (closed)
+                    continue;
+            }
+
+            // upstream -> to_client (with chaos delivery delay)
+            if ((upstream_pfd.revents & POLLIN) != 0) {
+                Link& link = links_[index];
+                bool deferred = false;
+                if (options_.chaos != nullptr) {
+                    const double read_now_s = obs::monotonic_seconds();
+                    if (read_now_s >= link.read_not_before_s) {
+                        const double delay_s = options_.chaos->read_delay(
+                            link.id, link.read_ops++);
+                        if (delay_s > 0.0) {
+                            link.read_not_before_s =
+                                read_now_s + delay_s;
+                            deferred = true;
+                        }
+                    } else {
+                        deferred = true;
+                    }
+                }
+                if (!deferred) {
+                    char buffer[4096];
+                    bool closed = false;
+                    while (link.to_client.size() -
+                               link.to_client_offset <
+                           options_.max_buffer_bytes) {
+                        const ssize_t received = ::recv(
+                            link.upstream_fd, buffer, sizeof buffer, 0);
+                        if (received > 0) {
+                            link.to_client.append(
+                                buffer,
+                                static_cast<std::size_t>(received));
+                            continue;
+                        }
+                        if (received == 0) {
+                            link.upstream_eof = true;
+                            break;
+                        }
+                        if (errno == EAGAIN || errno == EWOULDBLOCK)
+                            break;
+                        if (errno == EINTR)
+                            continue;
+                        close_link(index, false);
+                        closed = true;
+                        break;
+                    }
+                    if (closed)
+                        continue;
+                }
+            }
+
+            if (!flush_to_upstream(index))
+                continue;
+            if (!flush_to_client(index))
+                continue;
+
+            Link& link = links_[index];
+            if (link.client_eof &&
+                link.to_upstream_offset >= link.to_upstream.size())
+                ::shutdown(link.upstream_fd, SHUT_WR);
+            if (link.upstream_eof &&
+                link.to_client_offset >= link.to_client.size()) {
+                // Everything the daemon will ever say has been
+                // delivered: a clean close completes the link.
+                close_link(index, false);
+                continue;
+            }
+            if ((client_pfd.revents & POLLHUP) != 0 && link.client_eof)
+                close_link(index, false);
+        }
+    }
+
+    for (const Link& link : links_) {
+        ::close(link.client_fd);
+        ::close(link.upstream_fd);
+    }
+    links_.clear();
+}
+
+void
+ChaosProxy::accept_ready()
+{
+    while (true) {
+        if (options_.chaos != nullptr) {
+            const double now_s = obs::monotonic_seconds();
+            if (now_s < accept_not_before_s)
+                return;  // still stalled; poll timeout resumes us
+            if (!accept_stall_checked_) {
+                accept_stall_checked_ = true;
+                const double stall_s =
+                    options_.chaos->accept_stall(accept_index_);
+                if (stall_s > 0.0) {
+                    accept_not_before_s = now_s + stall_s;
+                    return;
+                }
+            }
+        }
+        const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (client_fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // EAGAIN or transient accept failure
+        }
+        const std::uint64_t accept_index = accept_index_++;
+        accept_stall_checked_ = false;
+        links_total_.fetch_add(1);
+        set_nonblocking(client_fd);
+        const int one = 1;
+        ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+        if (options_.chaos != nullptr &&
+            options_.chaos->refuse_connect(accept_index)) {
+            // The client dialed a "dead" endpoint: RST immediately.
+            rst_close(client_fd);
+            continue;
+        }
+
+        // Dial the daemon (blocking: loopback, and the forwarding
+        // thread has nothing better to do until the link exists).
+        const int upstream_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (upstream_fd < 0) {
+            rst_close(client_fd);
+            continue;
+        }
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port =
+            htons(static_cast<std::uint16_t>(options_.upstream_port));
+        if (::inet_pton(AF_INET, options_.upstream_host.c_str(),
+                        &address.sin_addr) != 1 ||
+            ::connect(upstream_fd,
+                      reinterpret_cast<const sockaddr*>(&address),
+                      sizeof address) != 0) {
+            ::close(upstream_fd);
+            rst_close(client_fd);
+            continue;
+        }
+        set_nonblocking(upstream_fd);
+        ::setsockopt(upstream_fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+
+        Link link;
+        link.client_fd = client_fd;
+        link.upstream_fd = upstream_fd;
+        link.id = next_link_id_++;
+        links_.push_back(std::move(link));
+    }
+}
+
+bool
+ChaosProxy::flush_to_upstream(std::size_t index)
+{
+    Link& link = links_[index];
+    while (link.to_upstream_offset < link.to_upstream.size()) {
+        const ssize_t sent =
+            ::send(link.upstream_fd,
+                   link.to_upstream.data() + link.to_upstream_offset,
+                   link.to_upstream.size() - link.to_upstream_offset,
+                   MSG_NOSIGNAL);
+        if (sent > 0) {
+            link.to_upstream_offset += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;  // poll() will report POLLOUT
+        if (sent < 0 && errno == EINTR)
+            continue;
+        close_link(index, false);
+        return false;
+    }
+    link.to_upstream.clear();
+    link.to_upstream_offset = 0;
+    return true;
+}
+
+bool
+ChaosProxy::flush_to_client(std::size_t index)
+{
+    while (links_[index].to_client_offset <
+           links_[index].to_client.size()) {
+        Link& link = links_[index];
+        std::size_t want = link.to_client.size() - link.to_client_offset;
+        bool torn = false;
+        double stall_s = 0.0;
+        if (options_.chaos != nullptr) {
+            const double now_s = obs::monotonic_seconds();
+            if (now_s < link.write_not_before_s)
+                return true;  // stalled; the poll timeout resumes us
+            const std::uint64_t write_op = link.write_ops++;
+            if (options_.chaos->reset_after_write(link.id, write_op)) {
+                // Deliver one chunk of the frame, then RST: the client
+                // sees a torn reply followed by ECONNRESET.
+                const std::size_t cap =
+                    options_.chaos->spec().torn_write_chunk_bytes;
+                [[maybe_unused]] const ssize_t sent = ::send(
+                    link.client_fd,
+                    link.to_client.data() + link.to_client_offset,
+                    std::min(want, cap), MSG_NOSIGNAL);
+                close_link(index, true);
+                return false;
+            }
+            const std::size_t cap =
+                options_.chaos->write_cap_bytes(link.id, write_op);
+            if (cap < want) {
+                want = cap;
+                torn = true;
+                stall_s =
+                    options_.chaos->write_stall(link.id, write_op);
+            }
+        }
+        const ssize_t sent =
+            ::send(link.client_fd,
+                   link.to_client.data() + link.to_client_offset, want,
+                   MSG_NOSIGNAL);
+        if (sent > 0) {
+            link.to_client_offset += static_cast<std::size_t>(sent);
+            if (torn && stall_s > 0.0 &&
+                link.to_client_offset < link.to_client.size()) {
+                link.write_not_before_s =
+                    obs::monotonic_seconds() + stall_s;
+                return true;  // resume after the inter-chunk stall
+            }
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (sent < 0 && errno == EINTR)
+            continue;
+        close_link(index, false);
+        return false;
+    }
+    Link& link = links_[index];
+    link.to_client.clear();
+    link.to_client_offset = 0;
+    return true;
+}
+
+void
+ChaosProxy::close_link(std::size_t index, bool reset_client)
+{
+    Link& link = links_[index];
+    if (reset_client)
+        rst_close(link.client_fd);
+    else
+        ::close(link.client_fd);
+    ::close(link.upstream_fd);
+    links_.erase(links_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+}  // namespace chrysalis::serve

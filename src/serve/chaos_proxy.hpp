@@ -1,0 +1,132 @@
+/// \file
+/// In-process TCP chaos proxy: sits between a client and a
+/// `chrysalis-serve-v1` daemon and injects seed-deterministic network
+/// faults on the *client-facing* side — torn writes delivered in
+/// delayed chunks, mid-frame connection resets, delayed reply
+/// delivery, and connections refused with an RST right after accept.
+/// The upstream side is forwarded faithfully, so the daemon under test
+/// sees a clean peer while the client sees a hostile network.
+///
+/// Used by the resilient-client tests and `chrysalis_bench_load
+/// --chaos`: because every fault decision comes from a
+/// `fault::NetFaultInjector` schedule (pure function of seed and
+/// operation indices), a chaotic run can be replayed exactly.
+///
+/// One background thread owns all sockets and runs a poll() loop —
+/// same single-owner architecture as serve::Server, so no locking.
+/// Forwarding is transparent at the byte level: the proxy never
+/// parses frames, which is exactly why torn writes land at arbitrary
+/// offsets inside them.
+
+#ifndef CHRYSALIS_SERVE_CHAOS_PROXY_HPP
+#define CHRYSALIS_SERVE_CHAOS_PROXY_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/net_fault_injector.hpp"
+
+namespace chrysalis::serve {
+
+/// Proxy knobs; validate() fatals on nonsense values.
+struct ChaosProxyOptions {
+    std::string host = "127.0.0.1";      ///< listen address
+    int port = 0;                        ///< 0 = kernel-chosen
+    std::string upstream_host = "127.0.0.1";
+    int upstream_port = 0;               ///< the real daemon
+    /// The chaos schedule applied to the client-facing side.
+    /// Non-owning; may be nullptr for a fault-free pass-through.
+    const fault::NetFaultInjector* chaos = nullptr;
+    /// Per-direction forward buffer bound; reading a side pauses
+    /// (backpressure) while its buffer is full.
+    std::size_t max_buffer_bytes = 1u << 20;
+
+    void validate() const;
+};
+
+/// The proxy. Construct, start(), eventually stop(). stop() is
+/// thread-safe and idempotent.
+class ChaosProxy
+{
+  public:
+    explicit ChaosProxy(ChaosProxyOptions options);
+    ~ChaosProxy();  ///< stop()s if still running
+
+    ChaosProxy(const ChaosProxy&) = delete;
+    ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+    /// Binds, listens and launches the forwarding thread. fatal() when
+    /// the address cannot be bound.
+    void start();
+
+    /// Closes every link and joins the forwarding thread. Idempotent.
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /// Resolved listening port (after start()); clients dial this.
+    int port() const { return port_; }
+
+    const ChaosProxyOptions& options() const { return options_; }
+
+    /// Links accepted since start() (includes refused ones).
+    std::uint64_t links_total() const { return links_total_.load(); }
+
+  private:
+    /// One client<->upstream pairing and its forward buffers.
+    struct Link {
+        int client_fd = -1;
+        int upstream_fd = -1;
+        std::uint64_t id = 0;
+        std::string to_client;        ///< upstream->client bytes
+        std::size_t to_client_offset = 0;
+        std::string to_upstream;      ///< client->upstream bytes
+        std::size_t to_upstream_offset = 0;
+        bool client_eof = false;      ///< client finished sending
+        bool upstream_eof = false;    ///< upstream finished sending
+        // Chaos bookkeeping (client-facing side only).
+        double write_not_before_s = 0.0;  ///< torn-write stall deadline
+        double read_not_before_s = 0.0;   ///< delayed-delivery deadline
+        std::uint64_t write_ops = 0;
+        std::uint64_t read_ops = 0;
+    };
+
+    void loop();
+    void accept_ready();
+    /// Drains to_client toward the client, applying the chaos schedule
+    /// (caps, stalls, resets). Returns false when the link was closed.
+    bool flush_to_client(std::size_t index);
+    /// Returns false when the link was closed.
+    bool flush_to_upstream(std::size_t index);
+    void close_link(std::size_t index, bool reset_client);
+    double next_deadline_s(double now_s) const;
+
+    ChaosProxyOptions options_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    int port_ = 0;
+
+    std::thread io_thread_;
+    std::mutex stop_mutex_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stop_requested_{false};
+    std::atomic<std::uint64_t> links_total_{0};
+
+    // Forwarding-thread state (no locking needed).
+    std::vector<Link> links_;
+    std::uint64_t next_link_id_ = 1;
+    std::uint64_t accept_index_ = 0;
+    double accept_not_before_s = 0.0;
+    bool accept_stall_checked_ = false;
+};
+
+}  // namespace chrysalis::serve
+
+#endif  // CHRYSALIS_SERVE_CHAOS_PROXY_HPP

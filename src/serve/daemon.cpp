@@ -79,10 +79,16 @@ serve_usage(const char* argv0)
         "usage: %s [--host addr] [--port n] [--threads n]\n"
         "          [--cache-capacity n] [--max-connections n]\n"
         "          [--max-inflight n] [--queue-depth n] [--batch-max n]\n"
+        "          [--read-timeout s] [--idle-timeout s]\n"
+        "          [--max-write-buffer bytes]\n"
         "          [--drain-timeout s] [--metrics-out file]\n"
         "          [--trace-out file]\n"
         "Serves chrysalis-serve-v1 evaluation requests until SIGINT or\n"
-        "SIGTERM, then drains in-flight work and exits.\n",
+        "SIGTERM, then drains in-flight work and exits.\n"
+        "--read-timeout closes connections that leave a frame half-sent\n"
+        "(slow-loris defense, 0 disables); --idle-timeout reaps fully\n"
+        "quiet connections (0, the default, keeps them); slow consumers\n"
+        "are disconnected once --max-write-buffer reply bytes queue.\n",
         argv0);
 }
 
@@ -91,11 +97,13 @@ call_usage(const char* argv0)
 {
     std::printf(
         "usage: %s [--host addr] --port n --type\n"
-        "          eval_design_point|eval_mapping|sim_step|server_stats\n"
-        "          [--timeout s] [--<field> value ...]\n"
+        "          eval_design_point|eval_mapping|sim_step|server_stats"
+        "|health\n"
+        "          [--timeout s] [--retries n] [--<field> value ...]\n"
         "Sends one request and prints the raw reply payload. Any flag\n"
         "not listed above becomes a request field, e.g. --model har\n"
-        "--solar_cm2 8 --objective lat.\n",
+        "--solar_cm2 8 --objective lat. --retries allows n extra\n"
+        "attempts (reconnect + backoff) for memoized request types.\n",
         argv0);
 }
 
@@ -135,6 +143,15 @@ run_serve_cli(int argc, char** argv, int first)
             options.server.queue_depth = parse_int_flag(arg, next());
         } else if (arg == "--batch-max") {
             options.server.batch_max = parse_int_flag(arg, next());
+        } else if (arg == "--read-timeout") {
+            options.server.read_timeout_s =
+                parse_double_flag(arg, next());
+        } else if (arg == "--idle-timeout") {
+            options.server.idle_timeout_s =
+                parse_double_flag(arg, next());
+        } else if (arg == "--max-write-buffer") {
+            options.server.max_write_buffer_bytes =
+                static_cast<std::size_t>(parse_int_flag(arg, next()));
         } else if (arg == "--drain-timeout") {
             options.server.drain_timeout_s =
                 parse_double_flag(arg, next());
@@ -214,6 +231,7 @@ run_call_cli(int argc, char** argv, int first)
     int port = 0;
     std::string type;
     double timeout_s = 30.0;
+    int retries = 0;
     FlatJsonFields params;
     for (int i = first; i < argc; ++i) {
         std::string inline_value;
@@ -238,6 +256,8 @@ run_call_cli(int argc, char** argv, int first)
             type = next();
         } else if (arg == "--timeout") {
             timeout_s = parse_double_flag(arg, next());
+        } else if (arg == "--retries") {
+            retries = parse_int_flag(arg, next());
         } else if (arg.rfind("--", 0) == 0 && arg.size() > 2) {
             params[arg.substr(2)] = next();
         } else {
@@ -248,16 +268,21 @@ run_call_cli(int argc, char** argv, int first)
     if (port <= 0)
         fatal("--port is required (the server prints it on startup)");
     if (type.empty())
-        fatal("--type is required "
-              "(eval_design_point|eval_mapping|sim_step|server_stats)");
+        fatal("--type is required (eval_design_point|eval_mapping|"
+              "sim_step|server_stats|health)");
+    if (retries < 0)
+        fatal("--retries must be >= 0");
 
-    Client client;
-    if (!client.connect(host, port, timeout_s))
+    ClientOptions client_options;
+    client_options.max_attempts = retries + 1;
+    Client client(client_options);
+    if (!client.connect(host, port, timeout_s) && retries == 0)
         fatal("cannot connect to ", host, ":", port);
     Response response;
-    if (!client.call(type, params, response))
-        fatal("transport failure talking to ", host, ":", port,
-              " (timeout, disconnect or corrupt frame)");
+    const CallStatus status = client.request(type, params, response);
+    if (status != CallStatus::kOk)
+        fatal("request failed talking to ", host, ":", port, " (",
+              to_string(status), ")");
     std::printf("%s\n", response.raw.c_str());
     return response.ok ? 0 : 1;
 }

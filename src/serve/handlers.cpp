@@ -348,11 +348,16 @@ server_stats_body(const ServerStatsSnapshot& stats)
     body_u64(body, "requests_eval_mapping", stats.requests_eval_mapping);
     body_u64(body, "requests_sim_step", stats.requests_sim_step);
     body_u64(body, "requests_server_stats", stats.requests_server_stats);
+    body_u64(body, "requests_health", stats.requests_health);
     body_u64(body, "errors_total", stats.errors_total);
     body_u64(body, "overload_rejections", stats.overload_rejections);
     body_u64(body, "batches", stats.batches);
     body_u64(body, "max_batch", stats.max_batch);
     body_u64(body, "pending", stats.pending);
+    body_u64(body, "timeouts_read", stats.timeouts_read);
+    body_u64(body, "timeouts_idle", stats.timeouts_idle);
+    body_u64(body, "slow_consumer_closes", stats.slow_consumer_closes);
+    body_flag(body, "draining", stats.draining);
     body_i64(body, "threads", stats.threads);
     body_u64(body, "cache_hits", stats.cache.hits);
     body_u64(body, "cache_misses", stats.cache.misses);
@@ -364,6 +369,24 @@ server_stats_body(const ServerStatsSnapshot& stats)
     return body;
 }
 
+/// Readiness/drain probe for load balancers and deploy scripts: cheap
+/// (never evaluates anything, never cached) and honest during shutdown
+/// — requests admitted before stop() still drain, but a draining reply
+/// tells the client to take new traffic elsewhere.
+std::string
+health_body(const ServerStatsSnapshot& stats)
+{
+    std::string body;
+    body_flag(body, "ok", true);
+    body_str(body, "type", "health");
+    body_str(body, "status", stats.draining ? "draining" : "ready");
+    body_flag(body, "draining", stats.draining);
+    body_u64(body, "connections_open", stats.connections_open);
+    body_u64(body, "pending", stats.pending);
+    body_i64(body, "threads", stats.threads);
+    return body;
+}
+
 }  // namespace
 
 std::uint64_t
@@ -372,6 +395,13 @@ request_id(const FlatJsonFields& fields)
     std::uint64_t id = 0;
     json_get_uint64(fields, "id", id);
     return id;
+}
+
+bool
+response_is_memoized(const std::string& type)
+{
+    return type == "eval_design_point" || type == "eval_mapping" ||
+           type == "sim_step";
 }
 
 runtime::CacheKey
@@ -435,8 +465,9 @@ handle_request_body(const FlatJsonFields& fields, ResponseCache* cache,
                           "missing request field \"type\"");
     if (type == "server_stats")
         return server_stats_body(stats);
-    if (type != "eval_design_point" && type != "eval_mapping" &&
-        type != "sim_step")
+    if (type == "health")
+        return health_body(stats);
+    if (!response_is_memoized(type))
         return error_body(kErrUnknownType,
                           "unknown request type \"" + type + "\"");
 

@@ -38,17 +38,33 @@ struct ServerStatsSnapshot {
     std::uint64_t requests_eval_mapping = 0;
     std::uint64_t requests_sim_step = 0;
     std::uint64_t requests_server_stats = 0;
+    std::uint64_t requests_health = 0;
     std::uint64_t errors_total = 0;        ///< "ok":0 replies sent
     std::uint64_t overload_rejections = 0; ///< admission-control refusals
     std::uint64_t batches = 0;             ///< micro-batches dispatched
     std::uint64_t max_batch = 0;           ///< largest batch so far
     std::uint64_t pending = 0;             ///< queued at snapshot time
+    std::uint64_t timeouts_read = 0;       ///< slow-loris closes (partial
+                                           ///< frame past read_timeout_s)
+    std::uint64_t timeouts_idle = 0;       ///< idle closes (idle_timeout_s)
+    std::uint64_t slow_consumer_closes = 0;  ///< write buffer overflows
+    bool draining = false;                 ///< stop() requested; no new
+                                           ///< work admitted after drain
     int threads = 1;                       ///< eval worker count
     runtime::EvalCacheStats cache;         ///< shared response-memo stats
 };
 
 /// The client-chosen "id" echo token; 0 when absent or unparsable.
 std::uint64_t request_id(const FlatJsonFields& fields);
+
+/// True for request types whose response goes through the StableHash
+/// response memo (`eval_design_point`, `eval_mapping`, `sim_step`):
+/// their replies are pure functions of the request fields. This is also
+/// the retry-safety classification — the resilient client resends only
+/// memoized types after a transport failure, because a lost reply to
+/// one costs a cache hit, never a second side effect. `server_stats`
+/// and `health` report live state and are neither cached nor retried.
+bool response_is_memoized(const std::string& type);
 
 /// Stable memo key of a request: StableHash over the protocol version
 /// and every field except "id", in key-sorted order. Two requests that

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -72,6 +74,16 @@ ServerOptions::validate() const
         fatal("serve: batch_max must be >= 1");
     if (!(drain_timeout_s > 0.0))
         fatal("serve: drain_timeout_s must be > 0");
+    if (!(read_timeout_s >= 0.0) || !std::isfinite(read_timeout_s))
+        fatal("serve: read_timeout_s must be finite and >= 0 "
+              "(0 disables the slow-loris defense)");
+    if (!(idle_timeout_s >= 0.0) || !std::isfinite(idle_timeout_s))
+        fatal("serve: idle_timeout_s must be finite and >= 0 "
+              "(0 disables idle reaping)");
+    if (max_write_buffer_bytes < kMaxFrameBytes + kLengthPrefixBytes)
+        fatal("serve: max_write_buffer_bytes must hold at least one "
+              "maximum-size reply frame (",
+              kMaxFrameBytes + kLengthPrefixBytes, " bytes)");
 }
 
 Server::Server(ServerOptions options) : options_(std::move(options))
@@ -165,6 +177,7 @@ ServerStatsSnapshot
 Server::snapshot_locked() const
 {
     ServerStatsSnapshot snapshot = counters_;
+    snapshot.draining = stop_requested_.load() && running_.load();
     if (cache_ != nullptr)
         snapshot.cache = cache_->stats();
     return snapshot;
@@ -176,11 +189,13 @@ void
 Server::loop()
 {
     while (!stop_requested_.load()) {
+        const double now_s = obs::monotonic_seconds();
         std::vector<pollfd> fds;
         fds.push_back({wake_read_fd_, POLLIN, 0});
         const bool accepting =
             static_cast<int>(connections_.size()) <
-            options_.max_connections;
+                options_.max_connections &&
+            now_s >= accept_not_before_s;
         const std::size_t listen_index = fds.size();
         if (accepting)
             fds.push_back({listen_fd_, POLLIN, 0});
@@ -188,14 +203,31 @@ Server::loop()
         std::vector<std::uint64_t> ids;
         ids.reserve(connections_.size());
         for (const Connection& connection : connections_) {
-            short events = POLLIN;
-            if (connection.out_offset < connection.out.size())
+            // Chaos deferrals mask the corresponding readiness bit so a
+            // hot socket cannot spin the loop while its op is stalled;
+            // POLLERR/POLLHUP are still reported on a zero mask.
+            short events = 0;
+            if (now_s >= connection.read_not_before_s)
+                events |= POLLIN;
+            if (connection.out_offset < connection.out.size() &&
+                now_s >= connection.write_not_before_s)
                 events |= POLLOUT;
             fds.push_back({connection.fd, events, 0});
             ids.push_back(connection.id);
         }
 
-        const int timeout_ms = pending_.empty() ? -1 : 0;
+        int timeout_ms = pending_.empty() ? -1 : 0;
+        if (timeout_ms != 0) {
+            const double deadline_s = next_deadline_s(now_s);
+            if (std::isfinite(deadline_s)) {
+                const double wait_s = std::max(0.0, deadline_s - now_s);
+                // Round up so we never wake a hair before the deadline
+                // and busy-loop on a not-yet-expired timer.
+                timeout_ms = static_cast<int>(
+                                 std::min(wait_s * 1000.0, 60000.0)) +
+                             1;
+            }
+        }
         const int ready = ::poll(fds.data(),
                                  static_cast<nfds_t>(fds.size()),
                                  timeout_ms);
@@ -208,7 +240,12 @@ Server::loop()
 
         if ((fds[0].revents & POLLIN) != 0) {
             char drain[64];
-            while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+            while (true) {
+                const ssize_t got =
+                    ::read(wake_read_fd_, drain, sizeof drain);
+                if (got > 0 || (got < 0 && errno == EINTR))
+                    continue;
+                break;
             }
         }
         if (accepting && (fds[listen_index].revents & POLLIN) != 0)
@@ -242,10 +279,78 @@ Server::loop()
                 close_connection(ids[i]);
         }
 
+        sweep_timeouts(obs::monotonic_seconds());
+
         if (!pending_.empty())
             dispatch_batch();
     }
     drain_and_close();
+}
+
+double
+Server::next_deadline_s(double now_s) const
+{
+    double next_s = std::numeric_limits<double>::infinity();
+    if (static_cast<int>(connections_.size()) < options_.max_connections &&
+        accept_not_before_s > now_s)
+        next_s = std::min(next_s, accept_not_before_s);
+    for (const Connection& connection : connections_) {
+        if (connection.read_not_before_s > now_s)
+            next_s = std::min(next_s, connection.read_not_before_s);
+        if (connection.out_offset < connection.out.size() &&
+            connection.write_not_before_s > now_s)
+            next_s = std::min(next_s, connection.write_not_before_s);
+        if (options_.read_timeout_s > 0.0 &&
+            connection.decoder.buffered_bytes() > 0)
+            next_s = std::min(next_s, connection.last_activity_s +
+                                          options_.read_timeout_s);
+        else if (options_.idle_timeout_s > 0.0 &&
+                 connection.queued == 0 &&
+                 connection.out_offset >= connection.out.size())
+            next_s = std::min(next_s, connection.last_activity_s +
+                                          options_.idle_timeout_s);
+    }
+    return next_s;
+}
+
+void
+Server::sweep_timeouts(double now_s)
+{
+    std::vector<std::uint64_t> expired_read;
+    std::vector<std::uint64_t> expired_idle;
+    for (const Connection& connection : connections_) {
+        // A partial frame sitting in the decoder means the peer owes us
+        // bytes: that is the slow-loris signature. A connection with no
+        // buffered traffic in either direction is merely idle.
+        if (options_.read_timeout_s > 0.0 &&
+            connection.decoder.buffered_bytes() > 0) {
+            if (now_s - connection.last_activity_s >=
+                options_.read_timeout_s)
+                expired_read.push_back(connection.id);
+        } else if (options_.idle_timeout_s > 0.0 &&
+                   connection.queued == 0 &&
+                   connection.out_offset >= connection.out.size() &&
+                   now_s - connection.last_activity_s >=
+                       options_.idle_timeout_s) {
+            expired_idle.push_back(connection.id);
+        }
+    }
+    for (const std::uint64_t connection_id : expired_read) {
+        close_connection(connection_id);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.timeouts_read;
+        }
+        bump("serve/timeouts_read");
+    }
+    for (const std::uint64_t connection_id : expired_idle) {
+        close_connection(connection_id);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.timeouts_idle;
+        }
+        bump("serve/timeouts_idle");
+    }
 }
 
 void
@@ -253,6 +358,20 @@ Server::accept_ready()
 {
     while (static_cast<int>(connections_.size()) <
            options_.max_connections) {
+        if (options_.chaos != nullptr) {
+            const double now_s = obs::monotonic_seconds();
+            if (now_s < accept_not_before_s)
+                return;  // still stalled; poll timeout resumes us
+            if (!accept_stall_checked_) {
+                accept_stall_checked_ = true;
+                const double stall_s =
+                    options_.chaos->accept_stall(accept_index_);
+                if (stall_s > 0.0) {
+                    accept_not_before_s = now_s + stall_s;
+                    return;
+                }
+            }
+        }
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
             if (errno == EINTR)
@@ -262,12 +381,25 @@ Server::accept_ready()
             // never the listener.
             return;
         }
+        const std::uint64_t accept_index = accept_index_++;
+        accept_stall_checked_ = false;
         set_nonblocking(fd);
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (options_.chaos != nullptr &&
+            options_.chaos->refuse_connect(accept_index)) {
+            // Simulated refusal: RST before a single byte is served, so
+            // the client sees the same failure as a dead listener.
+            const linger hard_reset{1, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset,
+                         sizeof hard_reset);
+            ::close(fd);
+            continue;
+        }
         Connection connection;
         connection.fd = fd;
         connection.id = next_connection_id_++;
+        connection.last_activity_s = obs::monotonic_seconds();
         connections_.push_back(std::move(connection));
         {
             std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -281,11 +413,24 @@ Server::accept_ready()
 void
 Server::read_ready(Connection& connection)
 {
+    if (options_.chaos != nullptr) {
+        const double now_s = obs::monotonic_seconds();
+        if (now_s < connection.read_not_before_s)
+            return;  // deferred; the poll timeout resumes us
+        const double delay_s =
+            options_.chaos->read_delay(connection.id,
+                                       connection.read_ops++);
+        if (delay_s > 0.0) {
+            connection.read_not_before_s = now_s + delay_s;
+            return;
+        }
+    }
     char buffer[4096];
     while (true) {
         const ssize_t received =
             ::recv(connection.fd, buffer, sizeof buffer, 0);
         if (received > 0) {
+            connection.last_activity_s = obs::monotonic_seconds();
             OBS_SPAN("serve/decode");
             connection.decoder.feed(
                 buffer, static_cast<std::size_t>(received));
@@ -299,21 +444,24 @@ Server::read_ready(Connection& connection)
                     // The stream cannot be resynchronized past a frame
                     // that was never buffered: reply, then close once
                     // the reply (and any queued ones) is flushed.
-                    enqueue_reply(
-                        connection,
-                        error_response(
-                            0, kErrBadFrame,
-                            "announced frame length " +
-                                std::to_string(connection.decoder
-                                                   .oversized_length()) +
-                                " exceeds the " +
-                                std::to_string(kMaxFrameBytes) +
-                                "-byte limit"));
-                    connection.closing = true;
-                    ::shutdown(connection.fd, SHUT_RD);
+                    if (enqueue_reply(
+                            connection,
+                            error_response(
+                                0, kErrBadFrame,
+                                "announced frame length " +
+                                    std::to_string(
+                                        connection.decoder
+                                            .oversized_length()) +
+                                    " exceeds the " +
+                                    std::to_string(kMaxFrameBytes) +
+                                    "-byte limit"))) {
+                        connection.closing = true;
+                        ::shutdown(connection.fd, SHUT_RD);
+                    }
                     return;
                 }
-                ingest_payload(connection, payload);
+                if (!ingest_payload(connection, payload))
+                    return;  // connection closed; reference dangling
                 if (connection.closing)
                     return;
             }
@@ -337,17 +485,17 @@ Server::read_ready(Connection& connection)
     }
 }
 
-void
+bool
 Server::ingest_payload(Connection& connection, const std::string& payload)
 {
     FlatJsonFields fields;
     if (!scan_flat_json(payload, fields)) {
         // Malformed payload inside a well-delimited frame: the stream
         // is still in sync, so answer and keep the connection.
-        enqueue_reply(connection,
-                      error_response(0, kErrBadRequest,
-                                     "payload is not a flat JSON object"));
-        return;
+        return enqueue_reply(
+            connection,
+            error_response(0, kErrBadRequest,
+                           "payload is not a flat JSON object"));
     }
     const std::uint64_t id = request_id(fields);
     if (static_cast<int>(pending_.size()) >= options_.max_inflight ||
@@ -357,12 +505,11 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
             ++counters_.overload_rejections;
         }
         bump("serve/overloaded");
-        enqueue_reply(
+        return enqueue_reply(
             connection,
             error_response(id, kErrOverloaded,
                            "server queue is full; retry after replies "
                            "drain"));
-        return;
     }
 
     PendingRequest request;
@@ -384,10 +531,13 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
             ++counters_.requests_sim_step;
         else if (type == "server_stats")
             ++counters_.requests_server_stats;
+        else if (type == "health")
+            ++counters_.requests_health;
     }
     bump("serve/requests");
     pending_.push_back(std::move(request));
     ++connection.queued;
+    return true;
 }
 
 void
@@ -447,7 +597,7 @@ Server::dispatch_batch()
     }
 }
 
-void
+bool
 Server::enqueue_reply(Connection& connection, const std::string& response)
 {
     {
@@ -459,18 +609,71 @@ Server::enqueue_reply(Connection& connection, const std::string& response)
         ++counters_.errors_total;
         bump("serve/errors");
     }
+    if (connection.out.size() - connection.out_offset >
+        options_.max_write_buffer_bytes) {
+        // Slow-consumer defense: the peer keeps asking but stopped
+        // reading; drop it rather than buffer replies without bound.
+        const std::uint64_t connection_id = connection.id;
+        close_connection(connection_id);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++counters_.slow_consumer_closes;
+        }
+        bump("serve/slow_consumer_closes");
+        return false;
+    }
+    const std::uint64_t connection_id = connection.id;
     flush(connection);
+    return find_connection(connection_id) != nullptr;
 }
 
 void
 Server::flush(Connection& connection)
 {
     while (connection.out_offset < connection.out.size()) {
+        std::size_t want =
+            connection.out.size() - connection.out_offset;
+        bool torn = false;
+        double stall_s = 0.0;
+        if (options_.chaos != nullptr) {
+            const double now_s = obs::monotonic_seconds();
+            if (now_s < connection.write_not_before_s)
+                return;  // stalled; the poll timeout resumes us
+            const std::uint64_t write_op = connection.write_ops++;
+            if (options_.chaos->reset_after_write(connection.id,
+                                                  write_op)) {
+                // Deliver one more chunk, then RST mid-frame: the
+                // client sees a torn reply followed by ECONNRESET.
+                const std::size_t cap =
+                    options_.chaos->spec().torn_write_chunk_bytes;
+                [[maybe_unused]] const ssize_t sent = ::send(
+                    connection.fd,
+                    connection.out.data() + connection.out_offset,
+                    std::min(want, cap), MSG_NOSIGNAL);
+                reset_connection(connection.id);
+                return;
+            }
+            const std::size_t cap = options_.chaos->write_cap_bytes(
+                connection.id, write_op);
+            if (cap < want) {
+                want = cap;
+                torn = true;
+                stall_s =
+                    options_.chaos->write_stall(connection.id, write_op);
+            }
+        }
         const ssize_t sent = ::send(
             connection.fd, connection.out.data() + connection.out_offset,
-            connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+            want, MSG_NOSIGNAL);
         if (sent > 0) {
             connection.out_offset += static_cast<std::size_t>(sent);
+            connection.last_activity_s = obs::monotonic_seconds();
+            if (torn && stall_s > 0.0 &&
+                connection.out_offset < connection.out.size()) {
+                connection.write_not_before_s =
+                    connection.last_activity_s + stall_s;
+                return;  // resume after the inter-chunk stall
+            }
             continue;
         }
         if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -492,6 +695,26 @@ Server::close_connection(std::uint64_t connection_id)
     for (std::size_t i = 0; i < connections_.size(); ++i) {
         if (connections_[i].id != connection_id)
             continue;
+        ::close(connections_[i].fd);
+        connections_.erase(
+            connections_.begin() + static_cast<std::ptrdiff_t>(i));
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        --counters_.connections_open;
+        return;
+    }
+}
+
+void
+Server::reset_connection(std::uint64_t connection_id)
+{
+    for (std::size_t i = 0; i < connections_.size(); ++i) {
+        if (connections_[i].id != connection_id)
+            continue;
+        // SO_LINGER with zero timeout turns close() into an immediate
+        // RST — the chaos schedule's mid-frame connection reset.
+        const linger hard_reset{1, 0};
+        ::setsockopt(connections_[i].fd, SOL_SOCKET, SO_LINGER,
+                     &hard_reset, sizeof hard_reset);
         ::close(connections_[i].fd);
         connections_.erase(
             connections_.begin() + static_cast<std::ptrdiff_t>(i));

@@ -23,8 +23,24 @@
 /// stream cannot be resynchronized — closes a connection, and even then
 /// a `bad_frame` reply is flushed first.
 ///
+/// Self-defense against hostile or broken peers: a connection that
+/// leaves a frame half-sent for longer than `read_timeout_s` is closed
+/// (slow-loris defense), one that goes fully quiet for longer than
+/// `idle_timeout_s` is reaped (0 disables — idle pools are legitimate),
+/// and one that stops reading while replies accumulate past
+/// `max_write_buffer_bytes` is dropped instead of growing the buffer
+/// without bound. Every socket syscall retries on EINTR.
+///
+/// Chaos hook (tests and the chaos bench only): when
+/// `ServerOptions::chaos` points at a `fault::NetFaultInjector`, the
+/// I/O loop consults its seed-deterministic schedule to tear writes
+/// into delayed chunks, hard-reset connections mid-frame, defer reads
+/// and stall accepts — without touching the request/reply semantics, so
+/// a resilient client must still extract byte-identical replies.
+///
 /// stop() drains: queued requests are evaluated, replies are flushed
-/// (bounded by `drain_timeout_s`), then sockets close.
+/// (bounded by `drain_timeout_s`), then sockets close. While draining,
+/// `health` replies report "draining".
 
 #ifndef CHRYSALIS_SERVE_SERVER_HPP
 #define CHRYSALIS_SERVE_SERVER_HPP
@@ -39,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/net_fault_injector.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/handlers.hpp"
@@ -60,6 +77,20 @@ struct ServerOptions {
     int queue_depth = 32;       ///< queued requests per connection
     int batch_max = 32;         ///< requests per dispatched micro-batch
     double drain_timeout_s = 5.0;  ///< reply-flush bound during stop()
+    /// Closes a connection that has held a frame half-sent this long
+    /// (slow-loris defense). 0 disables.
+    double read_timeout_s = 30.0;
+    /// Reaps a connection with nothing buffered in either direction
+    /// after this long. 0 (the default) disables — long-lived idle
+    /// client pools are legitimate.
+    double idle_timeout_s = 0.0;
+    /// Closes a connection whose unflushed reply bytes exceed this
+    /// (slow-consumer defense; the peer asked and never read).
+    std::size_t max_write_buffer_bytes = 8u << 20;
+    /// Test-only network chaos schedule; nullptr (the default) in
+    /// production. Non-owning — the caller keeps the injector alive
+    /// for the server's lifetime.
+    const fault::NetFaultInjector* chaos = nullptr;
 
     void validate() const;
 };
@@ -104,6 +135,14 @@ class Server
         std::size_t out_offset = 0;
         int queued = 0;           ///< requests awaiting evaluation
         bool closing = false;     ///< close once `out` is flushed
+        /// monotonic_seconds() of the last byte-level progress in
+        /// either direction; the idle/read-timeout reference point.
+        double last_activity_s = 0.0;
+        // Chaos bookkeeping (unused when options_.chaos == nullptr).
+        double read_not_before_s = 0.0;   ///< deferred-read deadline
+        double write_not_before_s = 0.0;  ///< torn-write stall deadline
+        std::uint64_t read_ops = 0;       ///< chaos read-op index
+        std::uint64_t write_ops = 0;      ///< chaos write-op index
     };
 
     struct PendingRequest {
@@ -118,11 +157,22 @@ class Server
     void loop();
     void accept_ready();
     void read_ready(Connection& connection);
-    void ingest_payload(Connection& connection, const std::string& payload);
+    /// Returns false when the connection was closed (slow consumer,
+    /// send failure) — the caller's reference is then dangling.
+    bool ingest_payload(Connection& connection, const std::string& payload);
     void dispatch_batch();
     void flush(Connection& connection);
-    void enqueue_reply(Connection& connection, const std::string& response);
+    /// Returns false when the connection was closed (see ingest_payload).
+    bool enqueue_reply(Connection& connection, const std::string& response);
     void close_connection(std::uint64_t connection_id);
+    /// close_connection with an immediate RST (SO_LINGER 0) — the
+    /// chaos hook's mid-frame reset.
+    void reset_connection(std::uint64_t connection_id);
+    /// Closes connections whose read/idle deadline has passed.
+    void sweep_timeouts(double now_s);
+    /// Earliest future wakeup the poll timeout must honor (chaos
+    /// stalls, read/idle deadlines); +inf when there is none.
+    double next_deadline_s(double now_s) const;
     Connection* find_connection(std::uint64_t connection_id);
     void drain_and_close();
     ServerStatsSnapshot snapshot_locked() const;
@@ -145,6 +195,9 @@ class Server
     std::vector<Connection> connections_;
     std::deque<PendingRequest> pending_;
     std::uint64_t next_connection_id_ = 1;
+    std::uint64_t accept_index_ = 0;       ///< chaos accept-op index
+    double accept_not_before_s = 0.0;      ///< chaos accept-stall deadline
+    bool accept_stall_checked_ = false;    ///< one consult per accept
 
     // Counters, shared with stats() callers.
     mutable std::mutex stats_mutex_;
