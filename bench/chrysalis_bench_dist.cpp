@@ -1,0 +1,392 @@
+/// \file
+/// Distributed-campaign scaling and fault-tolerance bench.
+///
+/// Runs one deterministic campaign three ways and holds the outputs to
+/// the subsystem's core promise — the merged CSV and journal are
+/// byte-identical to a single-process run at any worker count:
+///
+///  1. Local reference: sequential `run_campaign` (threads=1,
+///     deterministic journal). Its CSV/journal bytes are the oracle.
+///  2. Scaling: the same campaign through `run_distributed_campaign`
+///     against 1, 2 and 4 in-process `serve::Server` workers;
+///     per-worker-count throughput and the byte-identity gate land in
+///     the report.
+///  3. --chaos: a hostile fleet — one worker that is *dead* before the
+///     campaign starts (its port was released by a stopped server),
+///     one behind a `serve::ChaosProxy` with a seed-deterministic
+///     `fault::NetFaultInjector` (refused connects, torn writes,
+///     resets), and one healthy worker that is killed mid-run. The
+///     gates: the campaign still completes, at least one case was
+///     reassigned, and the bytes still match the oracle.
+///
+/// Usage:
+///   chrysalis_bench_dist [--model zoo-name] [--cases n]
+///                        [--population n] [--generations n] [--seed n]
+///                        [--streams n] [--chaos] [--chaos-seed n]
+///
+/// The run report is BENCH_dist_scaling.json.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bench_util.hpp"
+#include "common/logging.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_journal.hpp"
+#include "core/campaign_spec.hpp"
+#include "dist/coordinator.hpp"
+#include "dnn/model_zoo.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/net_fault_injector.hpp"
+#include "obs/trace.hpp"
+#include "serve/chaos_proxy.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace chrysalis;
+
+struct DistBenchOptions {
+    std::string model = "kws";
+    int cases = 24;
+    int population = 4;
+    int generations = 2;
+    std::uint64_t seed = 1;
+    int streams = 1;
+    bool chaos = false;
+    std::uint64_t chaos_seed = 0;  ///< 0 = derive from --seed
+};
+
+void
+usage(const char* argv0)
+{
+    std::printf("usage: %s [--model zoo-name] [--cases n]\n"
+                "          [--population n] [--generations n] [--seed n]\n"
+                "          [--streams n] [--chaos] [--chaos-seed n]\n",
+                argv0);
+}
+
+bool
+parse_args(int argc, char** argv, DistBenchOptions& options)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
+        const auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            options.model = next();
+        } else if (arg == "--cases") {
+            options.cases = std::stoi(next());
+        } else if (arg == "--population") {
+            options.population = std::stoi(next());
+        } else if (arg == "--generations") {
+            options.generations = std::stoi(next());
+        } else if (arg == "--seed") {
+            options.seed = std::stoull(next());
+        } else if (arg == "--streams") {
+            options.streams = std::stoi(next());
+        } else if (arg == "--chaos") {
+            options.chaos = true;
+        } else if (arg == "--chaos-seed") {
+            options.chaos_seed = std::stoull(next());
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (options.cases < 1 || options.population < 2 ||
+        options.generations < 1 || options.streams < 1)
+        fatal("--cases/--generations/--streams must be >= 1, "
+              "--population >= 2");
+    return true;
+}
+
+std::string
+campaign_csv(const core::CampaignResult& result)
+{
+    std::ostringstream out;
+    result.write_csv(out, core::CsvColumns::kDeterministic);
+    return out.str();
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream input(path, std::ios::binary);
+    if (!input)
+        fatal("cannot read '", path, "'");
+    std::ostringstream out;
+    out << input.rdbuf();
+    return out.str();
+}
+
+/// Proxy-side chaos the coordinator's lanes must out-stubborn. Rates
+/// are deliberately milder than the serve load bench: a run_case
+/// request is long-lived, and every transient counts against a small
+/// per-lane budget.
+fault::NetFaultSpec
+proxy_chaos_spec(std::uint64_t seed)
+{
+    fault::NetFaultSpec spec;
+    spec.seed = seed;
+    spec.connect_refusal_probability = 0.05;
+    spec.torn_write_probability = 0.10;
+    spec.torn_write_chunk_bytes = 9;
+    spec.torn_write_stall_s = 0.0005;
+    spec.read_delay_probability = 0.10;
+    spec.read_delay_s = 0.001;
+    spec.reset_probability = 0.01;
+    return spec;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    DistBenchOptions options;
+    if (!parse_args(argc, argv, options))
+        return 2;
+
+    bench::begin_report(
+        "dist_scaling",
+        "distributed campaign scaling and byte-identity gate", true,
+        "dist_scaling");
+    bench::print_banner(
+        "dist_scaling",
+        "distributed campaign scaling and byte-identity gate");
+
+    core::CampaignSpec spec;
+    spec.model = options.model;
+    spec.cases = options.cases;
+    spec.population = options.population;
+    spec.generations = options.generations;
+    spec.seed = options.seed;
+    spec.validate();
+
+    const std::string ref_journal = "bench_dist_ref.jsonl";
+    const std::string dist_journal = "bench_dist_run.jsonl";
+
+    // Oracle: sequential local run. threads=1 keeps the journal in
+    // case order, which is exactly the canonical order the coordinator
+    // rewrites to.
+    std::string reference_csv;
+    std::string reference_journal_bytes;
+    double reference_wall_s = 0.0;
+    {
+        const dnn::Model model = dnn::make_model(spec.model);
+        const std::vector<core::CampaignCase> cases =
+            core::build_campaign_cases(spec, model);
+        std::unique_ptr<fault::FaultInjector> faults;
+        const search::ExplorerOptions base =
+            core::build_explorer_options(spec, faults);
+        core::CampaignOptions campaign_options;
+        campaign_options.threads = 1;
+        campaign_options.max_attempts = spec.max_attempts;
+        campaign_options.journal_path = ref_journal;
+        campaign_options.deterministic_journal = true;
+        std::remove(ref_journal.c_str());
+        obs::SpanTimer timer("bench/dist_reference");
+        const core::CampaignResult reference =
+            core::run_campaign(cases, base, campaign_options);
+        reference_wall_s = timer.elapsed_s();
+        reference_csv = campaign_csv(reference);
+        reference_journal_bytes = read_file(ref_journal);
+        std::remove(ref_journal.c_str());
+    }
+    std::printf("reference: %d cases in %.3f s (sequential)\n",
+                options.cases, reference_wall_s);
+    bench::headline("cases", static_cast<double>(options.cases));
+    bench::headline("reference_wall_s", reference_wall_s);
+
+    // Scaling pass: the same campaign against 1, 2 and 4 local workers.
+    static const int kWorkerCounts[] = {1, 2, 4};
+    bool all_identical = true;
+    double wall_1w = 0.0;
+    double wall_4w = 0.0;
+    for (const int worker_count : kWorkerCounts) {
+        std::vector<std::unique_ptr<serve::Server>> servers;
+        dist::DistCampaignOptions dist_options;
+        for (int w = 0; w < worker_count; ++w) {
+            serve::ServerOptions server_options;
+            server_options.host = "127.0.0.1";
+            server_options.threads = options.streams;
+            auto server =
+                std::make_unique<serve::Server>(server_options);
+            server->start();
+            dist_options.workers.push_back(
+                {"127.0.0.1", server->port()});
+            servers.push_back(std::move(server));
+        }
+        dist_options.streams_per_worker = options.streams;
+        dist_options.journal_path = dist_journal;
+        std::remove(dist_journal.c_str());
+
+        obs::SpanTimer timer("bench/dist_scaling");
+        const dist::DistCampaignResult result =
+            dist::run_distributed_campaign(spec, dist_options);
+        const double wall_s = timer.elapsed_s();
+        for (auto& server : servers)
+            server->stop();
+
+        const bool csv_identical =
+            campaign_csv(result.campaign) == reference_csv;
+        const bool journal_identical =
+            read_file(dist_journal) == reference_journal_bytes;
+        std::remove(dist_journal.c_str());
+        all_identical =
+            all_identical && csv_identical && journal_identical;
+        const double throughput =
+            wall_s > 0.0 ? static_cast<double>(options.cases) / wall_s
+                         : 0.0;
+        if (worker_count == 1)
+            wall_1w = wall_s;
+        if (worker_count == 4)
+            wall_4w = wall_s;
+
+        std::printf("%dw: %.3f s (%.2f cases/s), dispatched %llu, "
+                    "csv %s, journal %s\n",
+                    worker_count, wall_s, throughput,
+                    static_cast<unsigned long long>(result.dispatched),
+                    csv_identical ? "identical" : "MISMATCH",
+                    journal_identical ? "identical" : "MISMATCH");
+        const std::string suffix = std::to_string(worker_count) + "w";
+        bench::headline("wall_s_" + suffix, wall_s);
+        bench::headline("throughput_" + suffix, throughput);
+        bench::headline("csv_identical_" + suffix,
+                        csv_identical ? 1.0 : 0.0);
+        bench::headline("journal_identical_" + suffix,
+                        journal_identical ? 1.0 : 0.0);
+    }
+    const double speedup =
+        wall_4w > 0.0 ? wall_1w / wall_4w : 0.0;
+    std::printf("speedup 1w -> 4w: %.2fx\n", speedup);
+    bench::headline("speedup_4w", speedup);
+
+    // Chaos pass: dead worker + chaos-proxied worker + a healthy worker
+    // killed mid-run. The fleet must still produce the oracle's bytes,
+    // with at least one reassignment along the way.
+    bool chaos_ok = true;
+    std::uint64_t chaos_reassigned = 0;
+    if (options.chaos) {
+        const std::uint64_t chaos_seed = options.chaos_seed != 0
+                                             ? options.chaos_seed
+                                             : options.seed + 7791;
+        fault::NetFaultInjector proxy_chaos(proxy_chaos_spec(chaos_seed));
+        std::printf("chaos (proxy): %s\n",
+                    proxy_chaos.describe().c_str());
+
+        // A worker that is dead on arrival: start a server only to
+        // learn a just-released port, then aim a lane at it.
+        int dead_port = 0;
+        {
+            serve::ServerOptions dead_options;
+            dead_options.host = "127.0.0.1";
+            dead_options.threads = 1;
+            serve::Server dead(dead_options);
+            dead.start();
+            dead_port = dead.port();
+            dead.stop();
+        }
+
+        serve::ServerOptions server_options;
+        server_options.host = "127.0.0.1";
+        server_options.threads = options.streams;
+        serve::Server victim(server_options);  // killed mid-run
+        victim.start();
+        serve::Server survivor(server_options);
+        survivor.start();
+        serve::ChaosProxyOptions proxy_options;
+        proxy_options.host = "127.0.0.1";
+        proxy_options.upstream_host = "127.0.0.1";
+        proxy_options.upstream_port = survivor.port();
+        proxy_options.chaos = &proxy_chaos;
+        serve::ChaosProxy proxy(proxy_options);
+        proxy.start();
+
+        dist::DistCampaignOptions dist_options;
+        dist_options.workers = {{"127.0.0.1", victim.port()},
+                                {"127.0.0.1", proxy.port()},
+                                {"127.0.0.1", dead_port}};
+        dist_options.streams_per_worker = options.streams;
+        // A little more patience per lane: the proxy path eats
+        // transients by design and must not die with the victim.
+        dist_options.max_worker_failures = 4;
+        dist_options.journal_path = dist_journal;
+        std::remove(dist_journal.c_str());
+
+        std::thread killer([&victim] {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(1.0));
+            victim.stop();
+        });
+        obs::SpanTimer timer("bench/dist_chaos");
+        const dist::DistCampaignResult result =
+            dist::run_distributed_campaign(spec, dist_options);
+        const double wall_s = timer.elapsed_s();
+        killer.join();
+        proxy.stop();
+        survivor.stop();
+
+        const bool csv_identical =
+            campaign_csv(result.campaign) == reference_csv;
+        const bool journal_identical =
+            read_file(dist_journal) == reference_journal_bytes;
+        std::remove(dist_journal.c_str());
+        chaos_reassigned = result.reassigned;
+        std::size_t dead_workers = 0;
+        for (const dist::WorkerReport& report : result.workers) {
+            if (report.dead)
+                ++dead_workers;
+        }
+        chaos_ok = csv_identical && journal_identical &&
+                   chaos_reassigned >= 1;
+
+        std::printf("chaos: %.3f s, reassigned %llu, dead workers %zu, "
+                    "csv %s, journal %s\n",
+                    wall_s,
+                    static_cast<unsigned long long>(chaos_reassigned),
+                    dead_workers,
+                    csv_identical ? "identical" : "MISMATCH",
+                    journal_identical ? "identical" : "MISMATCH");
+        bench::headline("chaos_wall_s", wall_s);
+        bench::headline("chaos_reassigned",
+                        static_cast<double>(chaos_reassigned));
+        bench::headline("chaos_workers_dead",
+                        static_cast<double>(dead_workers));
+        bench::headline("chaos_csv_identical",
+                        csv_identical ? 1.0 : 0.0);
+        bench::headline("chaos_journal_identical",
+                        journal_identical ? 1.0 : 0.0);
+    }
+    bench::headline("chaos_enabled", options.chaos ? 1.0 : 0.0);
+
+    const bool pass = all_identical && chaos_ok;
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

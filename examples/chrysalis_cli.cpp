@@ -5,6 +5,10 @@
 /// Usage:
 ///   chrysalis_cli serve [serve options]   run the evaluation daemon
 ///   chrysalis_cli call [call options]     send one serve-v1 request
+///   chrysalis_cli campaign [options]      run a campaign locally or —
+///                                         with --workers host:port,...
+///                                         — across a daemon fleet
+///                                         (byte-identical output)
 ///   chrysalis_cli [options]
 ///     --model <zoo-name|path.model>   workload (default: kws). A path is
 ///                                     parsed with dnn::load_model.
@@ -47,7 +51,9 @@
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
 #include "core/campaign.hpp"
+#include "core/campaign_spec.hpp"
 #include "core/chrysalis.hpp"
+#include "dist/coordinator.hpp"
 #include "dnn/model_io.hpp"
 #include "dnn/model_zoo.hpp"
 #include "fault/fault_injector.hpp"
@@ -354,6 +360,184 @@ run_cli(const CliOptions& options)
     return 0;
 }
 
+// ---- `campaign` subcommand -----------------------------------------------
+
+void
+campaign_usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s campaign [--model zoo-name] [--space existing|future]\n"
+        "          [--cases n] [--sp-limit cm2] [--lat-limit s]\n"
+        "          [--population n] [--generations n] [--seed n]\n"
+        "          [--bright W/cm2] [--dark W/cm2]\n"
+        "          [--fault-dropout p] [--fault-age years]\n"
+        "          [--fault-ckpt p] [--max-attempts n]\n"
+        "          [--workers host:port,host:port,...]\n"
+        "          [--streams n] [--request-timeout s] [--journal file]\n"
+        "          [--threads n] [--deterministic]\n"
+        "          [--metrics-out file] [--trace-out file]\n"
+        "Runs a campaign (objectives cycling latsp/lat/sp) and prints\n"
+        "the campaign CSV. Without --workers the cases run in this\n"
+        "process (--threads fans out); with --workers they are\n"
+        "dispatched to chrysalis_served daemons, and the CSV (and\n"
+        "--journal) is byte-identical to a local --deterministic run —\n"
+        "at any worker count, including after reassignments.\n"
+        "--deterministic drops the wall_time_s CSV column and zeroes\n"
+        "journal wall times (always on with --workers). Distributed\n"
+        "campaigns accept model-zoo names only.\n",
+        argv0);
+}
+
+int
+run_campaign_cli(int argc, char** argv, int first)
+{
+    core::CampaignSpec spec;
+    std::string workers;
+    std::string journal;
+    std::string metrics_out;
+    std::string trace_out;
+    int streams = 1;
+    double request_timeout_s = -1.0;  ///< <0 keeps the dist default
+    int threads = 1;
+    bool deterministic = false;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_inline = true;
+            }
+        }
+        const auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            campaign_usage(argv[0]);
+            return 0;
+        } else if (arg == "--model") {
+            spec.model = next();
+        } else if (arg == "--space") {
+            spec.space = next();
+        } else if (arg == "--cases") {
+            spec.cases = std::stoi(next());
+        } else if (arg == "--sp-limit") {
+            spec.sp_limit_cm2 = std::stod(next());
+        } else if (arg == "--lat-limit") {
+            spec.lat_limit_s = std::stod(next());
+        } else if (arg == "--population") {
+            spec.population = std::stoi(next());
+        } else if (arg == "--generations") {
+            spec.generations = std::stoi(next());
+        } else if (arg == "--seed") {
+            spec.seed = std::stoull(next());
+        } else if (arg == "--bright") {
+            spec.bright_w_cm2 = std::stod(next());
+        } else if (arg == "--dark") {
+            spec.dark_w_cm2 = std::stod(next());
+        } else if (arg == "--fault-dropout") {
+            spec.fault_dropout = std::stod(next());
+        } else if (arg == "--fault-age") {
+            spec.fault_age_years = std::stod(next());
+        } else if (arg == "--fault-ckpt") {
+            spec.fault_ckpt = std::stod(next());
+        } else if (arg == "--max-attempts") {
+            spec.max_attempts = std::stoi(next());
+        } else if (arg == "--workers") {
+            workers = next();
+        } else if (arg == "--streams") {
+            streams = std::stoi(next());
+        } else if (arg == "--request-timeout") {
+            request_timeout_s = std::stod(next());
+        } else if (arg == "--journal") {
+            journal = next();
+        } else if (arg == "--threads") {
+            threads = std::stoi(next());
+        } else if (arg == "--deterministic") {
+            deterministic = true;
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            campaign_usage(argv[0]);
+            return 2;
+        }
+    }
+    spec.validate();
+
+    obs::MetricsRegistry registry;
+    obs::TraceSession trace_session;
+    if (!metrics_out.empty())
+        obs::attach_metrics(&registry);
+    if (!trace_out.empty())
+        obs::attach_trace(&trace_session);
+
+    core::CampaignResult result;
+    if (workers.empty()) {
+        const dnn::Model model = dnn::make_model(spec.model);
+        const std::vector<core::CampaignCase> cases =
+            core::build_campaign_cases(spec, model);
+        std::unique_ptr<fault::FaultInjector> faults;
+        const search::ExplorerOptions base =
+            core::build_explorer_options(spec, faults);
+        core::CampaignOptions campaign_options;
+        campaign_options.threads = threads;
+        campaign_options.max_attempts = spec.max_attempts;
+        campaign_options.journal_path = journal;
+        campaign_options.deterministic_journal = deterministic;
+        result = core::run_campaign(cases, base, campaign_options);
+        result.write_csv(std::cout, deterministic
+                                        ? core::CsvColumns::kDeterministic
+                                        : core::CsvColumns::kAll);
+    } else {
+        dist::DistCampaignOptions dist_options;
+        dist_options.workers = dist::parse_worker_list(workers);
+        dist_options.streams_per_worker = streams;
+        dist_options.journal_path = journal;
+        if (request_timeout_s >= 0.0)
+            dist_options.client.request_timeout_s = request_timeout_s;
+        const dist::DistCampaignResult dist_result =
+            dist::run_distributed_campaign(spec, dist_options);
+        result = dist_result.campaign;
+        // Distributed records carry no wall times, so the CSV is
+        // always the deterministic column set.
+        result.write_csv(std::cout, core::CsvColumns::kDeterministic);
+        std::fprintf(stderr,
+                     "# dist: %zu cases, %llu dispatched, "
+                     "%llu reassigned, %zu restored, %zu/%zu workers "
+                     "ready\n",
+                     dist_result.cases,
+                     static_cast<unsigned long long>(
+                         dist_result.dispatched),
+                     static_cast<unsigned long long>(
+                         dist_result.reassigned),
+                     dist_result.restored, dist_result.workers_ready,
+                     dist_result.workers.size());
+    }
+
+    obs::attach_metrics(nullptr);
+    obs::attach_trace(nullptr);
+    if (!metrics_out.empty())
+        registry.write_json_file(metrics_out);
+    if (!trace_out.empty())
+        trace_session.write_chrome_trace_file(trace_out);
+
+    for (const auto& entry : result.entries) {
+        if (entry.solution.feasible)
+            return 0;
+    }
+    return 1;
+}
+
 }  // namespace
 
 int
@@ -366,6 +550,8 @@ main(int argc, char** argv)
         return serve::run_serve_cli(argc, argv, 2);
     if (argc > 1 && std::strcmp(argv[1], "call") == 0)
         return serve::run_call_cli(argc, argv, 2);
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+        return run_campaign_cli(argc, argv, 2);
 
     CliOptions options;
     if (!parse_args(argc, argv, options))

@@ -124,6 +124,12 @@ scan_flat_json(const std::string& line, FlatJsonFields& fields)
             if (!parse_string(value))
                 return false;
         } else {
+            // Flat means flat: a nested object or array is a
+            // structural error, not a bare value. Without this check a
+            // single-field nested object scans "successfully" into
+            // mangled fields.
+            if (i < line.size() && (line[i] == '{' || line[i] == '['))
+                return false;
             const std::size_t start = i;
             while (i < line.size() && line[i] != ',' && line[i] != '}')
                 ++i;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
@@ -126,15 +127,17 @@ run_case(const CampaignCase& campaign_case,
 /// caught (via FatalThrowGuard), retried with capped exponential backoff
 /// and — when attempts are exhausted — turned into an infeasible
 /// kCrashed entry so one bad case cannot kill a long campaign.
+/// \p progress is optional: campaign workers report retries and crashes
+/// to the heartbeat, standalone (run_campaign_case) callers pass null.
 CampaignEntry
-run_case_isolated(const CampaignCase& campaign_case,
-                  const search::ExplorerOptions& base_options,
-                  std::size_t index, const CampaignOptions& campaign_options,
-                  obs::ProgressReporter& progress)
+run_case_with_retries(const CampaignCase& campaign_case,
+                      const search::ExplorerOptions& base_options,
+                      std::size_t index, int max_attempts,
+                      double retry_backoff_s, double retry_backoff_cap_s,
+                      obs::ProgressReporter* progress)
 {
     std::string last_error;
-    for (int attempt = 1; attempt <= campaign_options.max_attempts;
-         ++attempt) {
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
         try {
             FatalThrowGuard guard;
             CampaignEntry entry =
@@ -144,31 +147,30 @@ run_case_isolated(const CampaignCase& campaign_case,
         } catch (const std::exception& error) {
             last_error = error.what();
             warn("campaign case '", campaign_case.label, "' attempt ",
-                 attempt, "/", campaign_options.max_attempts,
-                 " failed: ", last_error);
+                 attempt, "/", max_attempts, " failed: ", last_error);
         }
-        if (attempt < campaign_options.max_attempts) {
-            progress.note_retry();
+        if (attempt < max_attempts) {
+            if (progress != nullptr)
+                progress->note_retry();
             if (obs::MetricsRegistry* registry = obs::metrics())
                 registry->counter("campaign/case_retries").add(1);
         }
-        if (attempt < campaign_options.max_attempts &&
-            campaign_options.retry_backoff_s > 0.0) {
+        if (attempt < max_attempts && retry_backoff_s > 0.0) {
             const double backoff = std::min(
-                campaign_options.retry_backoff_cap_s,
-                campaign_options.retry_backoff_s *
-                    std::pow(2.0, attempt - 1));
+                retry_backoff_cap_s,
+                retry_backoff_s * std::pow(2.0, attempt - 1));
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(backoff));
         }
     }
-    progress.note_crash();
+    if (progress != nullptr)
+        progress->note_crash();
     if (obs::MetricsRegistry* registry = obs::metrics())
         registry->counter("campaign/cases_crashed").add(1);
     CampaignEntry entry;
     entry.label = campaign_case.label;
     entry.objective_label = to_string(campaign_case.objective.kind);
-    entry.attempts = campaign_options.max_attempts;
+    entry.attempts = max_attempts;
     entry.solution.feasible = false;
     entry.solution.failure = fault::make_failure(
         fault::FailureCode::kCrashed, last_error);
@@ -178,6 +180,18 @@ run_case_isolated(const CampaignCase& campaign_case,
 }
 
 }  // namespace
+
+CampaignEntry
+run_campaign_case(const CampaignCase& campaign_case,
+                  const search::ExplorerOptions& base_options,
+                  std::size_t index, int max_attempts)
+{
+    if (max_attempts < 1)
+        fatal("run_campaign_case: max_attempts must be >= 1, got ",
+              max_attempts);
+    return run_case_with_retries(campaign_case, base_options, index,
+                                 max_attempts, 0.0, 0.0, nullptr);
+}
 
 CampaignResult
 run_campaign(const std::vector<CampaignCase>& cases,
@@ -229,12 +243,16 @@ run_campaign(const std::vector<CampaignCase>& cases,
             }
         }
         CampaignEntry entry = campaign_options.isolate_failures
-            ? run_case_isolated(cases[index], base_options, index,
-                                campaign_options, progress)
+            ? run_case_with_retries(cases[index], base_options, index,
+                                    campaign_options.max_attempts,
+                                    campaign_options.retry_backoff_s,
+                                    campaign_options.retry_backoff_cap_s,
+                                    &progress)
             : run_case(cases[index], base_options, index);
         if (journaled) {
-            const JournalRecord record =
-                to_journal_record(entry, keys[index]);
+            JournalRecord record = to_journal_record(entry, keys[index]);
+            if (campaign_options.deterministic_journal)
+                record = deterministic_record(std::move(record));
             std::lock_guard<std::mutex> lock(journal_mutex);
             append_campaign_journal(campaign_options.journal_path, record);
         }

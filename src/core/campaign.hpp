@@ -94,6 +94,13 @@ struct CampaignOptions {
     /// kWarn threshold). 0 logs a line after every finished case.
     double progress_interval_s = 5.0;
 
+    /// When true, journal records are written with the volatile
+    /// wall-clock fields zeroed (see deterministic_record()), so two
+    /// runs of the same campaign produce byte-identical journal lines —
+    /// the property the distributed coordinator's byte-identity
+    /// guarantee is checked against.
+    bool deterministic_journal = false;
+
     /// fatal() with an actionable message when any field is out of range.
     void validate() const;
 };
@@ -108,6 +115,17 @@ CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
 /// Sequential convenience overload (CampaignOptions defaults).
 CampaignResult run_campaign(const std::vector<CampaignCase>& cases,
                             const search::ExplorerOptions& base_options);
+
+/// Runs a single campaign case exactly as run_campaign would — same
+/// per-index seed offset, same FatalThrowGuard crash isolation with up
+/// to \p max_attempts attempts, same kCrashed fallback entry — without
+/// the campaign scaffolding (thread pool, journal, progress). This is
+/// the unit of work a `run_case` serve request executes on a worker:
+/// because it is the same code path, a remotely evaluated case is
+/// bit-identical to a local one.
+CampaignEntry run_campaign_case(const CampaignCase& campaign_case,
+                                const search::ExplorerOptions& base_options,
+                                std::size_t index, int max_attempts = 2);
 
 }  // namespace chrysalis::core
 

@@ -134,6 +134,14 @@ to_journal_record(const CampaignEntry& entry, const std::string& key)
     return record;
 }
 
+JournalRecord
+deterministic_record(JournalRecord record)
+{
+    record.search_wall_time_s = 0.0;
+    record.wall_time_s = 0.0;
+    return record;
+}
+
 CampaignEntry
 from_journal_record(const JournalRecord& record)
 {

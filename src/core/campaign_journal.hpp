@@ -63,6 +63,14 @@ std::string campaign_case_key_hex(const CampaignCase& campaign_case,
 JournalRecord to_journal_record(const CampaignEntry& entry,
                                 const std::string& key);
 
+/// Copy of \p record with the volatile wall-clock fields
+/// (search_wall_time_s, wall_time_s) zeroed — every remaining field is
+/// a pure function of the case and the base options, so a
+/// deterministic-journal line is reproducible byte-for-byte across
+/// runs, processes and (the distributed coordinator's guarantee)
+/// worker fleets.
+JournalRecord deterministic_record(JournalRecord record);
+
 /// Reconstructs a (summary-only) entry from a journal record.
 CampaignEntry from_journal_record(const JournalRecord& record);
 

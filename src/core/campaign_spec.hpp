@@ -1,0 +1,110 @@
+/// \file
+/// Wire-serializable campaign description: the unit of work a
+/// distributed campaign ships to `chrysalis_served` workers.
+///
+/// A `CampaignSpec` captures everything that shapes a campaign's
+/// *results* — workload, design space, objective cycle, GA budget,
+/// seeds, environments, fault spec — as flat scalar fields, so the same
+/// spec can be (a) expanded locally into `CampaignCase`s +
+/// `ExplorerOptions` and run through `run_campaign`, or (b) encoded
+/// into `chrysalis-serve-v1` `run_case` request fields, evaluated on a
+/// remote worker, and merged back byte-identically. Execution knobs
+/// that never change results (thread counts, timeouts, journal paths)
+/// are deliberately *not* part of the spec.
+///
+/// The spec mirrors `chrysalis_cli --campaign`: \p cases search cases
+/// over one workload, objectives cycling latsp/lat/sp, per-case seeds
+/// decorrelated by `run_campaign`'s index offset.
+
+#ifndef CHRYSALIS_CORE_CAMPAIGN_SPEC_HPP
+#define CHRYSALIS_CORE_CAMPAIGN_SPEC_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flat_json.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_journal.hpp"
+#include "fault/fault_injector.hpp"
+
+namespace chrysalis::core {
+
+/// Result-shaping description of one campaign. validate() fatals on
+/// out-of-range fields.
+struct CampaignSpec {
+    std::string model = "kws";       ///< model-zoo workload name
+    std::string space = "existing";  ///< "existing" | "future"
+    int cases = 6;                   ///< objectives cycle latsp/lat/sp
+    double sp_limit_cm2 = 20.0;      ///< panel budget (lat objective)
+    double lat_limit_s = 10.0;       ///< deadline (sp objective)
+    int population = 24;             ///< HW-level GA population
+    int generations = 16;            ///< HW-level GA generations
+    std::uint64_t seed = 1;          ///< base search seed
+    double bright_w_cm2 = 2.0e-3;    ///< brighter environment k_eh
+    double dark_w_cm2 = 0.5e-3;      ///< darker environment k_eh
+    double fault_dropout = 0.0;      ///< harvester dropout probability
+    double fault_age_years = 0.0;    ///< capacitor mission age
+    double fault_ckpt = 0.0;         ///< checkpoint corruption rate
+    int max_attempts = 2;            ///< per-case isolation attempts
+
+    void validate() const;
+};
+
+/// Objective kind of case \p index: "latsp", "lat", "sp", cycling — the
+/// `chrysalis_cli --campaign` scheme.
+const char* campaign_case_kind(std::size_t index);
+
+/// Label of case \p index: "<model-name>-<kind>-<index>".
+std::string campaign_case_label(const std::string& model_name,
+                                std::size_t index);
+
+/// Builds case \p index over \p model (resolved by the caller so local
+/// runs may use file-loaded models; workers use make_model(spec.model),
+/// which must agree with the coordinator's resolution for distributed
+/// byte-identity).
+CampaignCase build_campaign_case(const CampaignSpec& spec,
+                                 const dnn::Model& model,
+                                 std::size_t index);
+
+/// All spec.cases cases, in index order.
+std::vector<CampaignCase> build_campaign_cases(const CampaignSpec& spec,
+                                               const dnn::Model& model);
+
+/// ExplorerOptions the spec describes: defaults + GA budget, seed,
+/// environments and — when any fault knob is active — an injector
+/// (owned via \p faults, which must outlive the returned options).
+search::ExplorerOptions
+build_explorer_options(const CampaignSpec& spec,
+                       std::unique_ptr<fault::FaultInjector>& faults);
+
+/// Encodes the spec as flat request fields (doubles via
+/// format_double_17g so the encoding is byte-stable and cache-keyable).
+FlatJsonFields to_fields(const CampaignSpec& spec);
+
+/// to_fields() plus the per-request "case_index" field — the parameter
+/// set of one `run_case` request.
+FlatJsonFields case_request_fields(const CampaignSpec& spec,
+                                   std::size_t index);
+
+/// Decodes request fields into a spec. Absent fields keep their
+/// defaults; present-but-unparsable fields fatal() (the serve dispatch
+/// layer converts that into a `bad_request` reply).
+CampaignSpec spec_from_fields(const FlatJsonFields& fields);
+
+/// Appends a journal record's result fields (label, objective,
+/// hardware, metrics, failure, attempts — everything except `key` and
+/// the volatile wall times) to a response body under construction.
+/// Inverse of campaign_record_from_fields().
+void append_record_fields(std::string& body, const JournalRecord& record);
+
+/// Parses the fields appended by append_record_fields() back into a
+/// record (key left empty, wall times zero). Returns false when any
+/// field is missing or malformed.
+bool campaign_record_from_fields(const FlatJsonFields& fields,
+                                 JournalRecord& record);
+
+}  // namespace chrysalis::core
+
+#endif  // CHRYSALIS_CORE_CAMPAIGN_SPEC_HPP

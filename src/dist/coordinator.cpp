@@ -1,0 +1,451 @@
+#include "dist/coordinator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "core/campaign_journal.hpp"
+#include "dnn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
+
+namespace chrysalis::dist {
+
+DistCampaignOptions::DistCampaignOptions()
+{
+    // A run_case request executes a whole bi-level search; the serve
+    // default deadline (sized for single evaluations) would turn every
+    // healthy long case into a spurious reassignment.
+    client.request_timeout_s = 300.0;
+}
+
+void
+DistCampaignOptions::validate() const
+{
+    if (workers.empty())
+        fatal("DistCampaignOptions: workers must not be empty");
+    client.validate();
+    if (streams_per_worker < 1)
+        fatal("DistCampaignOptions: streams_per_worker must be >= 1, "
+              "got ", streams_per_worker);
+    if (max_worker_failures < 1)
+        fatal("DistCampaignOptions: max_worker_failures must be >= 1, "
+              "got ", max_worker_failures);
+    if (!(progress_interval_s >= 0.0) ||
+        !std::isfinite(progress_interval_s))
+        fatal("DistCampaignOptions: progress_interval_s must be finite "
+              "and >= 0, got ", progress_interval_s);
+}
+
+namespace {
+
+/// Metric-name-safe spelling of a worker identity ("host:1234" ->
+/// "host_1234") so per-worker counters nest under dist/worker/.
+std::string
+sanitize_worker_id(const std::string& id)
+{
+    std::string out = id;
+    for (char& c : out) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!keep)
+            c = '_';
+    }
+    return out;
+}
+
+/// State shared by every lane; all mutation under `mutex`.
+struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    /// Unfinished case indices. Pops come from the front (lowest index
+    /// first) and reassignments push the front, so dispatch order stays
+    /// lowest-index-first even under failures.
+    std::deque<std::size_t> queue;
+    std::size_t inflight = 0;
+    bool aborted = false;        ///< poison reply: stop the fleet
+    std::string abort_error;
+    std::vector<core::JournalRecord> records;  ///< per case index
+    std::vector<char> done;
+    std::vector<int> live_lanes;               ///< per worker
+    std::uint64_t dispatched = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t reassigned = 0;
+};
+
+/// How one request outcome drives the scheduler.
+enum class Outcome {
+    kSuccess,    ///< record stored
+    kTransient,  ///< requeue + count against the lane's budget
+    kPoison,     ///< deterministic refusal: abort the campaign
+};
+
+void
+bump_counter(const char* name, obs::Stability stability,
+             std::uint64_t delta = 1)
+{
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->counter(name, stability).add(delta);
+}
+
+void
+set_queue_gauge(std::size_t depth)
+{
+    if (obs::MetricsRegistry* registry = obs::metrics())
+        registry->gauge("dist/queue_depth", obs::Stability::kVolatile)
+            .set(static_cast<double>(depth));
+}
+
+/// One lane: pops case indices, sends run_case requests over its own
+/// client, stores records / requeues failures. Exits when the work is
+/// finished, the campaign aborted, or its failure budget is spent.
+void
+lane_loop(const core::CampaignSpec& spec,
+          const std::vector<std::string>& labels,
+          const std::vector<std::string>& keys,
+          const DistCampaignOptions& options, std::size_t worker_index,
+          Shared& shared, std::vector<WorkerReport>& reports,
+          obs::ProgressReporter& progress)
+{
+    WorkerReport& report = reports[worker_index];
+    serve::Client client(options.client);
+    // connect() also *remembers* the address — request()'s automatic
+    // reconnect needs that even when this first dial fails (a worker
+    // that is down right now may come back mid-campaign).
+    client.connect(report.address.host, report.address.port);
+    const std::string completed_metric =
+        "dist/worker/" +
+        sanitize_worker_id(report.worker_id.empty()
+                               ? report.address.to_string()
+                               : report.worker_id) +
+        "/completed";
+    int consecutive_failures = 0;
+
+    while (true) {
+        std::size_t index = 0;
+        {
+            std::unique_lock<std::mutex> lock(shared.mutex);
+            shared.cv.wait(lock, [&] {
+                return shared.aborted || !shared.queue.empty() ||
+                       shared.inflight == 0;
+            });
+            // Exit only when nothing is queued AND nothing is in
+            // flight: an in-flight case on another lane may still fail
+            // and come back to the queue.
+            if (shared.aborted ||
+                (shared.queue.empty() && shared.inflight == 0)) {
+                --shared.live_lanes[worker_index];
+                return;
+            }
+            index = shared.queue.front();
+            shared.queue.pop_front();
+            ++shared.inflight;
+            ++shared.dispatched;
+            set_queue_gauge(shared.queue.size());
+        }
+        bump_counter("dist/dispatched", obs::Stability::kVolatile);
+
+        const FlatJsonFields fields =
+            core::case_request_fields(spec, index);
+        const double start_s = obs::monotonic_seconds();
+        serve::Response response;
+        const serve::CallStatus status =
+            client.request("run_case", fields, response);
+        if (obs::MetricsRegistry* registry = obs::metrics()) {
+            registry
+                ->histogram("dist/request_latency_s",
+                            obs::latency_bounds(),
+                            obs::Stability::kVolatile)
+                .record(obs::monotonic_seconds() - start_s);
+        }
+
+        Outcome outcome = Outcome::kTransient;
+        std::string error;
+        core::JournalRecord record;
+        if (status == serve::CallStatus::kOk) {
+            if (response.ok) {
+                if (!core::campaign_record_from_fields(response.fields,
+                                                       record)) {
+                    error = "malformed run_case reply";
+                } else if (record.label != labels[index]) {
+                    error = "reply labelled '" + record.label +
+                            "' for case '" + labels[index] + "'";
+                } else {
+                    outcome = Outcome::kSuccess;
+                }
+            } else if (response.error == serve::kErrOverloaded ||
+                       response.error == serve::kErrShuttingDown) {
+                error = response.error + ": " + response.detail;
+            } else {
+                // bad_request / unknown_type / bad_version: the reply
+                // is a pure function of the request, so every worker
+                // would refuse identically — do not cycle the fleet.
+                outcome = Outcome::kPoison;
+                error = response.error + ": " + response.detail;
+            }
+        } else {
+            error = serve::to_string(status);
+        }
+
+        bool lane_dead = false;
+        {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            --shared.inflight;
+            switch (outcome) {
+              case Outcome::kSuccess:
+                record.key = keys[index];
+                if (!options.journal_path.empty()) {
+                    core::append_campaign_journal(options.journal_path,
+                                                  record);
+                }
+                shared.records[index] = std::move(record);
+                shared.done[index] = 1;
+                ++shared.completed;
+                ++report.completed;
+                consecutive_failures = 0;
+                break;
+              case Outcome::kTransient:
+                shared.queue.push_front(index);
+                ++shared.reassigned;
+                ++report.failures;
+                report.last_error = error;
+                ++consecutive_failures;
+                if (consecutive_failures >=
+                    options.max_worker_failures) {
+                    lane_dead = true;
+                    if (--shared.live_lanes[worker_index] == 0)
+                        report.dead = true;
+                }
+                set_queue_gauge(shared.queue.size());
+                break;
+              case Outcome::kPoison:
+                shared.aborted = true;
+                shared.abort_error = "case '" + labels[index] +
+                                     "' refused by " +
+                                     report.address.to_string() + ": " +
+                                     error;
+                --shared.live_lanes[worker_index];
+                break;
+            }
+        }
+        shared.cv.notify_all();
+
+        if (outcome == Outcome::kSuccess) {
+            bump_counter("dist/completed", obs::Stability::kStable);
+            bump_counter(completed_metric.c_str(),
+                         obs::Stability::kVolatile);
+            progress.advance();
+        } else if (outcome == Outcome::kTransient) {
+            bump_counter("dist/reassigned", obs::Stability::kVolatile);
+            bump_counter("dist/worker_failures",
+                         obs::Stability::kVolatile);
+            progress.note_retry();
+            warn("dist: case '", labels[index], "' reassigned (worker ",
+                 report.address.to_string(), ": ", error, ")");
+        } else {
+            return;  // poison: abort flag is set, fleet unwinds
+        }
+        if (lane_dead) {
+            bump_counter("dist/workers_dead", obs::Stability::kVolatile);
+            warn("dist: worker ", report.address.to_string(),
+                 " dropped after ", options.max_worker_failures,
+                 " consecutive failures (last: ", error, ")");
+            return;
+        }
+        if (status == serve::CallStatus::kCircuitOpen) {
+            // The breaker fast-fails without touching the network; pace
+            // the lane so it does not burn its whole failure budget
+            // inside one cooldown window.
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options.client.circuit_breaker_cooldown_s));
+        }
+    }
+}
+
+}  // namespace
+
+DistCampaignResult
+run_distributed_campaign(const core::CampaignSpec& spec,
+                         const DistCampaignOptions& options)
+{
+    spec.validate();
+    options.validate();
+    if (spec.model.find('.') != std::string::npos ||
+        spec.model.find('/') != std::string::npos) {
+        fatal("distributed campaigns require a model-zoo name (workers "
+              "cannot read a model file from the coordinator's disk); "
+              "got '", spec.model, "'");
+    }
+
+    obs::SpanTimer timer("dist/run");
+
+    const dnn::Model model = dnn::make_model(spec.model);
+    const std::vector<core::CampaignCase> cases =
+        core::build_campaign_cases(spec, model);
+    std::unique_ptr<fault::FaultInjector> faults;
+    const search::ExplorerOptions base =
+        core::build_explorer_options(spec, faults);
+
+    const std::size_t count = cases.size();
+    std::vector<std::string> labels(count);
+    std::vector<std::string> keys(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        labels[i] = cases[i].label;
+        keys[i] = core::campaign_case_key_hex(cases[i], base, i);
+    }
+
+    Shared shared;
+    shared.records.resize(count);
+    shared.done.assign(count, 0);
+    shared.live_lanes.assign(
+        options.workers.size(),
+        options.streams_per_worker);
+
+    // Resume: restore journaled cases, queue the rest in index order.
+    std::vector<char> restored(count, 0);
+    std::size_t restored_count = 0;
+    const bool journaled = !options.journal_path.empty();
+    if (journaled) {
+        const auto journal =
+            core::load_campaign_journal(options.journal_path);
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto it = journal.find(keys[i]);
+            if (it == journal.end())
+                continue;
+            shared.records[i] =
+                core::deterministic_record(it->second);
+            shared.records[i].key = keys[i];
+            shared.done[i] = 1;
+            restored[i] = 1;
+            ++restored_count;
+        }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!shared.done[i])
+            shared.queue.push_back(i);
+    }
+
+    // Informational readiness probe; dispatch never gates on it.
+    WorkerPool pool(options.workers, options.client);
+    pool.probe();
+    DistCampaignResult result;
+    result.cases = count;
+    result.restored = restored_count;
+    result.workers_ready = pool.ready_count();
+    result.workers.reserve(pool.statuses().size());
+    for (const WorkerStatus& status : pool.statuses()) {
+        WorkerReport report;
+        report.address = status.address;
+        report.worker_id = status.worker_id;
+        report.ready_at_start = status.ready;
+        result.workers.push_back(std::move(report));
+    }
+
+    bump_counter("dist/cases_total", obs::Stability::kStable, count);
+    bump_counter("dist/journal_restored", obs::Stability::kStable,
+                 restored_count);
+    if (obs::MetricsRegistry* registry = obs::metrics()) {
+        registry->gauge("dist/workers_ready", obs::Stability::kVolatile)
+            .set(static_cast<double>(result.workers_ready));
+    }
+    set_queue_gauge(shared.queue.size());
+
+    obs::ProgressReporter::Options progress_options;
+    progress_options.min_interval_s = options.progress_interval_s;
+    obs::ProgressReporter progress("dist", count, progress_options);
+    for (std::size_t i = 0; i < restored_count; ++i)
+        progress.note_restored();
+    progress.advance(restored_count);
+
+    if (!shared.queue.empty()) {
+        std::vector<std::thread> lanes;
+        lanes.reserve(options.workers.size() *
+                      static_cast<std::size_t>(
+                          options.streams_per_worker));
+        for (std::size_t w = 0; w < options.workers.size(); ++w) {
+            for (int s = 0; s < options.streams_per_worker; ++s) {
+                lanes.emplace_back([&, w] {
+                    lane_loop(spec, labels, keys, options, w, shared,
+                              result.workers, progress);
+                });
+            }
+        }
+        for (std::thread& lane : lanes)
+            lane.join();
+    }
+
+    if (shared.aborted)
+        fatal("distributed campaign aborted: ", shared.abort_error);
+    std::size_t missing = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!shared.done[i])
+            ++missing;
+    }
+    if (missing > 0) {
+        std::string detail;
+        for (const WorkerReport& report : result.workers) {
+            if (report.last_error.empty())
+                continue;
+            if (!detail.empty())
+                detail += "; ";
+            detail += report.address.to_string() + ": " +
+                      report.last_error;
+        }
+        fatal("distributed campaign failed: ", missing, " of ", count,
+              " cases unfinished after every worker died (", detail,
+              ")");
+    }
+
+    // Merge in case order — this is what makes dynamic assignment
+    // invisible in the output.
+    result.campaign.entries.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        core::CampaignEntry entry =
+            core::from_journal_record(shared.records[i]);
+        entry.from_journal = restored[i] != 0;
+        result.campaign.entries.push_back(std::move(entry));
+    }
+    result.campaign.journal_skips = restored_count;
+
+    // Canonical journal rewrite: same bytes as an uninterrupted
+    // single-process deterministic-journal run — records in case order,
+    // foreign/stale keys dropped. Atomic via rename so a kill leaves
+    // either the old append-order journal or the new canonical one.
+    if (journaled) {
+        const std::string tmp_path = options.journal_path + ".tmp";
+        {
+            std::ofstream output(tmp_path, std::ios::trunc);
+            if (!output)
+                fatal("dist: cannot write journal '", tmp_path, "'");
+            for (std::size_t i = 0; i < count; ++i)
+                output << core::to_json_line(shared.records[i]) << '\n';
+            output.flush();
+            if (!output)
+                fatal("dist: write to '", tmp_path, "' failed");
+        }
+        if (std::rename(tmp_path.c_str(),
+                        options.journal_path.c_str()) != 0) {
+            fatal("dist: cannot rename '", tmp_path, "' over '",
+                  options.journal_path, "'");
+        }
+    }
+
+    progress.finish();
+    result.dispatched = shared.dispatched;
+    result.completed = shared.completed;
+    result.reassigned = shared.reassigned;
+    result.campaign.wall_time_s = timer.elapsed_s();
+    return result;
+}
+
+}  // namespace chrysalis::dist

@@ -1,0 +1,81 @@
+/// \file
+/// Worker fleet bookkeeping for distributed campaigns: parse
+/// "host:port,host:port" worker lists and probe each daemon's `health`
+/// endpoint to learn its identity and readiness before work is
+/// dispatched.
+///
+/// Probing is *informational*: the coordinator reports which workers
+/// answered (and under which `worker_id`), but dispatch never gates on
+/// a successful probe — a worker that was busy during the probe can
+/// still pull work, and a worker that dies after probing is handled by
+/// the coordinator's reassignment path. This keeps the probe free of
+/// TOCTOU semantics: readiness is a snapshot, not a contract.
+///
+/// This layer speaks only `serve::Client`; it contains no sockets of
+/// its own (enforced by chrysalis_lint's network-header rule, which
+/// does not allowlist src/dist/).
+
+#ifndef CHRYSALIS_DIST_WORKER_POOL_HPP
+#define CHRYSALIS_DIST_WORKER_POOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace chrysalis::dist {
+
+/// One worker daemon's dial address.
+struct WorkerAddress {
+    std::string host;
+    int port = 0;
+
+    /// "host:port" — the display / metric-attribution form.
+    std::string to_string() const;
+};
+
+/// Parses a comma-separated "host:port,host:port" list (the
+/// `--workers` flag). fatal() on an empty list, a missing port, or a
+/// port outside [1, 65535].
+std::vector<WorkerAddress> parse_worker_list(const std::string& list);
+
+/// Snapshot of one worker's last `health` probe.
+struct WorkerStatus {
+    WorkerAddress address;
+    std::string worker_id;  ///< daemon-reported identity; "" unreachable
+    bool reachable = false; ///< the probe got a well-formed reply
+    bool ready = false;     ///< reachable and not draining
+    bool draining = false;
+    std::int64_t pending = 0;  ///< daemon-reported queued requests
+};
+
+/// The fleet: addresses plus their latest probe snapshots.
+class WorkerPool
+{
+  public:
+    /// \p client_options shapes the probe connections (timeouts); the
+    /// probe itself always makes a single attempt per worker (`health`
+    /// is not memoized, so the resilient client would not retry it
+    /// anyway).
+    WorkerPool(std::vector<WorkerAddress> workers,
+               serve::ClientOptions client_options);
+
+    /// Probes every worker once, sequentially, and returns the updated
+    /// snapshots. Unreachable workers are recorded, not fatal.
+    const std::vector<WorkerStatus>& probe();
+
+    const std::vector<WorkerStatus>& statuses() const { return statuses_; }
+
+    /// Workers whose last probe reported ready.
+    std::size_t ready_count() const;
+
+  private:
+    std::vector<WorkerStatus> statuses_;
+    serve::ClientOptions client_options_;
+};
+
+}  // namespace chrysalis::dist
+
+#endif  // CHRYSALIS_DIST_WORKER_POOL_HPP

@@ -77,6 +77,7 @@ serve_usage(const char* argv0)
 {
     std::printf(
         "usage: %s [--host addr] [--port n] [--threads n]\n"
+        "          [--worker-id id]\n"
         "          [--cache-capacity n] [--max-connections n]\n"
         "          [--max-inflight n] [--queue-depth n] [--batch-max n]\n"
         "          [--read-timeout s] [--idle-timeout s]\n"
@@ -97,8 +98,8 @@ call_usage(const char* argv0)
 {
     std::printf(
         "usage: %s [--host addr] --port n --type\n"
-        "          eval_design_point|eval_mapping|sim_step|server_stats"
-        "|health\n"
+        "          eval_design_point|eval_mapping|sim_step|run_case"
+        "|server_stats|health\n"
         "          [--timeout s] [--retries n] [--<field> value ...]\n"
         "Sends one request and prints the raw reply payload. Any flag\n"
         "not listed above becomes a request field, e.g. --model har\n"
@@ -132,6 +133,8 @@ run_serve_cli(int argc, char** argv, int first)
             options.server.port = parse_int_flag(arg, next());
         } else if (arg == "--threads") {
             options.server.threads = parse_int_flag(arg, next());
+        } else if (arg == "--worker-id") {
+            options.server.worker_id = next();
         } else if (arg == "--cache-capacity") {
             options.server.cache_capacity =
                 static_cast<std::size_t>(parse_int_flag(arg, next()));
@@ -269,7 +272,7 @@ run_call_cli(int argc, char** argv, int first)
         fatal("--port is required (the server prints it on startup)");
     if (type.empty())
         fatal("--type is required (eval_design_point|eval_mapping|"
-              "sim_step|server_stats|health)");
+              "sim_step|run_case|server_stats|health)");
     if (retries < 0)
         fatal("--retries must be >= 0");
 

@@ -8,6 +8,8 @@
 
 #include "common/logging.hpp"
 #include "common/string_utils.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_spec.hpp"
 #include "core/chrysalis.hpp"
 #include "dnn/model_zoo.hpp"
 #include "fault/fault_injector.hpp"
@@ -334,6 +336,48 @@ sim_step_body(const FlatJsonFields& fields)
     return body;
 }
 
+/// Executes one whole campaign case — the distributed coordinator's
+/// unit of work. The reply carries the case's *deterministic* journal
+/// record (wall times zeroed, doubles in %.17g): because the worker
+/// runs the exact run_campaign_case code path a local campaign uses,
+/// and the volatile fields are stripped, the body is a pure function of
+/// the request fields and the merged campaign output stays
+/// byte-identical at any worker count.
+std::string
+run_case_body(const FlatJsonFields& fields)
+{
+    const core::CampaignSpec spec = core::spec_from_fields(fields);
+    std::uint64_t case_index = 0;
+    if (!json_get_uint64(fields, "case_index", case_index))
+        fatal("request field \"case_index\" is missing or not a "
+              "non-negative integer");
+    if (case_index >= static_cast<std::uint64_t>(spec.cases))
+        fatal("request field \"case_index\" (", case_index,
+              ") exceeds the campaign's ", spec.cases, " cases");
+
+    // Workers resolve the workload by zoo name only: a model *file*
+    // lives on the coordinator's disk and could not be resolved
+    // identically here.
+    const dnn::Model model = dnn::make_model(spec.model);
+    const core::CampaignCase campaign_case = core::build_campaign_case(
+        spec, model, static_cast<std::size_t>(case_index));
+    std::unique_ptr<fault::FaultInjector> faults;
+    const search::ExplorerOptions options =
+        core::build_explorer_options(spec, faults);
+    const core::CampaignEntry entry = core::run_campaign_case(
+        campaign_case, options, static_cast<std::size_t>(case_index),
+        spec.max_attempts);
+    const core::JournalRecord record = core::deterministic_record(
+        core::to_journal_record(entry, ""));
+
+    std::string body;
+    body_flag(body, "ok", true);
+    body_str(body, "type", "run_case");
+    body_u64(body, "case_index", case_index);
+    core::append_record_fields(body, record);
+    return body;
+}
+
 std::string
 server_stats_body(const ServerStatsSnapshot& stats)
 {
@@ -347,6 +391,7 @@ server_stats_body(const ServerStatsSnapshot& stats)
              stats.requests_eval_design_point);
     body_u64(body, "requests_eval_mapping", stats.requests_eval_mapping);
     body_u64(body, "requests_sim_step", stats.requests_sim_step);
+    body_u64(body, "requests_run_case", stats.requests_run_case);
     body_u64(body, "requests_server_stats", stats.requests_server_stats);
     body_u64(body, "requests_health", stats.requests_health);
     body_u64(body, "errors_total", stats.errors_total);
@@ -366,6 +411,8 @@ server_stats_body(const ServerStatsSnapshot& stats)
     body_u64(body, "cache_entries", stats.cache.entries);
     body_u64(body, "cache_capacity", stats.cache.capacity);
     body_f64(body, "cache_hit_rate", stats.cache.hit_rate());
+    body_str(body, "worker_id", stats.worker_id);
+    body_f64(body, "uptime_seconds", stats.uptime_seconds);
     return body;
 }
 
@@ -380,6 +427,7 @@ health_body(const ServerStatsSnapshot& stats)
     body_flag(body, "ok", true);
     body_str(body, "type", "health");
     body_str(body, "status", stats.draining ? "draining" : "ready");
+    body_str(body, "worker_id", stats.worker_id);
     body_flag(body, "draining", stats.draining);
     body_u64(body, "connections_open", stats.connections_open);
     body_u64(body, "pending", stats.pending);
@@ -401,7 +449,7 @@ bool
 response_is_memoized(const std::string& type)
 {
     return type == "eval_design_point" || type == "eval_mapping" ||
-           type == "sim_step";
+           type == "sim_step" || type == "run_case";
 }
 
 runtime::CacheKey
@@ -481,6 +529,8 @@ handle_request_body(const FlatJsonFields& fields, ResponseCache* cache,
                 return eval_design_point_body(fields);
             if (type == "eval_mapping")
                 return eval_mapping_body(fields);
+            if (type == "run_case")
+                return run_case_body(fields);
             return sim_step_body(fields);
         } catch (const FatalError& error) {
             return error_body(kErrBadRequest, error.what());

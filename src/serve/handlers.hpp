@@ -4,8 +4,9 @@
 /// `"id"`), factored out of the server's I/O loop so tests can exercise
 /// every request type without a socket.
 ///
-/// Determinism contract: for `eval_design_point`, `eval_mapping` and
-/// `sim_step` the body is a pure function of the request fields — all
+/// Determinism contract: for `eval_design_point`, `eval_mapping`,
+/// `sim_step` and `run_case` the body is a pure function of the request
+/// fields — all
 /// doubles are rendered with format_double_17g() and all field orders
 /// are fixed — so identical requests produce byte-identical responses
 /// regardless of server thread count, cache state, or which worker ran
@@ -37,6 +38,7 @@ struct ServerStatsSnapshot {
     std::uint64_t requests_eval_design_point = 0;
     std::uint64_t requests_eval_mapping = 0;
     std::uint64_t requests_sim_step = 0;
+    std::uint64_t requests_run_case = 0;
     std::uint64_t requests_server_stats = 0;
     std::uint64_t requests_health = 0;
     std::uint64_t errors_total = 0;        ///< "ok":0 replies sent
@@ -52,13 +54,20 @@ struct ServerStatsSnapshot {
                                            ///< work admitted after drain
     int threads = 1;                       ///< eval worker count
     runtime::EvalCacheStats cache;         ///< shared response-memo stats
+    /// Stable identity this daemon reports in `server_stats` and
+    /// `health` replies (ServerOptions::worker_id, defaulted to
+    /// "<hostname>:<port>" at start()), so fleet coordinators and logs
+    /// can attribute work to workers.
+    std::string worker_id;
+    double uptime_seconds = 0.0;           ///< seconds since start()
 };
 
 /// The client-chosen "id" echo token; 0 when absent or unparsable.
 std::uint64_t request_id(const FlatJsonFields& fields);
 
 /// True for request types whose response goes through the StableHash
-/// response memo (`eval_design_point`, `eval_mapping`, `sim_step`):
+/// response memo (`eval_design_point`, `eval_mapping`, `sim_step`,
+/// `run_case`):
 /// their replies are pure functions of the request fields. This is also
 /// the retry-safety classification — the resilient client resends only
 /// memoized types after a transport failure, because a lost reply to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -140,9 +141,21 @@ Server::start()
     pool_ = std::make_unique<runtime::ThreadPool>(options_.threads);
     if (options_.cache_capacity > 0)
         cache_ = std::make_unique<ResponseCache>(options_.cache_capacity);
+    std::string worker_id = options_.worker_id;
+    if (worker_id.empty()) {
+        // Default identity: "<hostname>:<port>" — resolvable only now
+        // that the kernel has assigned the listening port.
+        char hostname[256] = "localhost";
+        if (::gethostname(hostname, sizeof hostname) != 0)
+            std::snprintf(hostname, sizeof hostname, "localhost");
+        hostname[sizeof hostname - 1] = '\0';
+        worker_id = std::string(hostname) + ":" + std::to_string(port_);
+    }
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
         counters_.threads = pool_->thread_count();
+        counters_.worker_id = worker_id;
+        start_time_s_ = obs::monotonic_seconds();
     }
 
     stop_requested_.store(false);
@@ -178,6 +191,8 @@ Server::snapshot_locked() const
 {
     ServerStatsSnapshot snapshot = counters_;
     snapshot.draining = stop_requested_.load() && running_.load();
+    if (start_time_s_ > 0.0)
+        snapshot.uptime_seconds = obs::monotonic_seconds() - start_time_s_;
     if (cache_ != nullptr)
         snapshot.cache = cache_->stats();
     return snapshot;
@@ -529,6 +544,8 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
             ++counters_.requests_eval_mapping;
         else if (type == "sim_step")
             ++counters_.requests_sim_step;
+        else if (type == "run_case")
+            ++counters_.requests_run_case;
         else if (type == "server_stats")
             ++counters_.requests_server_stats;
         else if (type == "health")

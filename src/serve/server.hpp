@@ -91,6 +91,11 @@ struct ServerOptions {
     /// production. Non-owning — the caller keeps the injector alive
     /// for the server's lifetime.
     const fault::NetFaultInjector* chaos = nullptr;
+    /// Identity reported in `server_stats`/`health` replies so fleet
+    /// coordinators can attribute work to workers. Empty (the default)
+    /// resolves to "<hostname>:<port>" at start(), after the listening
+    /// port is known.
+    std::string worker_id;
 
     void validate() const;
 };
@@ -202,6 +207,7 @@ class Server
     // Counters, shared with stats() callers.
     mutable std::mutex stats_mutex_;
     ServerStatsSnapshot counters_;
+    double start_time_s_ = 0.0;  ///< monotonic_seconds() at start()
 };
 
 }  // namespace chrysalis::serve

@@ -1,0 +1,12 @@
+// Fixture: src/dist/ is deliberately NOT in the network allowlist.
+// The distributed coordinator speaks serve::Client only; a raw socket
+// (or any fd plumbing) appearing in the dist layer is a layering
+// violation the linter must catch.
+#include <sys/socket.h>
+#include <unistd.h>
+
+int
+dist_code_may_not_open_sockets()
+{
+    return 0;
+}
