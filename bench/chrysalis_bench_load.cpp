@@ -36,12 +36,12 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bench_util.hpp"
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/string_utils.hpp"
 #include "fault/net_fault_injector.hpp"
@@ -319,7 +319,7 @@ main(int argc, char** argv)
     std::atomic<std::size_t> cursor{0};
     std::atomic<int> transport_failures{0};
     serve::RetryStats retry_totals;
-    std::mutex retry_totals_mutex;
+    Mutex retry_totals_mutex;
 
     // Closed loop: each client thread owns one connection and pulls the
     // next unsent request until the shared cursor runs out. Under chaos
@@ -378,7 +378,7 @@ main(int argc, char** argv)
                 latencies[i] = timer.elapsed_s();
                 replies[i] = std::move(reply);
             }
-            std::lock_guard<std::mutex> lock(retry_totals_mutex);
+            MutexLock lock(retry_totals_mutex);
             const serve::RetryStats& stats = client.retry_stats();
             retry_totals.attempts += stats.attempts;
             retry_totals.retries += stats.retries;

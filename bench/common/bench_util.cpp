@@ -5,11 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/string_utils.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -21,15 +22,20 @@ namespace {
 /// State behind begin_report/headline; written out by an atexit hook so
 /// every exit path of a figure binary produces its report.
 struct BenchReport {
-    std::mutex mutex;
-    bool active = false;
-    std::string experiment;
-    std::string description;
-    std::string metrics_path;
-    std::string trace_path;  ///< empty = no trace requested
+    Mutex mutex;
+    bool active CHRYSALIS_GUARDED_BY(mutex) = false;
+    std::string experiment CHRYSALIS_GUARDED_BY(mutex);
+    std::string description CHRYSALIS_GUARDED_BY(mutex);
+    std::string metrics_path CHRYSALIS_GUARDED_BY(mutex);
+    /// empty = no trace requested
+    std::string trace_path CHRYSALIS_GUARDED_BY(mutex);
+    // The registry and trace session are internally synchronized and
+    // published to the obs globals, so they are deliberately not
+    // guarded by the report mutex.
     obs::MetricsRegistry registry;
     obs::TraceSession trace;
-    std::vector<std::pair<std::string, double>> headlines;
+    std::vector<std::pair<std::string, double>> headlines
+        CHRYSALIS_GUARDED_BY(mutex);
 };
 
 BenchReport&
@@ -80,7 +86,7 @@ void
 write_report()
 {
     BenchReport& report = report_state();
-    std::lock_guard<std::mutex> lock(report.mutex);
+    MutexLock lock(report.mutex);
     if (!report.active)
         return;
     // Quiescence: by atexit time all benchmark work has joined.
@@ -90,7 +96,7 @@ write_report()
     std::FILE* file = std::fopen(report.metrics_path.c_str(), "w");
     if (file == nullptr) {
         std::fprintf(stderr, "[bench] cannot write report '%s': %s\n",
-                     report.metrics_path.c_str(), std::strerror(errno));
+                     report.metrics_path.c_str(), errno_text(errno));
         return;
     }
     std::fprintf(file, "{\"schema\":\"chrysalis-bench-v1\"");
@@ -123,7 +129,7 @@ begin_report(const std::string& experiment, const std::string& description,
     if (toggle != nullptr && std::strcmp(toggle, "0") == 0)
         return;
     BenchReport& report = report_state();
-    std::lock_guard<std::mutex> lock(report.mutex);
+    MutexLock lock(report.mutex);
     if (report.active)
         return;  // first banner wins; later sections share the report
     report.active = true;
@@ -149,7 +155,7 @@ void
 headline(const std::string& key, double value)
 {
     BenchReport& report = report_state();
-    std::lock_guard<std::mutex> lock(report.mutex);
+    MutexLock lock(report.mutex);
     if (!report.active)
         return;
     report.headlines.emplace_back(key, value);

@@ -4,9 +4,11 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
+#include <system_error>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace chrysalis {
 
@@ -18,6 +20,9 @@ namespace {
 LogLevel
 initial_log_level()
 {
+    // Read once, during the static initialization of g_log_level,
+    // before threads exist.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("CHRYSALIS_LOG_LEVEL");
     if (env == nullptr || *env == '\0')
         return LogLevel::kWarn;
@@ -36,8 +41,9 @@ std::atomic<LogLevel> g_log_level{initial_log_level()};
 
 /// Serializes sink writes so records from parallel evaluations are
 /// emitted whole (never interleaved half-lines). Also guards g_log_sink.
-std::mutex g_sink_mutex;
-LogSink g_log_sink;  // empty => default stderr sink
+Mutex g_sink_mutex;
+LogSink g_log_sink CHRYSALIS_GUARDED_BY(g_sink_mutex);
+// empty sink => default stderr sink
 
 const char*
 level_tag(LogLevel level)
@@ -110,7 +116,7 @@ parse_log_level(std::string_view name, LogLevel& out)
 void
 set_log_sink(LogSink sink)
 {
-    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    MutexLock lock(g_sink_mutex);
     g_log_sink = std::move(sink);
 }
 
@@ -119,13 +125,21 @@ log_message(LogLevel level, std::string_view message)
 {
     if (static_cast<int>(level) < static_cast<int>(log_level()))
         return;
-    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    MutexLock lock(g_sink_mutex);
     if (g_log_sink) {
         g_log_sink(level, message);
         return;
     }
     std::fprintf(stderr, "[chrysalis:%s] %.*s\n", level_tag(level),
                  static_cast<int>(message.size()), message.data());
+}
+
+std::string
+errno_text(int errnum)
+{
+    // std::generic_category carries the portable errno table and,
+    // unlike std::strerror, owns its storage per call.
+    return std::error_code(errnum, std::generic_category()).message();
 }
 
 namespace detail {

@@ -81,6 +81,13 @@ void set_log_sink(LogSink sink);
 /// whole, never interleaved.
 void log_message(LogLevel level, std::string_view message);
 
+/// Thread-safe strerror: the text for \p errnum (from <cerrno>) in a
+/// freshly owned string. std::strerror returns a shared static buffer
+/// and is unusable from the concurrent subsystems (clang-tidy
+/// concurrency-mt-unsafe); every errno formatting site routes through
+/// here instead.
+std::string errno_text(int errnum);
+
 namespace detail {
 
 /// Builds a single string out of a variadic argument pack via operator<<.

@@ -1,0 +1,108 @@
+/// \file
+/// Annotated locking primitives: thin wrappers over std::mutex /
+/// std::condition_variable_any that carry the clang thread-safety
+/// capability attributes (common/thread_annotations.hpp). libstdc++'s
+/// own types are unannotated, so the analysis cannot see their acquire
+/// and release sites; routing every lock through these wrappers is
+/// what lets the clang CI job prove the lock discipline. Off Clang
+/// they compile to the underlying std types with zero overhead.
+///
+/// Usage:
+///     Mutex mutex_;
+///     int value_ CHRYSALIS_GUARDED_BY(mutex_);
+///     ...
+///     MutexLock lock(mutex_);   // RAII; never call .lock() directly
+///     while (!ready_)
+///         cv_.wait(mutex_);     // predicate loop, re-checked locked
+///
+/// chrysalis_lint's chrysalis-raw-lock rule bans direct .lock() /
+/// .unlock() calls everywhere except this file.
+
+#ifndef CHRYSALIS_COMMON_MUTEX_HPP
+#define CHRYSALIS_COMMON_MUTEX_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace chrysalis {
+
+/// Annotated std::mutex. Satisfies BasicLockable/Lockable so CondVar
+/// can wait on it directly.
+class CHRYSALIS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() CHRYSALIS_ACQUIRE() { mutex_.lock(); }
+    void unlock() CHRYSALIS_RELEASE() { mutex_.unlock(); }
+    bool try_lock() CHRYSALIS_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+  private:
+    std::mutex mutex_;
+};
+
+/// RAII guard over Mutex — the project's std::lock_guard. Scoped
+/// acquisition is the only sanctioned way to hold a Mutex (see the
+/// chrysalis-raw-lock lint rule).
+class CHRYSALIS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mutex) CHRYSALIS_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() CHRYSALIS_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/// Condition variable over Mutex. Callers hold the mutex via MutexLock
+/// and wait in an explicit predicate loop:
+///
+///     MutexLock lock(mutex_);
+///     while (!condition_)
+///         cv_.wait(mutex_);
+///
+/// (std::condition_variable's lambda-predicate overload is deliberately
+/// absent: the lambda would be a separate analysis context that does
+/// not inherit the held capability, defeating the annotations.)
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// Atomically releases \p mutex, blocks, and re-acquires it before
+    /// returning. The capability is held across the call from the
+    /// analysis's point of view — release and re-acquire balance out.
+    void wait(Mutex& mutex) CHRYSALIS_REQUIRES(mutex)
+    {
+        cv_.wait(mutex);
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    // condition_variable_any waits on any BasicLockable — including
+    // the annotated Mutex — where std::condition_variable would force
+    // an unannotated std::unique_lock<std::mutex> back into the API.
+    std::condition_variable_any cv_;
+};
+
+}  // namespace chrysalis
+
+#endif  // CHRYSALIS_COMMON_MUTEX_HPP

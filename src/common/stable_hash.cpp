@@ -1,8 +1,8 @@
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 #include <bit>
 
-namespace chrysalis::runtime {
+namespace chrysalis {
 
 namespace {
 
@@ -81,4 +81,4 @@ StableHash::key() const
     return key;
 }
 
-}  // namespace chrysalis::runtime
+}  // namespace chrysalis

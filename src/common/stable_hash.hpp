@@ -7,15 +7,15 @@
 /// the standard library's `std::hash` — so keys are reproducible across
 /// runs and usable as the memo key of `runtime::EvalCache`.
 
-#ifndef CHRYSALIS_RUNTIME_STABLE_HASH_HPP
-#define CHRYSALIS_RUNTIME_STABLE_HASH_HPP
+#ifndef CHRYSALIS_COMMON_STABLE_HASH_HPP
+#define CHRYSALIS_COMMON_STABLE_HASH_HPP
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
-namespace chrysalis::runtime {
+namespace chrysalis {
 
 /// 128-bit cache key; collisions are negligible at the scale of a search
 /// campaign (billions of evaluations would be needed for a likely clash).
@@ -80,6 +80,6 @@ class StableHash
     std::uint64_t count_ = 0;
 };
 
-}  // namespace chrysalis::runtime
+}  // namespace chrysalis
 
-#endif  // CHRYSALIS_RUNTIME_STABLE_HASH_HPP
+#endif  // CHRYSALIS_COMMON_STABLE_HASH_HPP

@@ -1,0 +1,78 @@
+/// \file
+/// Clang thread-safety-analysis attribute macros (no-ops elsewhere).
+///
+/// Together with the annotated wrappers in common/mutex.hpp these turn
+/// the project's lock discipline into a compile-time fact: every
+/// mutex-protected member is tagged CHRYSALIS_GUARDED_BY, every
+/// caller-must-hold helper is tagged CHRYSALIS_REQUIRES, and the clang
+/// CI job promotes -Wthread-safety to an error. GCC (the default local
+/// toolchain) expands all macros to nothing, so the annotations cost
+/// nothing off Clang.
+///
+/// Conventions (see docs/static_analysis.md):
+///   - members:    `int done_ CHRYSALIS_GUARDED_BY(mutex_);`
+///   - helpers:    `void emit_locked() CHRYSALIS_REQUIRES(mutex_);`
+///     (the `_locked` suffix marks functions whose caller holds the
+///     lock; the public wrapper acquires it and delegates)
+///   - interfaces: `void stop() CHRYSALIS_EXCLUDES(mutex_);` on entry
+///     points that acquire the lock themselves and would deadlock if
+///     called with it held.
+
+#ifndef CHRYSALIS_COMMON_THREAD_ANNOTATIONS_HPP
+#define CHRYSALIS_COMMON_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__)
+#define CHRYSALIS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CHRYSALIS_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define CHRYSALIS_CAPABILITY(x) \
+    CHRYSALIS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define CHRYSALIS_SCOPED_CAPABILITY \
+    CHRYSALIS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the named capability held.
+#define CHRYSALIS_GUARDED_BY(x) \
+    CHRYSALIS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the named capability.
+#define CHRYSALIS_PT_GUARDED_BY(x) \
+    CHRYSALIS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that must be called with the capability held (and does not
+/// release it). The `_locked` helpers use this.
+#define CHRYSALIS_REQUIRES(...) \
+    CHRYSALIS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the capability held — it
+/// acquires the lock itself and would self-deadlock otherwise.
+#define CHRYSALIS_EXCLUDES(...) \
+    CHRYSALIS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the capability (held on return).
+#define CHRYSALIS_ACQUIRE(...) \
+    CHRYSALIS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capability (no longer held on return).
+#define CHRYSALIS_RELEASE(...) \
+    CHRYSALIS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns \p result.
+#define CHRYSALIS_TRY_ACQUIRE(result, ...) \
+    CHRYSALIS_THREAD_ANNOTATION( \
+        try_acquire_capability(result __VA_OPT__(, ) __VA_ARGS__))
+
+/// Escape hatch: the function's body is exempt from the analysis (its
+/// annotations are still enforced at call sites). Reserve it for code
+/// whose safety argument the analysis cannot express, and say why in a
+/// comment.
+#define CHRYSALIS_NO_THREAD_SAFETY_ANALYSIS \
+    CHRYSALIS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // CHRYSALIS_COMMON_THREAD_ANNOTATIONS_HPP

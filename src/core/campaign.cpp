@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "common/string_utils.hpp"
 #include "core/campaign_journal.hpp"
 #include "hw/accelerator.hpp"
@@ -230,7 +230,7 @@ run_campaign(const std::vector<CampaignCase>& cases,
 
     CampaignResult result;
     result.entries.resize(cases.size());
-    std::mutex journal_mutex;
+    Mutex journal_mutex;
     runtime::ThreadPool pool(campaign_options.threads);
     pool.parallel_for(cases.size(), [&](std::size_t index) {
         if (journaled) {
@@ -253,7 +253,7 @@ run_campaign(const std::vector<CampaignCase>& cases,
             JournalRecord record = to_journal_record(entry, keys[index]);
             if (campaign_options.deterministic_journal)
                 record = deterministic_record(std::move(record));
-            std::lock_guard<std::mutex> lock(journal_mutex);
+            MutexLock lock(journal_mutex);
             append_campaign_journal(campaign_options.journal_path, record);
         }
         result.entries[index] = std::move(entry);

@@ -15,7 +15,7 @@ campaign_case_key_hex(const CampaignCase& campaign_case,
                       const search::ExplorerOptions& base,
                       std::size_t index)
 {
-    runtime::StableHash hash;
+    StableHash hash;
     hash.add(std::string_view("campaign-case"))
         .add(static_cast<std::uint64_t>(index))
         .add(std::string_view(campaign_case.label));
@@ -93,7 +93,7 @@ campaign_case_key_hex(const CampaignCase& campaign_case,
     if (base.faults != nullptr)
         base.faults->add_to_hash(hash);
 
-    const runtime::CacheKey key = hash.key();
+    const CacheKey key = hash.key();
     char buffer[2 * 16 + 1];
     std::snprintf(buffer, sizeof buffer, "%016llx%016llx",
                   static_cast<unsigned long long>(key.hi),

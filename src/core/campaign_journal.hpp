@@ -4,7 +4,7 @@
 /// `run_campaign` appends one flat JSON record per finished case to a
 /// journal file. A campaign killed mid-run can be restarted with the same
 /// cases, options and journal path: completed cases are loaded from the
-/// journal (keyed by a `runtime::StableHash` of the case and the base
+/// journal (keyed by a `StableHash` of the case and the base
 /// options, so a stale journal from a *different* campaign never
 /// contaminates results) and are not re-evaluated. Doubles round-trip
 /// through "%.17g", so a resumed campaign's deterministic CSV is

@@ -2,16 +2,16 @@
 
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/campaign_journal.hpp"
 #include "dnn/model_zoo.hpp"
 #include "obs/metrics.hpp"
@@ -66,21 +66,24 @@ sanitize_worker_id(const std::string& id)
 
 /// State shared by every lane; all mutation under `mutex`.
 struct Shared {
-    std::mutex mutex;
-    std::condition_variable cv;
+    Mutex mutex;
+    CondVar cv;
     /// Unfinished case indices. Pops come from the front (lowest index
     /// first) and reassignments push the front, so dispatch order stays
     /// lowest-index-first even under failures.
-    std::deque<std::size_t> queue;
-    std::size_t inflight = 0;
-    bool aborted = false;        ///< poison reply: stop the fleet
-    std::string abort_error;
-    std::vector<core::JournalRecord> records;  ///< per case index
-    std::vector<char> done;
-    std::vector<int> live_lanes;               ///< per worker
-    std::uint64_t dispatched = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t reassigned = 0;
+    std::deque<std::size_t> queue CHRYSALIS_GUARDED_BY(mutex);
+    std::size_t inflight CHRYSALIS_GUARDED_BY(mutex) = 0;
+    /// poison reply: stop the fleet
+    bool aborted CHRYSALIS_GUARDED_BY(mutex) = false;
+    std::string abort_error CHRYSALIS_GUARDED_BY(mutex);
+    /// per case index
+    std::vector<core::JournalRecord> records CHRYSALIS_GUARDED_BY(mutex);
+    std::vector<char> done CHRYSALIS_GUARDED_BY(mutex);
+    /// per worker
+    std::vector<int> live_lanes CHRYSALIS_GUARDED_BY(mutex);
+    std::uint64_t dispatched CHRYSALIS_GUARDED_BY(mutex) = 0;
+    std::uint64_t completed CHRYSALIS_GUARDED_BY(mutex) = 0;
+    std::uint64_t reassigned CHRYSALIS_GUARDED_BY(mutex) = 0;
 };
 
 /// How one request outcome drives the scheduler.
@@ -134,11 +137,10 @@ lane_loop(const core::CampaignSpec& spec,
     while (true) {
         std::size_t index = 0;
         {
-            std::unique_lock<std::mutex> lock(shared.mutex);
-            shared.cv.wait(lock, [&] {
-                return shared.aborted || !shared.queue.empty() ||
-                       shared.inflight == 0;
-            });
+            MutexLock lock(shared.mutex);
+            while (!shared.aborted && shared.queue.empty() &&
+                   shared.inflight != 0)
+                shared.cv.wait(shared.mutex);
             // Exit only when nothing is queued AND nothing is in
             // flight: an in-flight case on another lane may still fail
             // and come back to the queue.
@@ -199,7 +201,7 @@ lane_loop(const core::CampaignSpec& spec,
 
         bool lane_dead = false;
         {
-            std::lock_guard<std::mutex> lock(shared.mutex);
+            MutexLock lock(shared.mutex);
             --shared.inflight;
             switch (outcome) {
               case Outcome::kSuccess:
@@ -304,35 +306,43 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         keys[i] = core::campaign_case_key_hex(cases[i], base, i);
     }
 
+    // Lanes do not exist yet, so these locks are uncontended; they are
+    // taken anyway because every Shared field is guarded by the mutex.
     Shared shared;
-    shared.records.resize(count);
-    shared.done.assign(count, 0);
-    shared.live_lanes.assign(
-        options.workers.size(),
-        options.streams_per_worker);
-
-    // Resume: restore journaled cases, queue the rest in index order.
     std::vector<char> restored(count, 0);
     std::size_t restored_count = 0;
     const bool journaled = !options.journal_path.empty();
-    if (journaled) {
-        const auto journal =
-            core::load_campaign_journal(options.journal_path);
-        for (std::size_t i = 0; i < count; ++i) {
-            const auto it = journal.find(keys[i]);
-            if (it == journal.end())
-                continue;
-            shared.records[i] =
-                core::deterministic_record(it->second);
-            shared.records[i].key = keys[i];
-            shared.done[i] = 1;
-            restored[i] = 1;
-            ++restored_count;
+    bool have_work = false;
+    {
+        MutexLock lock(shared.mutex);
+        shared.records.resize(count);
+        shared.done.assign(count, 0);
+        shared.live_lanes.assign(
+            options.workers.size(),
+            options.streams_per_worker);
+
+        // Resume: restore journaled cases, queue the rest in index
+        // order.
+        if (journaled) {
+            const auto journal =
+                core::load_campaign_journal(options.journal_path);
+            for (std::size_t i = 0; i < count; ++i) {
+                const auto it = journal.find(keys[i]);
+                if (it == journal.end())
+                    continue;
+                shared.records[i] =
+                    core::deterministic_record(it->second);
+                shared.records[i].key = keys[i];
+                shared.done[i] = 1;
+                restored[i] = 1;
+                ++restored_count;
+            }
         }
-    }
-    for (std::size_t i = 0; i < count; ++i) {
-        if (!shared.done[i])
-            shared.queue.push_back(i);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!shared.done[i])
+                shared.queue.push_back(i);
+        }
+        have_work = !shared.queue.empty();
     }
 
     // Informational readiness probe; dispatch never gates on it.
@@ -358,7 +368,10 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         registry->gauge("dist/workers_ready", obs::Stability::kVolatile)
             .set(static_cast<double>(result.workers_ready));
     }
-    set_queue_gauge(shared.queue.size());
+    {
+        MutexLock lock(shared.mutex);
+        set_queue_gauge(shared.queue.size());
+    }
 
     obs::ProgressReporter::Options progress_options;
     progress_options.min_interval_s = options.progress_interval_s;
@@ -367,7 +380,7 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         progress.note_restored();
     progress.advance(restored_count);
 
-    if (!shared.queue.empty()) {
+    if (have_work) {
         std::vector<std::thread> lanes;
         lanes.reserve(options.workers.size() *
                       static_cast<std::size_t>(
@@ -384,6 +397,9 @@ run_distributed_campaign(const core::CampaignSpec& spec,
             lane.join();
     }
 
+    // Every lane has been joined; the lock is held for the rest of the
+    // merge/rewrite tail to satisfy the guarded-by contract.
+    MutexLock lock(shared.mutex);
     if (shared.aborted)
         fatal("distributed campaign aborted: ", shared.abort_error);
     std::size_t missing = 0;

@@ -191,7 +191,7 @@ FaultInjector::mean_harvest_factor() const
 }
 
 void
-FaultInjector::add_to_hash(runtime::StableHash& hash) const
+FaultInjector::add_to_hash(StableHash& hash) const
 {
     hash.add(std::string_view("fault-injector"))
         .add(spec_.seed)

@@ -30,7 +30,7 @@
 
 #include "energy/fault_hooks.hpp"
 #include "obs/metrics.hpp"
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 namespace chrysalis::fault {
 
@@ -104,7 +104,7 @@ class FaultInjector final : public energy::PowerFaultModel
 
     /// Folds the full fault configuration into \p hash so evaluation
     /// memo keys distinguish faulted from clean evaluations.
-    void add_to_hash(runtime::StableHash& hash) const;
+    void add_to_hash(StableHash& hash) const;
 
     /// One-line summary of the active fault classes for reports.
     std::string describe() const;

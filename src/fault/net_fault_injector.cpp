@@ -199,7 +199,7 @@ NetFaultInjector::publish(obs::MetricsRegistry& registry) const
 }
 
 void
-NetFaultInjector::add_to_hash(runtime::StableHash& hash) const
+NetFaultInjector::add_to_hash(StableHash& hash) const
 {
     hash.add(std::string_view("net-fault-injector"))
         .add(spec_.seed)

@@ -41,7 +41,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 namespace chrysalis::fault {
 
@@ -127,7 +127,7 @@ class NetFaultInjector
 
     /// Folds the full chaos configuration into \p hash, so artifacts
     /// produced under different schedules never alias.
-    void add_to_hash(runtime::StableHash& hash) const;
+    void add_to_hash(StableHash& hash) const;
 
     /// One-line summary of the active fault classes for reports.
     std::string describe() const;

@@ -112,7 +112,7 @@ MetricsRegistry::Entry&
 MetricsRegistry::entry_for(std::string_view name, Kind kind,
                            Stability stability)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(name);
     if (it != entries_.end()) {
         if (it->second.kind != kind) {
@@ -167,7 +167,7 @@ MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
     Entry& entry = entry_for(name, Kind::kHistogram, stability);
     // First registration constructs with this caller's bounds; later
     // callers' bounds are ignored (the name identifies the metric).
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!entry.histogram)
         entry.histogram = std::make_unique<Histogram>(std::move(bounds));
     return *entry.histogram;
@@ -180,7 +180,7 @@ MetricsRegistry::to_json(ReportMode mode) const
     // read (each read is an independent relaxed load — the report is a
     // consistent *per-metric* snapshot, which is all a post-run report
     // needs), but the map itself must not be mutated mid-iteration.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
 
     const auto write_group = [&](std::ostringstream& os,
                                  Stability stability, bool with_sums) {

@@ -37,10 +37,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chrysalis::obs {
 
@@ -197,10 +199,11 @@ class MetricsRegistry
 
     Entry& entry_for(std::string_view name, Kind kind, Stability stability);
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     /// std::map: name-sorted iteration gives the deterministic report
     /// order for free.
-    std::map<std::string, Entry, std::less<>> entries_;
+    std::map<std::string, Entry, std::less<>> entries_
+        CHRYSALIS_GUARDED_BY(mutex_);
 };
 
 /// Process-global registry; nullptr (the default) disables every

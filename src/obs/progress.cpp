@@ -39,7 +39,7 @@ ProgressReporter::ProgressReporter(std::string task, std::size_t total,
 void
 ProgressReporter::advance(std::size_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     done_ += delta;
     const auto now = std::chrono::steady_clock::now();
     const double since_last =
@@ -47,49 +47,49 @@ ProgressReporter::advance(std::size_t delta)
     // The last item's line is finish()'s job, so a campaign never logs
     // the same 100% state twice.
     if (done_ < total_ && since_last >= options_.min_interval_s)
-        emit(false);
+        emit_locked(false);
 }
 
 void
 ProgressReporter::note_retry(std::size_t delta)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     retries_ += delta;
 }
 
 void
 ProgressReporter::note_crash()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++crashes_;
 }
 
 void
 ProgressReporter::note_restored()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++restored_;
 }
 
 void
 ProgressReporter::finish()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (finished_)
         return;
     finished_ = true;
-    emit(true);
+    emit_locked(true);
 }
 
 std::size_t
 ProgressReporter::reports_emitted() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return reports_;
 }
 
 std::string
-ProgressReporter::format_line(bool final) const
+ProgressReporter::format_line_locked(bool final) const
 {
     const auto now = std::chrono::steady_clock::now();
     const double elapsed =
@@ -125,11 +125,11 @@ ProgressReporter::format_line(bool final) const
 }
 
 void
-ProgressReporter::emit(bool final)
+ProgressReporter::emit_locked(bool final)
 {
     last_emit_ = std::chrono::steady_clock::now();
     ++reports_;
-    inform(format_line(final));
+    inform(format_line_locked(final));
 }
 
 }  // namespace chrysalis::obs

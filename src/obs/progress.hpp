@@ -14,8 +14,10 @@
 
 #include <chrono>
 #include <cstddef>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chrysalis::obs {
 
@@ -36,40 +38,43 @@ class ProgressReporter
                      Options options = Options());
 
     /// Marks \p delta items finished; may emit a heartbeat line.
-    void advance(std::size_t delta = 1);
+    void advance(std::size_t delta = 1) CHRYSALIS_EXCLUDES(mutex_);
 
     /// Counts an evaluation retry / a case that exhausted its retries /
     /// an item restored from a resume journal. Reflected in the
     /// heartbeat and final summary lines.
-    void note_retry(std::size_t delta = 1);
-    void note_crash();
-    void note_restored();
+    void note_retry(std::size_t delta = 1) CHRYSALIS_EXCLUDES(mutex_);
+    void note_crash() CHRYSALIS_EXCLUDES(mutex_);
+    void note_restored() CHRYSALIS_EXCLUDES(mutex_);
 
     /// Emits the final summary line (always, regardless of the rate
     /// limit). Idempotent.
-    void finish();
+    void finish() CHRYSALIS_EXCLUDES(mutex_);
 
     /// Number of heartbeat/summary lines emitted so far.
-    std::size_t reports_emitted() const;
+    std::size_t reports_emitted() const CHRYSALIS_EXCLUDES(mutex_);
 
   private:
-    /// Formats the current status; caller holds mutex_.
-    std::string format_line(bool final) const;
-    void emit(bool final);
+    /// Formats the current status from the guarded counters.
+    std::string format_line_locked(bool final) const
+        CHRYSALIS_REQUIRES(mutex_);
+    /// Stamps the rate limiter and logs one line.
+    void emit_locked(bool final) CHRYSALIS_REQUIRES(mutex_);
 
     const std::string task_;
     const std::size_t total_;
     const Options options_;
     const std::chrono::steady_clock::time_point start_;
 
-    mutable std::mutex mutex_;
-    std::size_t done_ = 0;
-    std::size_t retries_ = 0;
-    std::size_t crashes_ = 0;
-    std::size_t restored_ = 0;
-    std::size_t reports_ = 0;
-    bool finished_ = false;
-    std::chrono::steady_clock::time_point last_emit_;
+    mutable Mutex mutex_;
+    std::size_t done_ CHRYSALIS_GUARDED_BY(mutex_) = 0;
+    std::size_t retries_ CHRYSALIS_GUARDED_BY(mutex_) = 0;
+    std::size_t crashes_ CHRYSALIS_GUARDED_BY(mutex_) = 0;
+    std::size_t restored_ CHRYSALIS_GUARDED_BY(mutex_) = 0;
+    std::size_t reports_ CHRYSALIS_GUARDED_BY(mutex_) = 0;
+    bool finished_ CHRYSALIS_GUARDED_BY(mutex_) = false;
+    std::chrono::steady_clock::time_point last_emit_
+        CHRYSALIS_GUARDED_BY(mutex_);
 };
 
 }  // namespace chrysalis::obs

@@ -53,7 +53,7 @@ TraceSession::buffer_for_this_thread()
     if (t_buffer_cache.session_id == id_ &&
         t_buffer_cache.buffer != nullptr)
         return *static_cast<ThreadBuffer*>(t_buffer_cache.buffer);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto buffer = std::make_unique<ThreadBuffer>();
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
     ThreadBuffer& ref = *buffer;
@@ -75,7 +75,7 @@ TraceSession::record(std::string_view name,
     event.depth = depth;
     event.start_us = microseconds_between(epoch_, start);
     event.duration_us = microseconds_between(start, end);
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     buffer.events.push_back(std::move(event));
 }
 
@@ -84,9 +84,9 @@ TraceSession::merged() const
 {
     std::vector<TraceEvent> events;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (const auto& buffer : buffers_) {
-            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            MutexLock buffer_lock(buffer->mutex);
             events.insert(events.end(), buffer->events.begin(),
                           buffer->events.end());
         }

@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chrysalis::obs {
 
@@ -75,9 +77,9 @@ class TraceSession
     friend class SpanTimer;
 
     struct ThreadBuffer {
-        std::mutex mutex;  ///< append vs merge; uncontended in steady state
-        std::uint32_t tid = 0;
-        std::vector<TraceEvent> events;
+        Mutex mutex;  ///< append vs merge; uncontended in steady state
+        std::uint32_t tid = 0;  ///< written once at registration
+        std::vector<TraceEvent> events CHRYSALIS_GUARDED_BY(mutex);
     };
 
     /// Buffer of the calling thread, registering one on first use.
@@ -90,8 +92,9 @@ class TraceSession
 
     std::uint64_t id_ = 0;
     std::chrono::steady_clock::time_point epoch_;
-    mutable std::mutex mutex_;  ///< guards buffers_ registration/merge
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    mutable Mutex mutex_;  ///< guards buffers_ registration/merge
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        CHRYSALIS_GUARDED_BY(mutex_);
 };
 
 /// Process-global session; nullptr (the default) disables all spans.

@@ -6,7 +6,7 @@
 /// `EvaluatedDesign`. GA variation frequently re-proposes genomes it has
 /// already scored (clones that survive crossover and mutation untouched,
 /// warm-start duplicates, re-runs at the same seed), so memoizing on a
-/// `runtime::CacheKey` of the evaluation inputs skips entire inner
+/// `CacheKey` of the evaluation inputs skips entire inner
 /// mapping searches. Keys are sharded across independently locked LRU
 /// maps so parallel evaluators rarely contend.
 ///
@@ -22,15 +22,16 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/stable_hash.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/metrics.hpp"
-#include "runtime/stable_hash.hpp"
 
 namespace chrysalis::runtime {
 
@@ -87,7 +88,7 @@ class EvalCache
     lookup(const CacheKey& key)
     {
         Shard& shard = shard_for(key);
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         const auto it = shard.index.find(key);
         if (it == shard.index.end()) {
             ++shard.misses;
@@ -104,7 +105,7 @@ class EvalCache
     insert(const CacheKey& key, Value value)
     {
         Shard& shard = shard_for(key);
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         const auto it = shard.index.find(key);
         if (it != shard.index.end()) {
             it->second->second = std::move(value);
@@ -142,7 +143,7 @@ class EvalCache
         EvalCacheStats total;
         total.capacity = capacity();
         for (const auto& shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mutex);
+            MutexLock lock(shard->mutex);
             total.hits += shard->hits;
             total.misses += shard->misses;
             total.insertions += shard->insertions;
@@ -157,7 +158,7 @@ class EvalCache
     clear()
     {
         for (const auto& shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mutex);
+            MutexLock lock(shard->mutex);
             shard->lru.clear();
             shard->index.clear();
         }
@@ -174,17 +175,19 @@ class EvalCache
 
   private:
     struct Shard {
-        mutable std::mutex mutex;
-        std::list<std::pair<CacheKey, Value>> lru;  ///< front = newest
+        mutable Mutex mutex;
+        /// front = newest
+        std::list<std::pair<CacheKey, Value>> lru
+            CHRYSALIS_GUARDED_BY(mutex);
         std::unordered_map<CacheKey,
                            typename std::list<
                                std::pair<CacheKey, Value>>::iterator,
                            CacheKeyHash>
-            index;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t insertions = 0;
-        std::uint64_t evictions = 0;
+            index CHRYSALIS_GUARDED_BY(mutex);
+        std::uint64_t hits CHRYSALIS_GUARDED_BY(mutex) = 0;
+        std::uint64_t misses CHRYSALIS_GUARDED_BY(mutex) = 0;
+        std::uint64_t insertions CHRYSALIS_GUARDED_BY(mutex) = 0;
+        std::uint64_t evictions CHRYSALIS_GUARDED_BY(mutex) = 0;
     };
 
     Shard&

@@ -64,10 +64,10 @@ struct ThreadPool::Batch {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> executed{0};
     std::atomic<bool> abort{false};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t pending_runners = 0;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done_cv;
+    std::size_t pending_runners CHRYSALIS_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error CHRYSALIS_GUARDED_BY(mutex);
 };
 
 ThreadPool::ThreadPool(int threads)
@@ -79,19 +79,24 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    // Take ownership of the worker handles under the lock, then join
+    // outside it: the workers themselves reacquire queue_mutex_ to
+    // drain, so joining with it held would deadlock.
+    std::vector<std::thread> workers;
     {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        MutexLock lock(queue_mutex_);
         stopping_ = true;
+        workers.swap(workers_);
     }
     queue_cv_.notify_all();
-    for (auto& worker : workers_)
+    for (auto& worker : workers)
         worker.join();
 }
 
 void
 ThreadPool::ensure_workers()
 {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
+    MutexLock lock(queue_mutex_);
     if (!workers_.empty())
         return;
     // The calling thread participates in every batch, so threads_ - 1
@@ -107,9 +112,9 @@ ThreadPool::worker_loop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(queue_mutex_);
-            queue_cv_.wait(lock,
-                           [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(queue_mutex_);
+            while (!stopping_ && queue_.empty())
+                queue_cv_.wait(queue_mutex_);
             if (queue_.empty())
                 return;  // stopping and fully drained
             task = std::move(queue_.front());
@@ -133,7 +138,7 @@ ThreadPool::run_batch(Batch& batch)
             (*batch.body)(index);
             batch.executed.fetch_add(1, std::memory_order_relaxed);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(batch.mutex);
+            MutexLock lock(batch.mutex);
             if (!batch.error)
                 batch.error = std::current_exception();
             batch.abort.store(true, std::memory_order_relaxed);
@@ -144,7 +149,7 @@ ThreadPool::run_batch(Batch& batch)
         // Notify while holding the lock: the batch lives on the caller's
         // stack and is destroyed as soon as the waiter sees 0 pending
         // runners, so the notify must complete before that check can run.
-        std::lock_guard<std::mutex> lock(batch.mutex);
+        MutexLock lock(batch.mutex);
         --batch.pending_runners;
         batch.done_cv.notify_all();
     }
@@ -163,7 +168,7 @@ ThreadPool::parallel_for(std::size_t count,
         for (std::size_t i = 0; i < count; ++i)
             body(i);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++stats_.batches;
             ++stats_.inline_batches;
             stats_.tasks += count;
@@ -178,9 +183,14 @@ ThreadPool::parallel_for(std::size_t count,
     batch.body = &body;
     const std::size_t runners =
         std::min(static_cast<std::size_t>(threads_), count);
-    batch.pending_runners = runners;
     {
-        std::lock_guard<std::mutex> lock(queue_mutex_);
+        // No runner exists yet, but pending_runners is guarded and the
+        // analysis (rightly) does not model "before publication".
+        MutexLock lock(batch.mutex);
+        batch.pending_runners = runners;
+    }
+    {
+        MutexLock lock(queue_mutex_);
         for (std::size_t i = 0; i + 1 < runners; ++i)
             queue_.emplace_back([&batch, this] { run_batch(batch); });
         if (obs::MetricsRegistry* registry = obs::metrics()) {
@@ -193,27 +203,30 @@ ThreadPool::parallel_for(std::size_t count,
     queue_cv_.notify_all();
     run_batch(batch);  // the caller is one of the runners
 
+    std::exception_ptr error;
     {
-        std::unique_lock<std::mutex> lock(batch.mutex);
-        batch.done_cv.wait(lock,
-                           [&batch] { return batch.pending_runners == 0; });
+        MutexLock lock(batch.mutex);
+        while (batch.pending_runners != 0)
+            batch.done_cv.wait(batch.mutex);
+        // Copy out under the lock; batch.error is guarded by it.
+        error = batch.error;
     }
     const std::size_t executed =
         batch.executed.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.batches;
         stats_.tasks += executed;
     }
     publish_batch(executed, /*ran_inline=*/false);
-    if (batch.error)
-        std::rethrow_exception(batch.error);
+    if (error)
+        std::rethrow_exception(error);
 }
 
 PoolStats
 ThreadPool::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return stats_;
 }
 

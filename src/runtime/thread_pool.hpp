@@ -20,14 +20,15 @@
 #ifndef CHRYSALIS_RUNTIME_THREAD_POOL_HPP
 #define CHRYSALIS_RUNTIME_THREAD_POOL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace chrysalis::runtime {
 
@@ -98,14 +99,15 @@ class ThreadPool
 
     int threads_ = 1;
 
-    std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;  // guarded by queue_mutex_
-    bool stopping_ = false;
+    Mutex queue_mutex_;
+    CondVar queue_cv_;
+    std::deque<std::function<void()>> queue_
+        CHRYSALIS_GUARDED_BY(queue_mutex_);
+    std::vector<std::thread> workers_ CHRYSALIS_GUARDED_BY(queue_mutex_);
+    bool stopping_ CHRYSALIS_GUARDED_BY(queue_mutex_) = false;
 
-    mutable std::mutex stats_mutex_;
-    PoolStats stats_;
+    mutable Mutex stats_mutex_;
+    PoolStats stats_ CHRYSALIS_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace chrysalis::runtime

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/mutex.hpp"
 #include "common/math_utils.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -72,11 +72,11 @@ BiLevelExplorer::BiLevelExplorer(dnn::Model model, DesignSpace space,
     }
 }
 
-runtime::CacheKey
+CacheKey
 BiLevelExplorer::candidate_key(const HwCandidate& raw) const
 {
     const HwCandidate candidate = space_.clamp(raw);
-    runtime::StableHash hash = context_hash_;
+    StableHash hash = context_hash_;
     hash.add(static_cast<int>(candidate.family))
         .add(candidate.solar_cm2)
         .add(candidate.capacitance_f)
@@ -235,14 +235,14 @@ BiLevelExplorer::explore(const std::vector<HwCandidate>& warm_starts) const
     // designs are collected under a mutex tagged with their evaluation
     // index and ordered afterwards, so the history is identical to the
     // serial path at any thread count.
-    std::mutex evaluated_mutex;
+    Mutex evaluated_mutex;
     std::vector<std::pair<std::size_t, EvaluatedDesign>> evaluated;
     evaluated.reserve(expected);
     const IndexedFitnessFn fitness = [&](std::size_t index,
                                          const std::vector<double>& genes) {
         EvaluatedDesign design = evaluate_cached(decode(genes));
         const double score = design.score;
-        std::lock_guard<std::mutex> lock(evaluated_mutex);
+        MutexLock lock(evaluated_mutex);
         evaluated.emplace_back(index, std::move(design));
         return score;
     };
@@ -303,7 +303,7 @@ BiLevelExplorer::explore_pareto() const
 {
     OBS_SPAN("search/explore_pareto");
     const runtime::EvalCacheStats cache_before = cache_stats();
-    std::mutex evaluated_mutex;
+    Mutex evaluated_mutex;
     std::vector<std::pair<std::size_t, EvaluatedDesign>> evaluated;
     evaluated.reserve(static_cast<std::size_t>(
         options_.outer.population * options_.outer.generations));
@@ -318,7 +318,7 @@ BiLevelExplorer::explore_pareto() const
             objectives = {design.candidate.solar_cm2,
                           design.mean_latency_s};
         }
-        std::lock_guard<std::mutex> lock(evaluated_mutex);
+        MutexLock lock(evaluated_mutex);
         evaluated.emplace_back(index, std::move(design));
         return objectives;
     };

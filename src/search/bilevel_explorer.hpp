@@ -102,7 +102,7 @@ class BiLevelExplorer
     /// plus the evaluation context (workload identity, objective,
     /// environments, energy technology and inner-search options), so
     /// caches could even be shared across explorer instances.
-    runtime::CacheKey candidate_key(const HwCandidate& candidate) const;
+    CacheKey candidate_key(const HwCandidate& candidate) const;
 
     /// Lifetime memo counters (all explore()/evaluate_cached() calls).
     runtime::EvalCacheStats cache_stats() const;
@@ -144,7 +144,7 @@ class BiLevelExplorer
     DesignSpace space_;
     Objective objective_;
     ExplorerOptions options_;
-    runtime::StableHash context_hash_;  ///< premixed non-candidate inputs
+    StableHash context_hash_;  ///< premixed non-candidate inputs
     mutable std::unique_ptr<runtime::EvalCache<EvaluatedDesign>> cache_;
 };
 

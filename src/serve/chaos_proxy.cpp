@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <cmath>
-#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -26,7 +25,7 @@ set_nonblocking(int fd)
 {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-        fatal("chaos_proxy: fcntl(O_NONBLOCK): ", std::strerror(errno));
+        fatal("chaos_proxy: fcntl(O_NONBLOCK): ", errno_text(errno));
 }
 
 void
@@ -86,7 +85,7 @@ ChaosProxy::start()
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
-        fatal("chaos_proxy: socket(): ", std::strerror(errno));
+        fatal("chaos_proxy: socket(): ", errno_text(errno));
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -100,19 +99,19 @@ ChaosProxy::start()
     if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
                sizeof address) != 0)
         fatal("chaos_proxy: cannot bind ", options_.host, ":",
-              options_.port, ": ", std::strerror(errno));
+              options_.port, ": ", errno_text(errno));
     if (::listen(listen_fd_, 128) != 0)
-        fatal("chaos_proxy: listen(): ", std::strerror(errno));
+        fatal("chaos_proxy: listen(): ", errno_text(errno));
     socklen_t length = sizeof address;
     if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
                       &length) != 0)
-        fatal("chaos_proxy: getsockname(): ", std::strerror(errno));
+        fatal("chaos_proxy: getsockname(): ", errno_text(errno));
     port_ = static_cast<int>(ntohs(address.sin_port));
     set_nonblocking(listen_fd_);
 
     int pipe_fds[2] = {-1, -1};
     if (::pipe(pipe_fds) != 0)
-        fatal("chaos_proxy: pipe(): ", std::strerror(errno));
+        fatal("chaos_proxy: pipe(): ", errno_text(errno));
     wake_read_fd_ = pipe_fds[0];
     wake_write_fd_ = pipe_fds[1];
     set_nonblocking(wake_read_fd_);
@@ -126,7 +125,7 @@ ChaosProxy::start()
 void
 ChaosProxy::stop()
 {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     if (!io_thread_.joinable())
         return;
     stop_requested_.store(true);
@@ -204,7 +203,7 @@ ChaosProxy::loop()
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
-            warn("chaos_proxy: poll(): ", std::strerror(errno));
+            warn("chaos_proxy: poll(): ", errno_text(errno));
             break;
         }
 

@@ -24,11 +24,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "fault/net_fault_injector.hpp"
 
 namespace chrysalis::serve {
@@ -114,7 +114,7 @@ class ChaosProxy
     int port_ = 0;
 
     std::thread io_thread_;
-    std::mutex stop_mutex_;
+    Mutex stop_mutex_;  ///< serializes concurrent stop() calls
     std::atomic<bool> running_{false};
     std::atomic<bool> stop_requested_{false};
     std::atomic<std::uint64_t> links_total_{0};

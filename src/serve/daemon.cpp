@@ -4,7 +4,6 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include <poll.h>
@@ -176,7 +175,7 @@ run_serve_cli(int argc, char** argv, int first)
         obs::attach_trace(&trace);
 
     if (::pipe(g_signal_pipe) != 0)
-        fatal("serve: pipe(): ", std::strerror(errno));
+        fatal("serve: pipe(): ", errno_text(errno));
     struct sigaction action{};
     action.sa_handler = handle_shutdown_signal;
     sigemptyset(&action.sa_mask);

@@ -452,10 +452,10 @@ response_is_memoized(const std::string& type)
            type == "sim_step" || type == "run_case";
 }
 
-runtime::CacheKey
+CacheKey
 request_cache_key(const FlatJsonFields& fields)
 {
-    runtime::StableHash hash;
+    StableHash hash;
     hash.add(std::string_view(kProtocolVersion));
     for (const auto& [key, value] : fields) {
         if (key == "id")

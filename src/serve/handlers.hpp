@@ -79,7 +79,7 @@ bool response_is_memoized(const std::string& type);
 /// and every field except "id", in key-sorted order. Two requests that
 /// differ only in "id" (or field spelling order on the wire — the map
 /// is sorted) share a key and therefore a cached body.
-runtime::CacheKey request_cache_key(const FlatJsonFields& fields);
+CacheKey request_cache_key(const FlatJsonFields& fields);
 
 /// Dispatches one parsed request to its handler. Eval-type responses go
 /// through \p cache when non-null. Never throws and never fatals:

@@ -4,7 +4,6 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -27,7 +26,7 @@ set_nonblocking(int fd)
 {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-        fatal("serve: fcntl(O_NONBLOCK): ", std::strerror(errno));
+        fatal("serve: fcntl(O_NONBLOCK): ", errno_text(errno));
 }
 
 void
@@ -108,7 +107,7 @@ Server::start()
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
-        fatal("serve: socket(): ", std::strerror(errno));
+        fatal("serve: socket(): ", errno_text(errno));
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -120,19 +119,19 @@ Server::start()
     if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address),
                sizeof address) != 0)
         fatal("serve: cannot bind ", options_.host, ":", options_.port,
-              ": ", std::strerror(errno));
+              ": ", errno_text(errno));
     if (::listen(listen_fd_, 128) != 0)
-        fatal("serve: listen(): ", std::strerror(errno));
+        fatal("serve: listen(): ", errno_text(errno));
     socklen_t length = sizeof address;
     if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
                       &length) != 0)
-        fatal("serve: getsockname(): ", std::strerror(errno));
+        fatal("serve: getsockname(): ", errno_text(errno));
     port_ = static_cast<int>(ntohs(address.sin_port));
     set_nonblocking(listen_fd_);
 
     int pipe_fds[2] = {-1, -1};
     if (::pipe(pipe_fds) != 0)
-        fatal("serve: pipe(): ", std::strerror(errno));
+        fatal("serve: pipe(): ", errno_text(errno));
     wake_read_fd_ = pipe_fds[0];
     wake_write_fd_ = pipe_fds[1];
     set_nonblocking(wake_read_fd_);
@@ -152,7 +151,7 @@ Server::start()
         worker_id = std::string(hostname) + ":" + std::to_string(port_);
     }
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         counters_.threads = pool_->thread_count();
         counters_.worker_id = worker_id;
         start_time_s_ = obs::monotonic_seconds();
@@ -166,7 +165,7 @@ Server::start()
 void
 Server::stop()
 {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     if (!io_thread_.joinable())
         return;
     stop_requested_.store(true);
@@ -182,7 +181,7 @@ Server::stop()
 ServerStatsSnapshot
 Server::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     return snapshot_locked();
 }
 
@@ -249,7 +248,7 @@ Server::loop()
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
-            warn("serve: poll(): ", std::strerror(errno));
+            warn("serve: poll(): ", errno_text(errno));
             break;
         }
 
@@ -353,7 +352,7 @@ Server::sweep_timeouts(double now_s)
     for (const std::uint64_t connection_id : expired_read) {
         close_connection(connection_id);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++counters_.timeouts_read;
         }
         bump("serve/timeouts_read");
@@ -361,7 +360,7 @@ Server::sweep_timeouts(double now_s)
     for (const std::uint64_t connection_id : expired_idle) {
         close_connection(connection_id);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++counters_.timeouts_idle;
         }
         bump("serve/timeouts_idle");
@@ -417,7 +416,7 @@ Server::accept_ready()
         connection.last_activity_s = obs::monotonic_seconds();
         connections_.push_back(std::move(connection));
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++counters_.connections_total;
             ++counters_.connections_open;
         }
@@ -516,7 +515,7 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
     if (static_cast<int>(pending_.size()) >= options_.max_inflight ||
         connection.queued >= options_.queue_depth) {
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++counters_.overload_rejections;
         }
         bump("serve/overloaded");
@@ -536,7 +535,7 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
     request.fields = std::move(fields);
     request.timer = std::make_unique<obs::SpanTimer>("serve/request");
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++counters_.requests_total;
         if (type == "eval_design_point")
             ++counters_.requests_eval_design_point;
@@ -572,7 +571,7 @@ Server::dispatch_batch()
 
     ServerStatsSnapshot snapshot;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++counters_.batches;
         counters_.max_batch =
             std::max(counters_.max_batch,
@@ -622,7 +621,7 @@ Server::enqueue_reply(Connection& connection, const std::string& response)
         connection.out += encode_frame(response);
     }
     if (is_error_reply(response)) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++counters_.errors_total;
         bump("serve/errors");
     }
@@ -633,7 +632,7 @@ Server::enqueue_reply(Connection& connection, const std::string& response)
         const std::uint64_t connection_id = connection.id;
         close_connection(connection_id);
         {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            MutexLock lock(stats_mutex_);
             ++counters_.slow_consumer_closes;
         }
         bump("serve/slow_consumer_closes");
@@ -715,7 +714,7 @@ Server::close_connection(std::uint64_t connection_id)
         ::close(connections_[i].fd);
         connections_.erase(
             connections_.begin() + static_cast<std::ptrdiff_t>(i));
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         --counters_.connections_open;
         return;
     }
@@ -735,7 +734,7 @@ Server::reset_connection(std::uint64_t connection_id)
         ::close(connections_[i].fd);
         connections_.erase(
             connections_.begin() + static_cast<std::ptrdiff_t>(i));
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         --counters_.connections_open;
         return;
     }
@@ -782,7 +781,7 @@ Server::drain_and_close()
     for (const Connection& connection : connections_)
         ::close(connection.fd);
     connections_.clear();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     counters_.connections_open = 0;
 }
 

@@ -50,11 +50,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "fault/net_fault_injector.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -118,7 +119,7 @@ class Server
 
     /// Requests shutdown, drains queued work and joins the I/O thread.
     /// Idempotent.
-    void stop();
+    void stop() CHRYSALIS_EXCLUDES(stop_mutex_);
 
     /// True between start() and stop().
     bool running() const { return running_.load(); }
@@ -129,7 +130,7 @@ class Server
     const ServerOptions& options() const { return options_; }
 
     /// Point-in-time copy of the serving counters.
-    ServerStatsSnapshot stats() const;
+    ServerStatsSnapshot stats() const CHRYSALIS_EXCLUDES(stats_mutex_);
 
   private:
     struct Connection {
@@ -180,7 +181,8 @@ class Server
     double next_deadline_s(double now_s) const;
     Connection* find_connection(std::uint64_t connection_id);
     void drain_and_close();
-    ServerStatsSnapshot snapshot_locked() const;
+    ServerStatsSnapshot snapshot_locked() const
+        CHRYSALIS_REQUIRES(stats_mutex_);
 
     ServerOptions options_;
     std::unique_ptr<runtime::ThreadPool> pool_;
@@ -192,7 +194,7 @@ class Server
     int port_ = 0;
 
     std::thread io_thread_;
-    std::mutex stop_mutex_;  ///< serializes concurrent stop() calls
+    Mutex stop_mutex_;  ///< serializes concurrent stop() calls
     std::atomic<bool> running_{false};
     std::atomic<bool> stop_requested_{false};
 
@@ -205,9 +207,10 @@ class Server
     bool accept_stall_checked_ = false;    ///< one consult per accept
 
     // Counters, shared with stats() callers.
-    mutable std::mutex stats_mutex_;
-    ServerStatsSnapshot counters_;
-    double start_time_s_ = 0.0;  ///< monotonic_seconds() at start()
+    mutable Mutex stats_mutex_;
+    ServerStatsSnapshot counters_ CHRYSALIS_GUARDED_BY(stats_mutex_);
+    /// monotonic_seconds() at start()
+    double start_time_s_ CHRYSALIS_GUARDED_BY(stats_mutex_) = 0.0;
 };
 
 }  // namespace chrysalis::serve

@@ -1,0 +1,93 @@
+// Tests for the annotated locking primitives (common/mutex.hpp): RAII
+// exclusion under contention and the explicit-predicate-loop CondVar
+// handshake. The *annotations* are proven by the clang thread-safety
+// CI job; these tests pin the runtime behavior of the wrappers.
+#include "common/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace chrysalis {
+namespace {
+
+TEST(Mutex, MutexLockExcludesConcurrentWriters)
+{
+    Mutex mutex;
+    long counter = 0;
+    constexpr int kThreads = 8;
+    constexpr int kIterations = 10000;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kIterations; ++i) {
+                MutexLock lock(mutex);
+                ++counter;
+            }
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+    EXPECT_EQ(counter, static_cast<long>(kThreads) * kIterations);
+}
+
+TEST(Mutex, CondVarHandshake)
+{
+    Mutex mutex;
+    CondVar cv;
+    int stage = 0;  // 0 = idle, 1 = request sent, 2 = reply sent
+
+    std::thread responder([&] {
+        MutexLock lock(mutex);
+        while (stage != 1)
+            cv.wait(mutex);
+        stage = 2;
+        cv.notify_all();
+    });
+
+    {
+        MutexLock lock(mutex);
+        stage = 1;
+        cv.notify_all();
+        while (stage != 2)
+            cv.wait(mutex);
+        EXPECT_EQ(stage, 2);
+    }
+    responder.join();
+}
+
+TEST(Mutex, CondVarNotifyOneWakesAWaiter)
+{
+    Mutex mutex;
+    CondVar cv;
+    int ready = 0;
+    int consumed = 0;
+    constexpr int kWaiters = 4;
+
+    std::vector<std::thread> waiters;
+    waiters.reserve(kWaiters);
+    for (int t = 0; t < kWaiters; ++t) {
+        waiters.emplace_back([&] {
+            MutexLock lock(mutex);
+            while (ready == 0)
+                cv.wait(mutex);
+            --ready;
+            ++consumed;
+        });
+    }
+    for (int t = 0; t < kWaiters; ++t) {
+        MutexLock lock(mutex);
+        ++ready;
+        cv.notify_one();
+    }
+    for (std::thread& waiter : waiters)
+        waiter.join();
+    EXPECT_EQ(consumed, kWaiters);
+    EXPECT_EQ(ready, 0);
+}
+
+}  // namespace
+}  // namespace chrysalis

@@ -2,11 +2,11 @@
 /// Tests for the stable evaluation-key hash: determinism, sensitivity to
 /// value and order, and the floating-point normalization rules.
 
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 #include <gtest/gtest.h>
 
-namespace chrysalis::runtime {
+namespace chrysalis {
 namespace {
 
 TEST(StableHashTest, SameInputsSameKey)
@@ -104,4 +104,4 @@ TEST(StableHashTest, EmptyAndNonEmptyDiffer)
 }
 
 }  // namespace
-}  // namespace chrysalis::runtime
+}  // namespace chrysalis

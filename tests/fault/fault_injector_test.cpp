@@ -10,7 +10,7 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 namespace chrysalis::fault {
 namespace {
@@ -178,7 +178,7 @@ TEST(FaultInjectorTest, CorruptionFrequencyMatchesRate)
 TEST(FaultInjectorTest, HashDistinguishesSpecs)
 {
     const auto key_of = [](const FaultSpec& spec) {
-        runtime::StableHash hash;
+        StableHash hash;
         FaultInjector(spec).add_to_hash(hash);
         return hash.key();
     };

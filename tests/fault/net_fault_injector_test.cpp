@@ -11,7 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.hpp"
-#include "runtime/stable_hash.hpp"
+#include "common/stable_hash.hpp"
 
 namespace chrysalis::fault {
 namespace {
@@ -190,19 +190,19 @@ TEST(NetFaultInjectorTest, PublishExportsActivationGauges)
 
 TEST(NetFaultInjectorTest, HashCoversTheSpec)
 {
-    runtime::StableHash baseline_hash;
+    StableHash baseline_hash;
     NetFaultInjector(storm_spec(3)).add_to_hash(baseline_hash);
-    runtime::StableHash same_hash;
+    StableHash same_hash;
     NetFaultInjector(storm_spec(3)).add_to_hash(same_hash);
     EXPECT_EQ(baseline_hash.key(), same_hash.key());
 
-    runtime::StableHash different_hash;
+    StableHash different_hash;
     NetFaultInjector(storm_spec(4)).add_to_hash(different_hash);
     EXPECT_FALSE(baseline_hash.key() == different_hash.key());
 
     NetFaultSpec tweaked = storm_spec(3);
     tweaked.torn_write_chunk_bytes = 6;
-    runtime::StableHash tweaked_hash;
+    StableHash tweaked_hash;
     NetFaultInjector(tweaked).add_to_hash(tweaked_hash);
     EXPECT_FALSE(baseline_hash.key() == tweaked_hash.key());
 }

@@ -84,6 +84,69 @@ TEST(LintGolden, Include) { check_fixture("include"); }
 TEST(LintGolden, NetworkHeaders) { check_fixture("network"); }
 TEST(LintGolden, MalformedNolint) { check_fixture("nolint"); }
 TEST(LintGolden, WellFormedSuppressions) { check_fixture("suppressed"); }
+TEST(LintGolden, RawLock) { check_fixture("rawlock"); }
+
+// Runs the graph analyzer over one fixture tree (each carries its own
+// `layers` spec) and compares stdout to the golden file.
+void check_graph_fixture(const std::string& name)
+{
+    const fs::path root = testdata_root() / "graph" / name;
+    ASSERT_TRUE(fs::exists(root / "expected.txt")) << root;
+    ASSERT_TRUE(fs::exists(root / "layers")) << root;
+    const std::string expected = read_file(root / "expected.txt");
+
+    const RunResult result =
+        run_lint("--graph --layers " + (root / "layers").string() +
+                 " --root " + root.string() + " " +
+                 (root / "src").string());
+    EXPECT_EQ(result.output, expected) << "fixture: graph/" << name;
+    EXPECT_EQ(result.exit_code, expected.empty() ? 0 : 1)
+        << "fixture: graph/" << name;
+}
+
+TEST(LintGraphGolden, ForbiddenEdge) { check_graph_fixture("forbidden"); }
+TEST(LintGraphGolden, IncludeCycle) { check_graph_fixture("cycle"); }
+TEST(LintGraphGolden, OrphanHeader) { check_graph_fixture("orphan"); }
+TEST(LintGraphGolden, CleanTree) { check_graph_fixture("clean"); }
+
+TEST(LintGraphGolden, BadLayersFileExitsTwo)
+{
+    const fs::path root = testdata_root() / "graph" / "clean";
+    EXPECT_EQ(run_lint("--graph --layers /no/such/layers --root " +
+                       root.string() + " " + (root / "src").string())
+                  .exit_code,
+              2);
+    // --layers / --graph-out without --graph are usage errors.
+    EXPECT_EQ(run_lint("--layers " + (root / "layers").string() +
+                       " --root " + root.string() + " " +
+                       (root / "src").string())
+                  .exit_code,
+              2);
+}
+
+// The graph meta-test twin of RealTreeIsClean: the real tree must
+// satisfy the compiled-in layering spec with no baseline, and the DOT
+// export must land on disk. Same invocation as the lint.graph ctest
+// and the CI step.
+TEST(LintGraphGolden, RealTreeSatisfiesBuiltinLayering)
+{
+    const fs::path repo(CHRYSALIS_SOURCE_DIR);
+    const fs::path dot =
+        fs::temp_directory_path() / "chrysalis_lint_graph_test.dot";
+    const RunResult result = run_lint(
+        "--graph --graph-out " + dot.string() + " --root " +
+        repo.string() + " " + (repo / "src").string() + " " +
+        (repo / "bench").string() + " " + (repo / "examples").string() +
+        " " + (repo / "tests").string() + " " +
+        (repo / "tools").string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_TRUE(result.output.empty()) << result.output;
+    const std::string rendered = read_file(dot);
+    EXPECT_NE(rendered.find("digraph"), std::string::npos);
+    EXPECT_NE(rendered.find("\"serve\" -> \"core\""), std::string::npos)
+        << rendered;
+    fs::remove(dot);
+}
 
 TEST(LintGolden, ListRulesShowsEveryFixtureRule)
 {
@@ -93,7 +156,9 @@ TEST(LintGolden, ListRulesShowsEveryFixtureRule)
          {"chrysalis-rand", "chrysalis-clock", "chrysalis-getenv",
           "chrysalis-unordered-iter", "chrysalis-float-format",
           "chrysalis-unit-suffix", "chrysalis-header-guard",
-          "chrysalis-include", "chrysalis-nolint"}) {
+          "chrysalis-include", "chrysalis-nolint",
+          "chrysalis-raw-lock", "chrysalis-layering",
+          "chrysalis-include-cycle", "chrysalis-orphan-header"}) {
         EXPECT_NE(result.output.find(rule), std::string::npos) << rule;
     }
 }

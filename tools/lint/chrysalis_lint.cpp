@@ -5,6 +5,8 @@
 ///     chrysalis_lint --list-rules
 ///     chrysalis_lint --write-baseline lint.base src
 ///     chrysalis_lint --baseline lint.base src      # incremental adoption
+///     chrysalis_lint --graph src tools tests bench # layering analysis
+///     chrysalis_lint --graph --graph-out graph.dot src  # DOT export
 ///
 /// Violations print as "file:line: rule: message" with repo-relative
 /// paths, sorted, so output is stable across machines and thread
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "lint_core.hpp"
+#include "lint_graph.hpp"
 
 namespace fs = std::filesystem;
 using chrysalis::lint::Violation;
@@ -81,7 +84,14 @@ usage()
         "  --baseline FILE       suppress violations listed in FILE\n"
         "  --write-baseline FILE write current violations to FILE and\n"
         "                        exit 0 (incremental adoption)\n"
-        "  --list-rules          print rule ids and summaries\n");
+        "  --list-rules          print rule ids and summaries\n"
+        "  --graph               run the include-graph pass (layering,\n"
+        "                        cycles, orphan headers) instead of the\n"
+        "                        token rules\n"
+        "  --layers FILE         layering spec for --graph (default:\n"
+        "                        the compiled-in project spec)\n"
+        "  --graph-out FILE      write the module dependency graph as\n"
+        "                        GraphViz DOT (requires --graph)\n");
     return kExitUsage;
 }
 
@@ -93,6 +103,9 @@ main(int argc, char** argv)
     fs::path root = fs::current_path();
     std::string baseline_path;
     std::string write_baseline_path;
+    std::string layers_path;
+    std::string graph_out_path;
+    bool graph_mode = false;
     std::vector<fs::path> targets;
 
     for (int i = 1; i < argc; ++i) {
@@ -103,8 +116,13 @@ main(int argc, char** argv)
                             rule.summary.c_str());
             return kExitClean;
         }
+        if (arg == "--graph") {
+            graph_mode = true;
+            continue;
+        }
         if (arg == "--root" || arg == "--baseline" ||
-            arg == "--write-baseline") {
+            arg == "--write-baseline" || arg == "--layers" ||
+            arg == "--graph-out") {
             if (i + 1 >= argc)
                 return usage();
             const std::string value = argv[++i];
@@ -112,6 +130,10 @@ main(int argc, char** argv)
                 root = value;
             else if (arg == "--baseline")
                 baseline_path = value;
+            else if (arg == "--layers")
+                layers_path = value;
+            else if (arg == "--graph-out")
+                graph_out_path = value;
             else
                 write_baseline_path = value;
             continue;
@@ -122,6 +144,12 @@ main(int argc, char** argv)
     }
     if (targets.empty())
         return usage();
+    if ((!layers_path.empty() || !graph_out_path.empty()) && !graph_mode) {
+        std::fprintf(stderr,
+                     "chrysalis_lint: --layers/--graph-out require "
+                     "--graph\n");
+        return kExitUsage;
+    }
 
     std::error_code error;
     root = fs::absolute(root, error);
@@ -135,6 +163,7 @@ main(int argc, char** argv)
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
     std::vector<Violation> violations;
+    std::vector<chrysalis::lint::GraphFile> graph_files;
     for (const fs::path& file : files) {
         std::ifstream input(file, std::ios::binary);
         if (!input) {
@@ -151,9 +180,51 @@ main(int argc, char** argv)
         // paths start with src/ and are unaffected.
         if (rel.rfind("tools/lint/testdata/", 0) == 0)
             continue;
+        if (graph_mode) {
+            graph_files.push_back({rel, content.str()});
+            continue;
+        }
         for (Violation& violation :
              chrysalis::lint::scan_source(rel, content.str()))
             violations.push_back(std::move(violation));
+    }
+    if (graph_mode) {
+        chrysalis::lint::LayerSpec parsed_spec;
+        const chrysalis::lint::LayerSpec* spec =
+            &chrysalis::lint::LayerSpec::builtin();
+        if (!layers_path.empty()) {
+            std::ifstream input(layers_path);
+            if (!input) {
+                std::fprintf(stderr,
+                             "chrysalis_lint: cannot read layers %s\n",
+                             layers_path.c_str());
+                return kExitUsage;
+            }
+            std::ostringstream text;
+            text << input.rdbuf();
+            std::string parse_error;
+            if (!chrysalis::lint::LayerSpec::parse(
+                    text.str(), parsed_spec, parse_error)) {
+                std::fprintf(stderr,
+                             "chrysalis_lint: bad layers file %s: %s\n",
+                             layers_path.c_str(), parse_error.c_str());
+                return kExitUsage;
+            }
+            spec = &parsed_spec;
+        }
+        chrysalis::lint::GraphReport report =
+            chrysalis::lint::analyze_graph(graph_files, *spec);
+        violations = std::move(report.violations);
+        if (!graph_out_path.empty()) {
+            std::ofstream output(graph_out_path);
+            if (!output) {
+                std::fprintf(stderr,
+                             "chrysalis_lint: cannot write %s\n",
+                             graph_out_path.c_str());
+                return kExitUsage;
+            }
+            output << report.dot;
+        }
     }
     std::sort(violations.begin(), violations.end(),
               [](const Violation& a, const Violation& b) {

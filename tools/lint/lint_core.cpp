@@ -21,7 +21,14 @@ constexpr const char* kRuleFloatFormat = "chrysalis-float-format";
 constexpr const char* kRuleUnitSuffix = "chrysalis-unit-suffix";
 constexpr const char* kRuleHeaderGuard = "chrysalis-header-guard";
 constexpr const char* kRuleInclude = "chrysalis-include";
+constexpr const char* kRuleRawLock = "chrysalis-raw-lock";
 constexpr const char* kRuleNolint = "chrysalis-nolint";
+
+// Reported by the --graph pass (lint_graph.cpp); registered here so
+// --list-rules shows them and NOLINT/baseline validation accepts them.
+constexpr const char* kRuleLayering = "chrysalis-layering";
+constexpr const char* kRuleCycle = "chrysalis-include-cycle";
+constexpr const char* kRuleOrphan = "chrysalis-orphan-header";
 
 /// Files allowed to call getenv(): the two designated env-knob modules
 /// (log level, bench report toggles). Everything else must thread
@@ -50,6 +57,11 @@ constexpr const char* kReportPathPrefixes[] = {
 /// Home of the sanctioned formatting helpers; exempt from the
 /// float-format rule so the helpers themselves can exist.
 constexpr const char* kFormatHelperPrefix = "src/common/string_utils";
+
+/// The annotated RAII wrappers (chrysalis::Mutex / MutexLock / CondVar)
+/// are the one place allowed to call the raw lock primitives; every
+/// other module must hold locks through scoped guards.
+constexpr const char* kRawLockExemptPrefix = "src/common/mutex";
 
 /// Non-SI unit suffixes on double/float declarations. The project
 /// stores physical quantities in SI base units (common/units.hpp);
@@ -342,11 +354,14 @@ add_malformed(Suppressions& out, const FileView& view, int line,
 
 /// Accepts NOLINT and NOLINTNEXTLINE directives: the word, a
 /// parenthesised comma-separated rule list, then a ':' and a free-text
-/// justification. An empty rule list, an unknown rule id, or a missing
-/// justification is itself a violation: suppressions are part of the
-/// audit trail and must say what they waive and why. A bare NOLINT
-/// word without parentheses is prose, not a directive — it suppresses
-/// nothing and is ignored.
+/// justification. An empty rule list, an unknown chrysalis- rule id,
+/// or a missing justification is itself a violation: suppressions are
+/// part of the audit trail and must say what they waive and why. A
+/// bare NOLINT word without parentheses is prose, not a directive — it
+/// suppresses nothing and is ignored. Directives naming only foreign
+/// rules (no "chrysalis-" prefix, e.g. clang-tidy's
+/// NOLINT(concurrency-mt-unsafe)) belong to another tool and pass
+/// through untouched.
 Suppressions
 parse_suppressions(const FileView& view)
 {
@@ -367,31 +382,39 @@ parse_suppressions(const FileView& view)
                           "NOLINT(chrysalis-<rule>): <justification>");
             continue;
         }
+        std::stringstream list(match[2].str());
+        std::string rule;
+        std::vector<std::string> ours;
+        bool any_chrysalis = false;
+        while (std::getline(list, rule, ',')) {
+            rule = trim_copy(rule);
+            if (rule.rfind("chrysalis-", 0) == 0) {
+                any_chrysalis = true;
+                ours.push_back(rule);
+            }
+        }
+        if (!any_chrysalis)
+            continue;  // clang-tidy (or other tool) directive
         if (!match[3].matched || trim_copy(match[4].str()).empty()) {
             add_malformed(out, view, line,
                           "NOLINT requires a justification after the "
                           "rule list: NOLINT(chrysalis-<rule>): <why>");
             continue;
         }
-        const int target = match[1].matched ? line + 1 : line;
-        std::stringstream list(match[2].str());
-        std::string rule;
         bool ok = true;
-        std::vector<std::string> parsed;
-        while (std::getline(list, rule, ',')) {
-            rule = trim_copy(rule);
-            if (!is_known_rule(rule)) {
+        for (const std::string& id : ours) {
+            if (!is_known_rule(id)) {
                 add_malformed(out, view, line,
-                              "unknown rule '" + rule +
+                              "unknown rule '" + id +
                                   "' in NOLINT (see --list-rules)");
                 ok = false;
                 break;
             }
-            parsed.push_back(rule);
         }
         if (!ok)
             continue;
-        for (const std::string& id : parsed)
+        const int target = match[1].matched ? line + 1 : line;
+        for (const std::string& id : ours)
             out.by_line[target].insert(id);
     }
     return out;
@@ -682,6 +705,25 @@ check_header_guard(std::vector<Violation>& out, const FileView& view)
 }
 
 void
+check_raw_lock(std::vector<Violation>& out, const FileView& view)
+{
+    if (starts_with(view.path, kRawLockExemptPrefix))
+        return;
+    // Member calls only: `m.lock()` / `m->unlock()` with no arguments.
+    // `std::lock_guard` / `MutexLock` declarations never match (no
+    // preceding member access), and `cv.wait(lock)` takes arguments.
+    static const std::regex pattern(
+        R"((\.|->)\s*(unlock|try_lock|lock)\s*\(\s*\))");
+    match_lines(out, view, pattern, kRuleRawLock,
+                [](const std::smatch& m) {
+                    return "raw mutex ." + m[2].str() +
+                           "() call; hold locks through RAII "
+                           "(chrysalis::MutexLock, std::lock_guard) so "
+                           "no exit path can leak the capability";
+                });
+}
+
+void
 check_includes(std::vector<Violation>& out, const FileView& view)
 {
     static const std::regex include(
@@ -761,9 +803,22 @@ rules()
          "banned headers: C-compat headers, <random>, <time.h>/<ctime> "
          "outside src/obs/, network/fd headers outside src/serve/, "
          "<iostream> in headers"},
+        {kRuleRawLock,
+         "no raw .lock()/.unlock()/.try_lock() member calls outside "
+         "common/mutex; hold locks through RAII guards"},
         {kRuleNolint,
          "NOLINT comments must name known rules and give a "
          "justification"},
+        {kRuleLayering,
+         "(--graph) include edges must follow the module layering "
+         "spec: strictly lower layers only, nothing includes "
+         "tests/bench/tools"},
+        {kRuleCycle,
+         "(--graph) no include cycles between files (strongly "
+         "connected components of the include graph)"},
+        {kRuleOrphan,
+         "(--graph) every header must be reachable from some "
+         "translation unit in the scanned tree"},
     };
     return registry;
 }
@@ -783,6 +838,7 @@ scan_source(const std::string& rel_path, const std::string& content)
     check_unit_suffix(raw, view);
     check_header_guard(raw, view);
     check_includes(raw, view);
+    check_raw_lock(raw, view);
 
     std::vector<Violation> kept;
     for (Violation& violation : raw) {

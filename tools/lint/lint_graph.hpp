@@ -1,0 +1,76 @@
+/// \file
+/// Include-graph layering analyzer behind `chrysalis_lint --graph`.
+///
+/// The pass parses the quoted `#include` edges of every scanned file,
+/// maps files to modules (src/<m>/... -> m; tools/tests/bench/examples
+/// are "top" modules), and checks the edges against a declarative
+/// layering spec: a module may only include itself and modules on a
+/// strictly lower layer, top modules may include anything, and nothing
+/// may include a top module. On top of the layer check the pass
+/// detects include cycles (strongly connected components of the file
+/// graph) and headers unreachable from any translation unit, and can
+/// export the module graph as GraphViz DOT for the docs.
+
+#ifndef CHRYSALIS_TOOLS_LINT_LINT_GRAPH_HPP
+#define CHRYSALIS_TOOLS_LINT_LINT_GRAPH_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace chrysalis::lint {
+
+/// One scanned file handed to the analyzer: repo-relative path
+/// ('/'-separated) plus its full text.
+struct GraphFile {
+    std::string path;
+    std::string content;
+};
+
+/// Declarative module layering: every module is assigned a layer rank
+/// (0 = foundation) or marked "top". The spec format is one `module =
+/// rank` assignment per line plus a single `top = a b c` line; '#'
+/// starts a comment. The compiled-in default (builtin()) describes the
+/// real tree; fixtures and downstream forks load their own via
+/// `--layers FILE`.
+struct LayerSpec {
+    std::map<std::string, int> ranks;
+    std::set<std::string> top;
+
+    /// The project's layering contract (see docs/static_analysis.md).
+    static const LayerSpec& builtin();
+
+    /// Parses the text form. Returns false and sets \p error on a
+    /// malformed line, a duplicate module, or an empty spec.
+    static bool parse(const std::string& text, LayerSpec& spec,
+                      std::string& error);
+};
+
+/// Module owning \p rel_path: "src/<m>/..." -> "<m>", otherwise the
+/// first path component ("tools", "tests", "bench", "examples", ...).
+std::string module_of(const std::string& rel_path);
+
+/// Result of one graph analysis.
+struct GraphReport {
+    /// Findings, sorted by (file, line, rule, message):
+    ///   chrysalis-layering       forbidden cross-module include
+    ///   chrysalis-include-cycle  include cycle (one report per cycle)
+    ///   chrysalis-orphan-header  header no translation unit reaches
+    std::vector<Violation> violations;
+    /// Module-level dependency graph in GraphViz DOT, byte-stable.
+    std::string dot;
+};
+
+/// Analyzes the include graph of \p files against \p spec. Only quoted
+/// includes that resolve to a scanned file become edges; system and
+/// unresolved includes are ignored (the token pass owns banned-header
+/// checks).
+GraphReport analyze_graph(const std::vector<GraphFile>& files,
+                          const LayerSpec& spec);
+
+}  // namespace chrysalis::lint
+
+#endif  // CHRYSALIS_TOOLS_LINT_LINT_GRAPH_HPP

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_COMMON_BASE_HPP
+#define FIXTURE_COMMON_BASE_HPP
+
+inline int base() { return 3; }
+
+#endif  // FIXTURE_COMMON_BASE_HPP

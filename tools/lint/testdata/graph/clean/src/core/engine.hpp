@@ -1,0 +1,8 @@
+#ifndef FIXTURE_CORE_ENGINE_HPP
+#define FIXTURE_CORE_ENGINE_HPP
+
+#include "common/base.hpp"
+
+inline int engine() { return base(); }
+
+#endif  // FIXTURE_CORE_ENGINE_HPP

@@ -1,0 +1,3 @@
+#include "core/engine.hpp"
+
+int main() { return engine(); }

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_CORE_ALPHA_HPP
+#define FIXTURE_CORE_ALPHA_HPP
+
+#include "core/beta.hpp"
+
+inline int alpha() { return beta_value; }
+
+#endif  // FIXTURE_CORE_ALPHA_HPP

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_CORE_BETA_HPP
+#define FIXTURE_CORE_BETA_HPP
+
+#include "core/alpha.hpp"
+
+inline int beta_value = 7;
+
+#endif  // FIXTURE_CORE_BETA_HPP

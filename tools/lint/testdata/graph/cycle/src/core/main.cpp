@@ -1,0 +1,3 @@
+#include "core/alpha.hpp"
+
+int main() { return alpha(); }

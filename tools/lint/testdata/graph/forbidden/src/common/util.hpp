@@ -1,0 +1,9 @@
+// Fixture: a low-layer header reaching up into core.
+#ifndef FIXTURE_COMMON_UTIL_HPP
+#define FIXTURE_COMMON_UTIL_HPP
+
+#include "core/engine.hpp"
+
+inline int util() { return engine(); }
+
+#endif  // FIXTURE_COMMON_UTIL_HPP

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_CORE_ENGINE_HPP
+#define FIXTURE_CORE_ENGINE_HPP
+
+inline int engine() { return 42; }
+
+#endif  // FIXTURE_CORE_ENGINE_HPP

@@ -1,0 +1,3 @@
+#include "common/util.hpp"
+
+int main() { return util(); }

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_CORE_DEAD_HPP
+#define FIXTURE_CORE_DEAD_HPP
+
+inline int dead() { return 0; }
+
+#endif  // FIXTURE_CORE_DEAD_HPP

@@ -1,0 +1,3 @@
+#include "core/used.hpp"
+
+int main() { return used(); }

@@ -1,0 +1,6 @@
+#ifndef FIXTURE_CORE_USED_HPP
+#define FIXTURE_CORE_USED_HPP
+
+inline int used() { return 1; }
+
+#endif  // FIXTURE_CORE_USED_HPP

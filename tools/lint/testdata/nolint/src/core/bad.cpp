@@ -8,7 +8,14 @@ sloppy_suppressions()
     const char* a = std::getenv("A");  // NOLINT(): no rules listed
     const char* b = std::getenv("B");  // NOLINT(chrysalis-getenv) missing justification
     const char* c = std::getenv("C");  // NOLINT(chrysalis-nonsense): unknown rule id
+    // A foreign tool's directive is ignored outright: it neither
+    // suppresses chrysalis rules nor counts as malformed.
+    const char* d = std::getenv("D");  // NOLINT(concurrency-mt-unsafe)
+    // Mixed list: only the chrysalis entry is validated and applied.
+    const char* e = std::getenv("E");  // NOLINT(concurrency-mt-unsafe,chrysalis-getenv): waived for the fixture
     (void)a;
     (void)b;
+    (void)d;
+    (void)e;
     return c;
 }

@@ -1,0 +1,18 @@
+// Fixture twin of src/common/mutex.hpp: the one place allowed to call
+// the raw primitives, because it is the annotated wrapper itself.
+#ifndef CHRYSALIS_COMMON_MUTEX_HPP
+#define CHRYSALIS_COMMON_MUTEX_HPP
+
+#include <mutex>
+
+class Mutex
+{
+  public:
+    void lock() { mutex_.lock(); }
+    void unlock() { mutex_.unlock(); }
+
+  private:
+    std::mutex mutex_;
+};
+
+#endif  // CHRYSALIS_COMMON_MUTEX_HPP

@@ -1,0 +1,38 @@
+// Fixture: raw mutex manipulation the chrysalis-raw-lock rule bans.
+#include <mutex>
+
+std::mutex g_mutex;
+int g_value = 0;
+
+void
+leaky_update(int next)
+{
+    g_mutex.lock();
+    g_value = next;  // an exception here leaks the capability
+    g_mutex.unlock();
+}
+
+bool
+try_update(int next)
+{
+    if (!g_mutex.try_lock())
+        return false;
+    g_value = next;
+    g_mutex.unlock();
+    return true;
+}
+
+void
+raii_update(int next)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_value = next;
+}
+
+void
+waived_handoff()
+{
+    // Lock handoff across a C callback boundary; RAII cannot span it.
+    // NOLINTNEXTLINE(chrysalis-raw-lock): capability crosses a C callback
+    g_mutex.lock();
+}
