@@ -19,10 +19,20 @@
 ///     gates: the campaign still completes, at least one case was
 ///     reassigned, and the bytes still match the oracle.
 ///
+/// Every distributed pass also exercises the fleet-telemetry path:
+/// each in-process worker carries its own TraceSession/MetricsRegistry
+/// (exactly what a real daemon exposes via `trace_export` /
+/// `metrics_snapshot`), the coordinator pulls and merges them at
+/// campaign end, and the merged Chrome trace / metrics rollup land
+/// next to the report (BENCH_dist_fleet_trace.json and friends). The
+/// per-stage remote-time split parsed from traced replies
+/// (queue/decode/eval/encode) goes into the report headlines.
+///
 /// Usage:
 ///   chrysalis_bench_dist [--model zoo-name] [--cases n]
 ///                        [--population n] [--generations n] [--seed n]
 ///                        [--streams n] [--chaos] [--chaos-seed n]
+///                        [--fleet-trace-out f] [--fleet-metrics-out f]
 ///
 /// The run report is BENCH_dist_scaling.json.
 
@@ -44,6 +54,7 @@
 #include "dnn/model_zoo.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/net_fault_injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/chaos_proxy.hpp"
 #include "serve/server.hpp"
@@ -61,6 +72,10 @@ struct DistBenchOptions {
     int streams = 1;
     bool chaos = false;
     std::uint64_t chaos_seed = 0;  ///< 0 = derive from --seed
+    /// Merged fleet artifacts of the widest scaling pass; the chaos
+    /// pass writes its own next to them ("..._chaos_..." spelling).
+    std::string fleet_trace_out = "BENCH_dist_fleet_trace.json";
+    std::string fleet_metrics_out = "BENCH_dist_fleet_metrics.json";
 };
 
 void
@@ -68,7 +83,8 @@ usage(const char* argv0)
 {
     std::printf("usage: %s [--model zoo-name] [--cases n]\n"
                 "          [--population n] [--generations n] [--seed n]\n"
-                "          [--streams n] [--chaos] [--chaos-seed n]\n",
+                "          [--streams n] [--chaos] [--chaos-seed n]\n"
+                "          [--fleet-trace-out f] [--fleet-metrics-out f]\n",
                 argv0);
 }
 
@@ -110,6 +126,10 @@ parse_args(int argc, char** argv, DistBenchOptions& options)
             options.chaos = true;
         } else if (arg == "--chaos-seed") {
             options.chaos_seed = std::stoull(next());
+        } else if (arg == "--fleet-trace-out") {
+            options.fleet_trace_out = next();
+        } else if (arg == "--fleet-metrics-out") {
+            options.fleet_metrics_out = next();
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return false;
@@ -162,6 +182,37 @@ proxy_chaos_spec(std::uint64_t seed)
     spec.read_delay_s = 0.001;
     spec.reset_probability = 0.01;
     return spec;
+}
+
+/// Telemetry every in-process worker carries, as a real daemon would:
+/// its own registry + trace session wired into ServerOptions, so the
+/// coordinator's `trace_export`/`metrics_snapshot` pulls see distinct
+/// per-worker buffers even though all servers share this process.
+struct WorkerTelemetryKit {
+    std::unique_ptr<obs::MetricsRegistry> registry =
+        std::make_unique<obs::MetricsRegistry>();
+    std::unique_ptr<obs::TraceSession> trace =
+        std::make_unique<obs::TraceSession>();
+};
+
+/// Report headlines for the remote per-stage time split parsed from
+/// traced replies (seconds per completed case, averaged).
+void
+stage_headlines(const std::string& prefix,
+                const dist::StageTotals& totals)
+{
+    const double samples =
+        totals.samples > 0 ? static_cast<double>(totals.samples) : 1.0;
+    bench::headline(prefix + "stage_samples",
+                    static_cast<double>(totals.samples));
+    bench::headline(prefix + "stage_queue_wait_avg_s",
+                    totals.queue_wait_s / samples);
+    bench::headline(prefix + "stage_decode_avg_s",
+                    totals.decode_s / samples);
+    bench::headline(prefix + "stage_eval_avg_s",
+                    totals.eval_s / samples);
+    bench::headline(prefix + "stage_encode_avg_s",
+                    totals.encode_s / samples);
 }
 
 }  // namespace
@@ -229,13 +280,28 @@ main(int argc, char** argv)
     bool all_identical = true;
     double wall_1w = 0.0;
     double wall_4w = 0.0;
+    const int widest_count =
+        kWorkerCounts[sizeof kWorkerCounts / sizeof kWorkerCounts[0] -
+                      1];
+    dist::StageTotals widest_totals;
+    std::uint64_t fleet_spans = 0;
+    std::uint64_t fleet_clamped = 0;
+    std::size_t fleet_collected = 0;
     for (const int worker_count : kWorkerCounts) {
         std::vector<std::unique_ptr<serve::Server>> servers;
+        std::vector<WorkerTelemetryKit> kits(
+            static_cast<std::size_t>(worker_count));
         dist::DistCampaignOptions dist_options;
         for (int w = 0; w < worker_count; ++w) {
             serve::ServerOptions server_options;
             server_options.host = "127.0.0.1";
             server_options.threads = options.streams;
+            server_options.worker_id =
+                "bench-w" + std::to_string(w);
+            server_options.metrics_source =
+                kits[static_cast<std::size_t>(w)].registry.get();
+            server_options.trace_source =
+                kits[static_cast<std::size_t>(w)].trace.get();
             auto server =
                 std::make_unique<serve::Server>(server_options);
             server->start();
@@ -245,6 +311,13 @@ main(int argc, char** argv)
         }
         dist_options.streams_per_worker = options.streams;
         dist_options.journal_path = dist_journal;
+        if (worker_count == widest_count) {
+            // The widest pass exercises the full merge and leaves the
+            // artifacts behind for inspection/CI validation.
+            dist_options.fleet_trace_path = options.fleet_trace_out;
+            dist_options.fleet_metrics_path =
+                options.fleet_metrics_out;
+        }
         std::remove(dist_journal.c_str());
 
         obs::SpanTimer timer("bench/dist_scaling");
@@ -253,6 +326,12 @@ main(int argc, char** argv)
         const double wall_s = timer.elapsed_s();
         for (auto& server : servers)
             server->stop();
+        if (worker_count == widest_count) {
+            widest_totals = result.stage_totals;
+            fleet_spans = result.fleet_spans;
+            fleet_clamped = result.fleet_clamped_spans;
+            fleet_collected = result.fleet_workers_collected;
+        }
 
         const bool csv_identical =
             campaign_csv(result.campaign) == reference_csv;
@@ -287,6 +366,18 @@ main(int argc, char** argv)
         wall_4w > 0.0 ? wall_1w / wall_4w : 0.0;
     std::printf("speedup 1w -> 4w: %.2fx\n", speedup);
     bench::headline("speedup_4w", speedup);
+    std::printf("fleet (4w): %zu workers pulled, %llu spans merged "
+                "(%llu clamped) -> %s\n",
+                fleet_collected,
+                static_cast<unsigned long long>(fleet_spans),
+                static_cast<unsigned long long>(fleet_clamped),
+                options.fleet_trace_out.c_str());
+    bench::headline("fleet_workers_collected",
+                    static_cast<double>(fleet_collected));
+    bench::headline("fleet_spans", static_cast<double>(fleet_spans));
+    bench::headline("fleet_clamped_spans",
+                    static_cast<double>(fleet_clamped));
+    stage_headlines("", widest_totals);
 
     // Chaos pass: dead worker + chaos-proxied worker + a healthy worker
     // killed mid-run. The fleet must still produce the oracle's bytes,
@@ -317,8 +408,16 @@ main(int argc, char** argv)
         serve::ServerOptions server_options;
         server_options.host = "127.0.0.1";
         server_options.threads = options.streams;
+        WorkerTelemetryKit victim_kit;
+        server_options.worker_id = "chaos-victim";
+        server_options.metrics_source = victim_kit.registry.get();
+        server_options.trace_source = victim_kit.trace.get();
         serve::Server victim(server_options);  // killed mid-run
         victim.start();
+        WorkerTelemetryKit survivor_kit;
+        server_options.worker_id = "chaos-survivor";
+        server_options.metrics_source = survivor_kit.registry.get();
+        server_options.trace_source = survivor_kit.trace.get();
         serve::Server survivor(server_options);
         survivor.start();
         serve::ChaosProxyOptions proxy_options;
@@ -338,6 +437,13 @@ main(int argc, char** argv)
         // transients by design and must not die with the victim.
         dist_options.max_worker_failures = 4;
         dist_options.journal_path = dist_journal;
+        // The chaos fleet writes its own merged artifacts: the gate is
+        // that the merge survives a dead worker and a killed worker —
+        // best-effort telemetry, never a campaign failure.
+        dist_options.fleet_trace_path =
+            "BENCH_dist_chaos_fleet_trace.json";
+        dist_options.fleet_metrics_path =
+            "BENCH_dist_chaos_fleet_metrics.json";
         std::remove(dist_journal.c_str());
 
         std::thread killer([&victim] {
@@ -383,6 +489,14 @@ main(int argc, char** argv)
                         csv_identical ? 1.0 : 0.0);
         bench::headline("chaos_journal_identical",
                         journal_identical ? 1.0 : 0.0);
+        bench::headline("chaos_fleet_workers_collected",
+                        static_cast<double>(
+                            result.fleet_workers_collected));
+        bench::headline("chaos_fleet_spans",
+                        static_cast<double>(result.fleet_spans));
+        bench::headline("chaos_fleet_clamped_spans",
+                        static_cast<double>(result.fleet_clamped_spans));
+        stage_headlines("chaos_", result.stage_totals);
     }
     bench::headline("chaos_enabled", options.chaos ? 1.0 : 0.0);
 

@@ -8,7 +8,10 @@
 ///   chrysalis_cli campaign [options]      run a campaign locally or —
 ///                                         with --workers host:port,...
 ///                                         — across a daemon fleet
-///                                         (byte-identical output)
+///                                         (byte-identical output;
+///                                         --fleet-trace-out /
+///                                         --fleet-metrics-out merge
+///                                         the fleet's telemetry)
 ///   chrysalis_cli [options]
 ///     --model <zoo-name|path.model>   workload (default: kws). A path is
 ///                                     parsed with dnn::load_model.
@@ -376,6 +379,7 @@ campaign_usage(const char* argv0)
         "          [--streams n] [--request-timeout s] [--journal file]\n"
         "          [--threads n] [--deterministic]\n"
         "          [--metrics-out file] [--trace-out file]\n"
+        "          [--fleet-trace-out file] [--fleet-metrics-out file]\n"
         "Runs a campaign (objectives cycling latsp/lat/sp) and prints\n"
         "the campaign CSV. Without --workers the cases run in this\n"
         "process (--threads fans out); with --workers they are\n"
@@ -384,7 +388,10 @@ campaign_usage(const char* argv0)
         "at any worker count, including after reassignments.\n"
         "--deterministic drops the wall_time_s CSV column and zeroes\n"
         "journal wall times (always on with --workers). Distributed\n"
-        "campaigns accept model-zoo names only.\n",
+        "campaigns accept model-zoo names only.\n"
+        "--fleet-trace-out/--fleet-metrics-out (with --workers only)\n"
+        "pull every worker's telemetry after the campaign and write\n"
+        "one clock-aligned merged Chrome trace / fleet metrics rollup.\n",
         argv0);
 }
 
@@ -396,6 +403,8 @@ run_campaign_cli(int argc, char** argv, int first)
     std::string journal;
     std::string metrics_out;
     std::string trace_out;
+    std::string fleet_trace_out;
+    std::string fleet_metrics_out;
     int streams = 1;
     double request_timeout_s = -1.0;  ///< <0 keeps the dist default
     int threads = 1;
@@ -466,6 +475,10 @@ run_campaign_cli(int argc, char** argv, int first)
             metrics_out = next();
         } else if (arg == "--trace-out") {
             trace_out = next();
+        } else if (arg == "--fleet-trace-out") {
+            fleet_trace_out = next();
+        } else if (arg == "--fleet-metrics-out") {
+            fleet_metrics_out = next();
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             campaign_usage(argv[0]);
@@ -473,12 +486,19 @@ run_campaign_cli(int argc, char** argv, int first)
         }
     }
     spec.validate();
+    if (workers.empty() &&
+        (!fleet_trace_out.empty() || !fleet_metrics_out.empty()))
+        fatal("--fleet-trace-out/--fleet-metrics-out require --workers "
+              "(there is no fleet to pull from in a local run)");
 
     obs::MetricsRegistry registry;
     obs::TraceSession trace_session;
     if (!metrics_out.empty())
         obs::attach_metrics(&registry);
-    if (!trace_out.empty())
+    // The coordinator's own spans (dist/case, the synthetic remote
+    // children) join the merged fleet trace, so fleet tracing implies
+    // a local session even without --trace-out.
+    if (!trace_out.empty() || !fleet_trace_out.empty())
         obs::attach_trace(&trace_session);
 
     core::CampaignResult result;
@@ -503,6 +523,8 @@ run_campaign_cli(int argc, char** argv, int first)
         dist_options.workers = dist::parse_worker_list(workers);
         dist_options.streams_per_worker = streams;
         dist_options.journal_path = journal;
+        dist_options.fleet_trace_path = fleet_trace_out;
+        dist_options.fleet_metrics_path = fleet_metrics_out;
         if (request_timeout_s >= 0.0)
             dist_options.client.request_timeout_s = request_timeout_s;
         const dist::DistCampaignResult dist_result =
@@ -522,6 +544,17 @@ run_campaign_cli(int argc, char** argv, int first)
                          dist_result.reassigned),
                      dist_result.restored, dist_result.workers_ready,
                      dist_result.workers.size());
+        if (!fleet_trace_out.empty() || !fleet_metrics_out.empty()) {
+            std::fprintf(
+                stderr,
+                "# fleet: %zu/%zu workers pulled, %llu spans merged "
+                "(%llu clamped)\n",
+                dist_result.fleet_workers_collected,
+                dist_result.workers.size(),
+                static_cast<unsigned long long>(dist_result.fleet_spans),
+                static_cast<unsigned long long>(
+                    dist_result.fleet_clamped_spans));
+        }
     }
 
     obs::attach_metrics(nullptr);

@@ -1,5 +1,6 @@
 #include "dist/coordinator.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -11,9 +12,12 @@
 
 #include "common/logging.hpp"
 #include "common/mutex.hpp"
+#include "common/stable_hash.hpp"
 #include "common/thread_annotations.hpp"
 #include "core/campaign_journal.hpp"
+#include "dist/fleet_telemetry.hpp"
 #include "dnn/model_zoo.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -84,7 +88,48 @@ struct Shared {
     std::uint64_t dispatched CHRYSALIS_GUARDED_BY(mutex) = 0;
     std::uint64_t completed CHRYSALIS_GUARDED_BY(mutex) = 0;
     std::uint64_t reassigned CHRYSALIS_GUARDED_BY(mutex) = 0;
+    /// Remote stage-time sums parsed from traced replies' timing_*
+    /// fields (telemetry only — never in the deterministic outputs).
+    StageTotals stage_totals CHRYSALIS_GUARDED_BY(mutex);
+    /// Worst consecutive-failure streak currently held by any of the
+    /// worker's lanes — the heartbeat's "f" figure.
+    std::vector<int> worker_streaks CHRYSALIS_GUARDED_BY(mutex);
+    /// Telemetry stashed by a dying worker's last lane (best-effort
+    /// pull at death time, before the daemon can vanish); consulted at
+    /// campaign end when the live pull fails.
+    std::vector<obs::WorkerTelemetry> stash CHRYSALIS_GUARDED_BY(mutex);
+    std::vector<char> stashed CHRYSALIS_GUARDED_BY(mutex);
 };
+
+/// One line of per-worker lane state for the progress heartbeat:
+/// `[id:COMPLETEDc/REASSIGNEDr/STREAKf ...]` — completed cases,
+/// reassignments charged, and the worst live consecutive-failure
+/// streak, per worker.
+std::string
+fleet_detail_locked(const std::vector<WorkerReport>& reports,
+                    const std::vector<int>& streaks)
+{
+    std::string detail = "[";
+    for (std::size_t w = 0; w < reports.size(); ++w) {
+        const WorkerReport& report = reports[w];
+        if (w != 0)
+            detail += ' ';
+        detail += report.worker_id.empty()
+                      ? report.address.to_string()
+                      : report.worker_id;
+        detail += ':';
+        detail += std::to_string(report.completed);
+        detail += "c/";
+        detail += std::to_string(report.failures);
+        detail += "r/";
+        detail += std::to_string(streaks[w]);
+        detail += 'f';
+        if (report.dead)
+            detail += "(dead)";
+    }
+    detail += ']';
+    return detail;
+}
 
 /// How one request outcome drives the scheduler.
 enum class Outcome {
@@ -117,7 +162,8 @@ lane_loop(const core::CampaignSpec& spec,
           const std::vector<std::string>& labels,
           const std::vector<std::string>& keys,
           const DistCampaignOptions& options, std::size_t worker_index,
-          Shared& shared, std::vector<WorkerReport>& reports,
+          std::uint64_t trace_id, Shared& shared,
+          std::vector<WorkerReport>& reports,
           obs::ProgressReporter& progress)
 {
     WorkerReport& report = reports[worker_index];
@@ -157,12 +203,30 @@ lane_loop(const core::CampaignSpec& spec,
         }
         bump_counter("dist/dispatched", obs::Stability::kVolatile);
 
-        const FlatJsonFields fields =
-            core::case_request_fields(spec, index);
+        // Every request carries the campaign's trace context: the
+        // deterministic trace_id, the case index as both the parent
+        // span id and the attribution field. Workers thread it through
+        // their stage spans and splice timing_* fields into the reply;
+        // neither touches the memoized body bytes or the journal.
+        obs::TraceContext trace_context;
+        trace_context.trace_id = trace_id;
+        trace_context.parent_span =
+            static_cast<std::uint64_t>(index) + 1;
+        trace_context.case_index = static_cast<std::int64_t>(index);
+        FlatJsonFields fields = core::case_request_fields(spec, index);
+        fields["trace"] = obs::format_trace_field(trace_context);
+        fields["case_index"] = std::to_string(index);
         const double start_s = obs::monotonic_seconds();
         serve::Response response;
-        const serve::CallStatus status =
-            client.request("run_case", fields, response);
+        serve::CallStatus status;
+        {
+            // Local span + context: the coordinator's own dist/case
+            // span (and the client's synthetic remote child spans)
+            // inherit the trace_id/case attribution.
+            obs::ScopedTraceContext scoped(trace_context);
+            OBS_SPAN("dist/case");
+            status = client.request("run_case", fields, response);
+        }
         if (obs::MetricsRegistry* registry = obs::metrics()) {
             registry
                 ->histogram("dist/request_latency_s",
@@ -200,11 +264,13 @@ lane_loop(const core::CampaignSpec& spec,
         }
 
         bool lane_dead = false;
+        bool worker_dead = false;
+        std::string heartbeat_detail;
         {
             MutexLock lock(shared.mutex);
             --shared.inflight;
             switch (outcome) {
-              case Outcome::kSuccess:
+              case Outcome::kSuccess: {
                 record.key = keys[index];
                 if (!options.journal_path.empty()) {
                     core::append_campaign_journal(options.journal_path,
@@ -215,18 +281,43 @@ lane_loop(const core::CampaignSpec& spec,
                 ++shared.completed;
                 ++report.completed;
                 consecutive_failures = 0;
+                shared.worker_streaks[worker_index] = 0;
+                // Remote stage breakdown, spliced in by the worker for
+                // traced requests; absent on journal-restored or
+                // pre-timing workers.
+                double stage_s = 0.0;
+                if (json_get_double(response.fields, "timing_queue_s",
+                                    stage_s)) {
+                    shared.stage_totals.queue_wait_s += stage_s;
+                    if (json_get_double(response.fields,
+                                        "timing_decode_s", stage_s))
+                        shared.stage_totals.decode_s += stage_s;
+                    if (json_get_double(response.fields,
+                                        "timing_eval_s", stage_s))
+                        shared.stage_totals.eval_s += stage_s;
+                    if (json_get_double(response.fields,
+                                        "timing_encode_s", stage_s))
+                        shared.stage_totals.encode_s += stage_s;
+                    ++shared.stage_totals.samples;
+                }
                 break;
+              }
               case Outcome::kTransient:
                 shared.queue.push_front(index);
                 ++shared.reassigned;
                 ++report.failures;
                 report.last_error = error;
                 ++consecutive_failures;
+                shared.worker_streaks[worker_index] =
+                    std::max(shared.worker_streaks[worker_index],
+                             consecutive_failures);
                 if (consecutive_failures >=
                     options.max_worker_failures) {
                     lane_dead = true;
-                    if (--shared.live_lanes[worker_index] == 0)
+                    if (--shared.live_lanes[worker_index] == 0) {
                         report.dead = true;
+                        worker_dead = true;
+                    }
                 }
                 set_queue_gauge(shared.queue.size());
                 break;
@@ -239,8 +330,13 @@ lane_loop(const core::CampaignSpec& spec,
                 --shared.live_lanes[worker_index];
                 break;
             }
+            if (outcome != Outcome::kPoison)
+                heartbeat_detail =
+                    fleet_detail_locked(reports, shared.worker_streaks);
         }
         shared.cv.notify_all();
+        if (!heartbeat_detail.empty())
+            progress.set_detail(std::move(heartbeat_detail));
 
         if (outcome == Outcome::kSuccess) {
             bump_counter("dist/completed", obs::Stability::kStable);
@@ -262,6 +358,24 @@ lane_loop(const core::CampaignSpec& spec,
             warn("dist: worker ", report.address.to_string(),
                  " dropped after ", options.max_worker_failures,
                  " consecutive failures (last: ", error, ")");
+            if (worker_dead && (!options.fleet_trace_path.empty() ||
+                                !options.fleet_metrics_path.empty())) {
+                // Best-effort salvage: a worker declared dead may be
+                // merely degraded and about to exit — grab whatever
+                // telemetry it still answers with now, so the
+                // campaign-end merge is not left empty-handed if it is
+                // gone by then.
+                FleetPullOptions pull_options;
+                pull_options.client = options.client;
+                pull_options.client.request_timeout_s = 5.0;
+                obs::WorkerTelemetry telemetry;
+                if (pull_worker_telemetry(report.address, pull_options,
+                                          telemetry)) {
+                    MutexLock lock(shared.mutex);
+                    shared.stash[worker_index] = std::move(telemetry);
+                    shared.stashed[worker_index] = 1;
+                }
+            }
             return;
         }
         if (status == serve::CallStatus::kCircuitOpen) {
@@ -320,6 +434,9 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         shared.live_lanes.assign(
             options.workers.size(),
             options.streams_per_worker);
+        shared.worker_streaks.assign(options.workers.size(), 0);
+        shared.stash.resize(options.workers.size());
+        shared.stashed.assign(options.workers.size(), 0);
 
         // Resume: restore journaled cases, queue the rest in index
         // order.
@@ -380,6 +497,17 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         progress.note_restored();
     progress.advance(restored_count);
 
+    // Deterministic campaign trace id: a pure function of the case
+    // keys (which already hash the spec and explorer config), so a
+    // rerun attributes spans to the same trace. |1 keeps it nonzero —
+    // trace_id 0 means "untraced" on the wire.
+    StableHash trace_hash;
+    trace_hash.add(spec.model);
+    trace_hash.add(static_cast<std::uint64_t>(count));
+    for (const std::string& key : keys)
+        trace_hash.add(key);
+    const std::uint64_t trace_id = trace_hash.key().lo | 1;
+
     if (have_work) {
         std::vector<std::thread> lanes;
         lanes.reserve(options.workers.size() *
@@ -388,8 +516,8 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         for (std::size_t w = 0; w < options.workers.size(); ++w) {
             for (int s = 0; s < options.streams_per_worker; ++s) {
                 lanes.emplace_back([&, w] {
-                    lane_loop(spec, labels, keys, options, w, shared,
-                              result.workers, progress);
+                    lane_loop(spec, labels, keys, options, w, trace_id,
+                              shared, result.workers, progress);
                 });
             }
         }
@@ -456,10 +584,64 @@ run_distributed_campaign(const core::CampaignSpec& spec,
         }
     }
 
+    // Fleet telemetry merge: pull every worker's buffers, fold in the
+    // coordinator's own session, align onto one timeline, write the
+    // merged artifacts. Strictly after the deterministic outputs —
+    // telemetry failures must never affect the campaign result.
+    if (!options.fleet_trace_path.empty() ||
+        !options.fleet_metrics_path.empty()) {
+        obs::FleetCollector collector;
+        if (obs::TraceSession* session = obs::trace()) {
+            // The coordinator's own spans need no probe: the exact
+            // session->monotonic skew is the whole offset (the
+            // reference timeline IS this process's monotonic clock).
+            obs::WorkerTelemetry self;
+            self.worker_id = "coordinator";
+            self.clock_offset_s = session->epoch_to_monotonic_skew_s();
+            self.events = session->merged();
+            self.dropped_events = session->dropped();
+            if (obs::MetricsRegistry* registry = obs::metrics())
+                self.metrics = registry->samples();
+            collector.add_worker(std::move(self));
+        }
+        FleetPullOptions pull_options;
+        pull_options.client = options.client;
+        pull_options.client.request_timeout_s = 30.0;
+        for (std::size_t w = 0; w < options.workers.size(); ++w) {
+            obs::WorkerTelemetry telemetry;
+            if (pull_worker_telemetry(options.workers[w], pull_options,
+                                      telemetry)) {
+                collector.add_worker(std::move(telemetry));
+                ++result.fleet_workers_collected;
+            } else if (shared.stashed[w] != 0) {
+                // The live pull failed (worker died mid-run); merge
+                // the telemetry salvaged when its last lane gave up.
+                collector.add_worker(std::move(shared.stash[w]));
+                ++result.fleet_workers_collected;
+                warn("dist: worker ",
+                     options.workers[w].to_string(),
+                     " unreachable at campaign end; merged telemetry "
+                     "stashed at death time");
+            } else {
+                warn("dist: worker ", options.workers[w].to_string(),
+                     " contributed no telemetry to the fleet merge");
+            }
+        }
+        std::uint64_t clamped = 0;
+        result.fleet_spans = collector.aligned(&clamped).size();
+        result.fleet_clamped_spans = clamped;
+        if (!options.fleet_trace_path.empty())
+            collector.write_chrome_trace_file(options.fleet_trace_path);
+        if (!options.fleet_metrics_path.empty())
+            collector.write_metrics_rollup_file(
+                options.fleet_metrics_path);
+    }
+
     progress.finish();
     result.dispatched = shared.dispatched;
     result.completed = shared.completed;
     result.reassigned = shared.reassigned;
+    result.stage_totals = shared.stage_totals;
     result.campaign.wall_time_s = timer.elapsed_s();
     return result;
 }

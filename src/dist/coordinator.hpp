@@ -74,6 +74,14 @@ struct DistCampaignOptions {
     std::string journal_path;
     /// Progress-heartbeat pacing, as in core::CampaignOptions.
     double progress_interval_s = 5.0;
+    /// When non-empty: after the campaign, pull every worker's trace
+    /// buffer (`trace_export`) and write one clock-aligned merged
+    /// Chrome trace here (obs::FleetCollector; the coordinator's own
+    /// session, when attached, appears as the "coordinator" process).
+    std::string fleet_trace_path;
+    /// When non-empty: pull every worker's metrics (`metrics_snapshot`)
+    /// and write the `fleet/<worker_id>/...` rollup here.
+    std::string fleet_metrics_path;
 
     void validate() const;
 };
@@ -89,6 +97,18 @@ struct WorkerReport {
     std::string last_error;      ///< final failure classification
 };
 
+/// Sums of the per-request stage timings the workers splice into
+/// traced replies (`timing_*` fields) — where remote wall time went,
+/// split by stage, across every completed request. Telemetry only:
+/// never part of the deterministic CSV/journal output.
+struct StageTotals {
+    double queue_wait_s = 0.0;
+    double decode_s = 0.0;
+    double eval_s = 0.0;
+    double encode_s = 0.0;
+    std::uint64_t samples = 0;  ///< replies that carried timings
+};
+
 /// Result of a distributed campaign.
 struct DistCampaignResult {
     core::CampaignResult campaign;  ///< merged, in case order
@@ -99,6 +119,13 @@ struct DistCampaignResult {
     std::uint64_t reassigned = 0;   ///< cases returned to the queue
     std::size_t workers_ready = 0;  ///< pre-run probe successes
     std::vector<WorkerReport> workers;
+    StageTotals stage_totals;       ///< remote stage-time breakdown
+    /// Fleet telemetry merge accounting (zero unless a fleet_*_path
+    /// was set): workers successfully pulled, spans in the merged
+    /// trace, and spans whose aligned duration had to be clamped to 0.
+    std::size_t fleet_workers_collected = 0;
+    std::uint64_t fleet_spans = 0;
+    std::uint64_t fleet_clamped_spans = 0;
 };
 
 /// Runs \p spec across the fleet. fatal() when the spec names a model

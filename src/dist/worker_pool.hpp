@@ -49,6 +49,18 @@ struct WorkerStatus {
     bool ready = false;     ///< reachable and not draining
     bool draining = false;
     std::int64_t pending = 0;  ///< daemon-reported queued requests
+    /// Clock-alignment observations (obs::FleetCollector inputs):
+    /// round-trip time of the probe, the worker's monotonic_seconds()
+    /// at the reply (`mono_now_s` of the `health` body), and the
+    /// RTT-midpoint estimate of the worker-to-coordinator monotonic
+    /// offset — `coordinator_time ~= worker_time + clock_offset_s`,
+    /// accurate to about half the RTT. Valid only when
+    /// has_clock_offset (an old daemon's health reply may lack
+    /// mono_now_s).
+    double rtt_s = 0.0;
+    double mono_now_s = 0.0;
+    double clock_offset_s = 0.0;
+    bool has_clock_offset = false;
 };
 
 /// The fleet: addresses plus their latest probe snapshots.

@@ -173,57 +173,95 @@ MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds,
     return *entry.histogram;
 }
 
-std::string
-MetricsRegistry::to_json(ReportMode mode) const
+std::vector<MetricSample>
+MetricsRegistry::samples() const
 {
     // Snapshot under the registration lock: values keep ticking while we
     // read (each read is an independent relaxed load — the report is a
     // consistent *per-metric* snapshot, which is all a post-run report
     // needs), but the map itself must not be mutated mid-iteration.
     MutexLock lock(mutex_);
+    std::vector<MetricSample> samples;
+    samples.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.stability = entry.stability;
+        switch (entry.kind) {
+          case Kind::kCounter:
+            sample.kind = MetricKind::kCounter;
+            sample.count = entry.counter->value();
+            break;
+          case Kind::kGauge:
+            sample.kind = MetricKind::kGauge;
+            sample.value = entry.gauge->value();
+            break;
+          case Kind::kHistogram:
+            if (!entry.histogram)
+                continue;  // registered but never constructed
+            sample.kind = MetricKind::kHistogram;
+            sample.count = entry.histogram->count();
+            sample.sum = entry.histogram->sum();
+            sample.min = entry.histogram->min();
+            sample.max = entry.histogram->max();
+            sample.bounds = entry.histogram->bounds();
+            sample.counts = entry.histogram->bucket_counts();
+            break;
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+std::string
+samples_to_json(std::vector<MetricSample> samples, ReportMode mode)
+{
+    std::sort(samples.begin(), samples.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.name < b.name;
+              });
 
     const auto write_group = [&](std::ostringstream& os,
                                  Stability stability, bool with_sums) {
         os << "{\"counters\":{";
         bool first = true;
-        for (const auto& [name, entry] : entries_) {
-            if (entry.kind != Kind::kCounter ||
-                entry.stability != stability)
+        for (const auto& sample : samples) {
+            if (sample.kind != MetricKind::kCounter ||
+                sample.stability != stability)
                 continue;
-            os << (first ? "" : ",") << '"' << name
-               << "\":" << entry.counter->value();
+            os << (first ? "" : ",") << '"' << sample.name
+               << "\":" << sample.count;
             first = false;
         }
         os << "},\"gauges\":{";
         first = true;
-        for (const auto& [name, entry] : entries_) {
-            if (entry.kind != Kind::kGauge || entry.stability != stability)
+        for (const auto& sample : samples) {
+            if (sample.kind != MetricKind::kGauge ||
+                sample.stability != stability)
                 continue;
-            os << (first ? "" : ",") << '"' << name
-               << "\":" << format_double_17g(entry.gauge->value());
+            os << (first ? "" : ",") << '"' << sample.name
+               << "\":" << format_double_17g(sample.value);
             first = false;
         }
         os << "},\"histograms\":{";
         first = true;
-        for (const auto& [name, entry] : entries_) {
-            if (entry.kind != Kind::kHistogram ||
-                entry.stability != stability || !entry.histogram)
+        for (const auto& sample : samples) {
+            if (sample.kind != MetricKind::kHistogram ||
+                sample.stability != stability)
                 continue;
-            const Histogram& histogram = *entry.histogram;
-            os << (first ? "" : ",") << '"' << name << "\":{\"count\":"
-               << histogram.count();
+            os << (first ? "" : ",") << '"' << sample.name
+               << "\":{\"count\":" << sample.count;
             if (with_sums)
-                os << ",\"sum\":" << format_double_17g(histogram.sum());
-            os << ",\"min\":" << format_double_17g(histogram.min())
-               << ",\"max\":" << format_double_17g(histogram.max())
+                os << ",\"sum\":" << format_double_17g(sample.sum);
+            os << ",\"min\":" << format_double_17g(sample.min)
+               << ",\"max\":" << format_double_17g(sample.max)
                << ",\"bounds\":[";
-            const auto& bounds = histogram.bounds();
-            for (std::size_t i = 0; i < bounds.size(); ++i)
-                os << (i == 0 ? "" : ",") << format_double_17g(bounds[i]);
+            for (std::size_t i = 0; i < sample.bounds.size(); ++i)
+                os << (i == 0 ? "" : ",")
+                   << format_double_17g(sample.bounds[i]);
             os << "],\"counts\":[";
-            const auto counts = histogram.bucket_counts();
-            for (std::size_t i = 0; i < counts.size(); ++i)
-                os << (i == 0 ? "" : ",") << counts[i];
+            for (std::size_t i = 0; i < sample.counts.size(); ++i)
+                os << (i == 0 ? "" : ",") << sample.counts[i];
             os << "]}";
             first = false;
         }
@@ -241,6 +279,40 @@ MetricsRegistry::to_json(ReportMode mode) const
     }
     os << "}\n";
     return os.str();
+}
+
+double
+histogram_quantile(const std::vector<double>& bounds,
+                   const std::vector<std::uint64_t>& counts,
+                   double quantile)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts)
+        total += c;
+    if (total == 0 || bounds.empty())
+        return 0.0;
+    const double clamped = std::min(std::max(quantile, 0.0), 1.0);
+    // Rank of the quantile observation, 1-based: ceil(q * total).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(clamped * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (cumulative >= rank) {
+            // The overflow bucket has no upper edge; clamp to the last
+            // finite one — the histogram cannot resolve beyond it.
+            return i < bounds.size() ? bounds[i] : bounds.back();
+        }
+    }
+    return bounds.back();
+}
+
+std::string
+MetricsRegistry::to_json(ReportMode mode) const
+{
+    return samples_to_json(samples(), mode);
 }
 
 void

@@ -155,6 +155,45 @@ enum class ReportMode {
                      ///< thread count for a fixed-seed run
 };
 
+/// Kind discriminator for MetricSample.
+enum class MetricKind {
+    kCounter,
+    kGauge,
+    kHistogram,
+};
+
+/// Point-in-time copy of one metric — the exchange format for fleet
+/// telemetry (`metrics_snapshot` replies, FleetCollector rollups).
+/// Only the fields for its kind are meaningful; the rest stay at their
+/// defaults.
+struct MetricSample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    Stability stability = Stability::kStable;
+    std::uint64_t count = 0;  ///< counter value / histogram count
+    double value = 0.0;       ///< gauge value
+    double sum = 0.0;         ///< histogram sum (order-dependent)
+    double min = 0.0;         ///< histogram min (0 when empty)
+    double max = 0.0;         ///< histogram max (0 when empty)
+    std::vector<double> bounds;         ///< histogram bucket edges
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1, last=overflow
+};
+
+/// Serializes \p samples as a `chrysalis-metrics-v1` document —
+/// byte-identical to MetricsRegistry::to_json() fed that registry's
+/// samples(). Sorts by name internally; names must be unique.
+std::string samples_to_json(std::vector<MetricSample> samples,
+                            ReportMode mode = ReportMode::kFull);
+
+/// The value at \p quantile (in [0,1]) of a fixed-bucket histogram,
+/// read from bucket counts: the inclusive upper edge of the bucket
+/// where the cumulative count reaches ceil(quantile * total). Returns
+/// 0 when the histogram is empty; values in the overflow bucket clamp
+/// to the last finite edge (the histogram cannot resolve beyond it).
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts,
+                          double quantile);
+
 /// The registry. Metrics are created lazily on first use and live as
 /// long as the registry; returned references are stable.
 class MetricsRegistry
@@ -180,6 +219,11 @@ class MetricsRegistry
     /// docs/observability.md for the schema). Deterministic: iteration
     /// is name-sorted and doubles print as "%.17g".
     std::string to_json(ReportMode mode = ReportMode::kFull) const;
+
+    /// Point-in-time copies of every metric, name-sorted. The building
+    /// block for `metrics_snapshot` replies and fleet rollups;
+    /// to_json(mode) == samples_to_json(samples(), mode).
+    std::vector<MetricSample> samples() const;
 
     /// Writes to_json(mode) to \p path; fatal() when the file cannot be
     /// written (bad --metrics-out argument).

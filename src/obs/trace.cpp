@@ -18,6 +18,48 @@ std::atomic<std::uint64_t> g_next_session_id{1};
 /// Current nesting depth of *recorded* spans on this thread.
 thread_local std::uint32_t t_depth = 0;
 
+/// The calling thread's distributed-trace context (inactive default).
+thread_local TraceContext t_context;
+
+/// The monotonic_seconds() epoch — a fixed steady_clock point, shared
+/// with TraceSession::epoch_to_monotonic_skew_s() so session-relative
+/// timestamps map exactly onto the monotonic timeline.
+std::chrono::steady_clock::time_point
+monotonic_epoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+bool
+parse_hex_u64(std::string_view text, std::uint64_t& out)
+{
+    if (text.empty() || text.size() > 16)
+        return false;
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        int digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+void
+append_hex_u64(std::string& out, std::uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+}
+
 /// Cache of this thread's buffer in the current session, keyed by the
 /// session id so a detached/destroyed session can never be dereferenced
 /// through a stale pointer.
@@ -35,6 +77,67 @@ microseconds_between(std::chrono::steady_clock::time_point from,
 }
 
 }  // namespace
+
+std::string
+format_trace_field(const TraceContext& context)
+{
+    std::string out;
+    out.reserve(16 + 1 + 16 + 1 + 2);
+    append_hex_u64(out, context.trace_id);
+    out += '-';
+    append_hex_u64(out, context.parent_span);
+    out += context.sampled ? "-01" : "-00";
+    return out;
+}
+
+bool
+parse_trace_field(std::string_view text, TraceContext& out)
+{
+    const std::size_t first = text.find('-');
+    if (first == std::string_view::npos)
+        return false;
+    const std::size_t second = text.find('-', first + 1);
+    if (second == std::string_view::npos)
+        return false;
+    TraceContext parsed;
+    if (!parse_hex_u64(text.substr(0, first), parsed.trace_id))
+        return false;
+    if (!parse_hex_u64(text.substr(first + 1, second - first - 1),
+                       parsed.parent_span))
+        return false;
+    const std::string_view flags = text.substr(second + 1);
+    if (flags == "01")
+        parsed.sampled = true;
+    else if (flags == "00")
+        parsed.sampled = false;
+    else
+        return false;
+    out = parsed;
+    return true;
+}
+
+TraceContext
+current_trace_context()
+{
+    return t_context;
+}
+
+std::uint32_t
+current_trace_depth()
+{
+    return t_depth;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : previous_(t_context)
+{
+    t_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    t_context = previous_;
+}
 
 TraceSession::TraceSession()
     : id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
@@ -68,15 +171,108 @@ TraceSession::record(std::string_view name,
                      std::chrono::steady_clock::time_point end,
                      std::uint32_t depth)
 {
-    ThreadBuffer& buffer = buffer_for_this_thread();
     TraceEvent event;
     event.name.assign(name.data(), name.size());
-    event.tid = buffer.tid;
     event.depth = depth;
     event.start_us = microseconds_between(epoch_, start);
     event.duration_us = microseconds_between(start, end);
+    // Spans recorded under an active distributed-trace context inherit
+    // its attribution, so existing OBS_SPAN sites tag for free.
+    if (t_context.active()) {
+        event.trace_id = t_context.trace_id;
+        event.case_index = t_context.case_index;
+    }
+    add_event(std::move(event));
+}
+
+void
+TraceSession::add_event(TraceEvent event)
+{
+    ThreadBuffer& buffer = buffer_for_this_thread();
+    event.tid = buffer.tid;
+    const std::size_t cap =
+        max_events_per_thread_.load(std::memory_order_relaxed);
     MutexLock lock(buffer.mutex);
+    if (cap != 0 && buffer.events.size() >= cap) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     buffer.events.push_back(std::move(event));
+}
+
+double
+TraceSession::seconds_since_epoch() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+double
+TraceSession::epoch_to_monotonic_skew_s() const
+{
+    return std::chrono::duration<double>(epoch_ - monotonic_epoch())
+        .count();
+}
+
+std::uint64_t
+TraceSession::event_count() const
+{
+    std::uint64_t total = 0;
+    MutexLock lock(mutex_);
+    for (const auto& buffer : buffers_) {
+        MutexLock buffer_lock(buffer->mutex);
+        total += buffer->events.size();
+    }
+    return total;
+}
+
+std::vector<TraceEvent>
+TraceSession::export_events(std::uint64_t cursor, std::size_t max_events,
+                            std::uint64_t& cursor_next,
+                            std::uint64_t& remaining) const
+{
+    // The cursor encodes (tid, offset-within-buffer): stable as new
+    // events append, unlike an index into the merged()+sorted view.
+    const std::uint64_t tid = cursor >> 32;
+    const std::uint64_t offset = cursor & 0xffffffffull;
+    std::vector<TraceEvent> out;
+    std::uint64_t pos_tid = tid;
+    std::uint64_t pos_offset = offset;
+    bool full = false;
+    remaining = 0;
+    MutexLock lock(mutex_);
+    for (std::uint64_t b = tid; b < buffers_.size(); ++b) {
+        MutexLock buffer_lock(buffers_[b]->mutex);
+        const std::vector<TraceEvent>& events = buffers_[b]->events;
+        std::uint64_t from =
+            (b == tid) ? std::min<std::uint64_t>(offset, events.size())
+                       : 0;
+        if (!full) {
+            while (from < events.size() && out.size() < max_events) {
+                out.push_back(events[from]);
+                ++from;
+            }
+            pos_tid = b;
+            pos_offset = from;
+            full = out.size() >= max_events;
+        }
+        remaining += events.size() - from;
+    }
+    cursor_next = (pos_tid << 32) | (pos_offset & 0xffffffffull);
+    return out;
+}
+
+void
+TraceSession::set_max_events_per_thread(std::size_t cap)
+{
+    max_events_per_thread_.store(cap, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSession::dropped() const
+{
+    return dropped_.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent>
@@ -103,31 +299,62 @@ TraceSession::merged() const
 }
 
 void
+write_escaped_trace_string(std::ostream& out, std::string_view text)
+{
+    // Span names are code-controlled plus campaign labels; escape the
+    // JSON-significant characters so labels cannot tear the file.
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            out << ' ';
+        else
+            out << c;
+    }
+}
+
+void
+write_chrome_event(std::ostream& out, const TraceEvent& event,
+                   std::uint64_t pid)
+{
+    char buffer[64];
+    out << "{\"name\":\"";
+    write_escaped_trace_string(out, event.name);
+    out << "\",\"cat\":\"chrysalis\",\"ph\":\"X\",\"pid\":" << pid
+        << ",\"tid\":" << event.tid;
+    std::snprintf(buffer, sizeof(buffer), "%.3f", event.start_us);
+    out << ",\"ts\":" << buffer;
+    std::snprintf(buffer, sizeof(buffer), "%.3f", event.duration_us);
+    out << ",\"dur\":" << buffer << ",\"args\":{\"depth\":"
+        << event.depth;
+    // Distributed-trace attribution only when set, so single-process
+    // traces keep their pre-fleet byte layout.
+    if (event.trace_id != 0) {
+        out << ",\"trace_id\":\"";
+        std::snprintf(buffer, sizeof(buffer), "%016llx",
+                      static_cast<unsigned long long>(event.trace_id));
+        out << buffer << "\"";
+    }
+    if (event.case_index >= 0)
+        out << ",\"case\":" << event.case_index;
+    if (!event.worker.empty()) {
+        out << ",\"worker\":\"";
+        write_escaped_trace_string(out, event.worker);
+        out << "\"";
+    }
+    out << "}}";
+}
+
+void
 TraceSession::write_chrome_trace(std::ostream& out) const
 {
     const std::vector<TraceEvent> events = merged();
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
     bool first = true;
-    char buffer[64];
     for (const auto& event : events) {
-        out << (first ? "" : ",") << "{\"name\":\"";
-        // Span names are code-controlled plus campaign labels; escape
-        // the JSON-significant characters so labels cannot tear the file.
-        for (const char c : event.name) {
-            if (c == '"' || c == '\\')
-                out << '\\' << c;
-            else if (static_cast<unsigned char>(c) < 0x20)
-                out << ' ';
-            else
-                out << c;
-        }
-        out << "\",\"cat\":\"chrysalis\",\"ph\":\"X\",\"pid\":0,\"tid\":"
-            << event.tid;
-        std::snprintf(buffer, sizeof(buffer), "%.3f", event.start_us);
-        out << ",\"ts\":" << buffer;
-        std::snprintf(buffer, sizeof(buffer), "%.3f", event.duration_us);
-        out << ",\"dur\":" << buffer << ",\"args\":{\"depth\":"
-            << event.depth << "}}";
+        if (!first)
+            out << ",";
+        write_chrome_event(out, event, 0);
         first = false;
     }
     out << "]}\n";
@@ -213,9 +440,8 @@ SpanTimer::elapsed_s() const
 double
 monotonic_seconds()
 {
-    static const auto epoch = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         epoch)
+                                         monotonic_epoch())
         .count();
 }
 

@@ -85,6 +85,9 @@ serve_usage(const char* argv0)
         "          [--trace-out file]\n"
         "Serves chrysalis-serve-v1 evaluation requests until SIGINT or\n"
         "SIGTERM, then drains in-flight work and exits.\n"
+        "Live telemetry is always on: fleet coordinators pull it via\n"
+        "the metrics_snapshot / trace_export request types;\n"
+        "--metrics-out/--trace-out additionally write files at drain.\n"
         "--read-timeout closes connections that leave a frame half-sent\n"
         "(slow-loris defense, 0 disables); --idle-timeout reaps fully\n"
         "quiet connections (0, the default, keeps them); slow consumers\n"
@@ -167,12 +170,19 @@ run_serve_cli(int argc, char** argv, int first)
         }
     }
 
+    // The daemon always carries live telemetry so a fleet coordinator
+    // can pull `metrics_snapshot` / `trace_export` from any worker —
+    // no flag required. --metrics-out/--trace-out only control whether
+    // the final state is also written to files at drain. The per-thread
+    // event cap bounds the trace memory of a long-lived daemon between
+    // pulls (overflow is counted in the export's `dropped` field).
     obs::MetricsRegistry registry;
-    if (!options.metrics_out.empty())
-        obs::attach_metrics(&registry);
+    obs::attach_metrics(&registry);
     obs::TraceSession trace;
-    if (!options.trace_out.empty())
-        obs::attach_trace(&trace);
+    trace.set_max_events_per_thread(1u << 18);
+    obs::attach_trace(&trace);
+    options.server.metrics_source = &registry;
+    options.server.trace_source = &trace;
 
     if (::pipe(g_signal_pipe) != 0)
         fatal("serve: pipe(): ", errno_text(errno));
@@ -211,14 +221,12 @@ run_serve_cli(int argc, char** argv, int first)
                                                 stats.cache.misses));
     std::fflush(stdout);
 
-    if (!options.trace_out.empty()) {
-        obs::attach_trace(nullptr);
+    obs::attach_trace(nullptr);
+    obs::attach_metrics(nullptr);
+    if (!options.trace_out.empty())
         trace.write_chrome_trace_file(options.trace_out);
-    }
-    if (!options.metrics_out.empty()) {
-        obs::attach_metrics(nullptr);
+    if (!options.metrics_out.empty())
         registry.write_json_file(options.metrics_out);
-    }
 
     ::close(g_signal_pipe[0]);
     ::close(g_signal_pipe[1]);
@@ -286,6 +294,24 @@ run_call_cli(int argc, char** argv, int first)
         fatal("request failed talking to ", host, ":", port, " (",
               to_string(status), ")");
     std::printf("%s\n", response.raw.c_str());
+    if (response.ok && type == "server_stats") {
+        // Human summary after the raw payload (scripts read line 1);
+        // the '#' prefix keeps it unambiguous. Quantiles are histogram
+        // bucket upper edges, hence the "<=".
+        std::uint64_t count = 0;
+        double p50_s = 0.0;
+        double p95_s = 0.0;
+        double p99_s = 0.0;
+        if (json_get_uint64(response.fields, "latency_count", count) &&
+            json_get_double(response.fields, "latency_p50_s", p50_s) &&
+            json_get_double(response.fields, "latency_p95_s", p95_s) &&
+            json_get_double(response.fields, "latency_p99_s", p99_s)) {
+            std::printf("# latency: %llu requests, p50<=%gs p95<=%gs "
+                        "p99<=%gs\n",
+                        static_cast<unsigned long long>(count), p50_s,
+                        p95_s, p99_s);
+        }
+    }
     return response.ok ? 0 : 1;
 }
 

@@ -1,5 +1,6 @@
 #include "serve/handlers.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 #include <string_view>
@@ -14,6 +15,8 @@
 #include "dnn/model_zoo.hpp"
 #include "fault/fault_injector.hpp"
 #include "hw/accelerator.hpp"
+#include "obs/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 
@@ -413,6 +416,13 @@ server_stats_body(const ServerStatsSnapshot& stats)
     body_f64(body, "cache_hit_rate", stats.cache.hit_rate());
     body_str(body, "worker_id", stats.worker_id);
     body_f64(body, "uptime_seconds", stats.uptime_seconds);
+    body_u64(body, "requests_metrics_snapshot",
+             stats.requests_metrics_snapshot);
+    body_u64(body, "requests_trace_export", stats.requests_trace_export);
+    body_u64(body, "latency_count", stats.latency_count);
+    body_f64(body, "latency_p50_s", stats.latency_p50_s);
+    body_f64(body, "latency_p95_s", stats.latency_p95_s);
+    body_f64(body, "latency_p99_s", stats.latency_p99_s);
     return body;
 }
 
@@ -432,6 +442,118 @@ health_body(const ServerStatsSnapshot& stats)
     body_u64(body, "connections_open", stats.connections_open);
     body_u64(body, "pending", stats.pending);
     body_i64(body, "threads", stats.threads);
+    // This process's monotonic_seconds() at reply time — the raw
+    // material for the coordinator's RTT-midpoint clock-offset
+    // estimate (obs::clock_offset_from_probe).
+    body_f64(body, "mono_now_s", obs::monotonic_seconds());
+    return body;
+}
+
+// ---- fleet telemetry pulls -----------------------------------------------
+// Bounded, cursor-resumable: a pulled page always fits the 1 MiB frame
+// limit regardless of how much the worker has buffered. Cursors come
+// from a previous reply's `cursor_next`; `remaining == 0` means
+// drained. Both types report live state: never cached, never retried.
+
+constexpr std::uint64_t kSnapshotMaxEntriesDefault = 128;
+constexpr std::uint64_t kSnapshotMaxEntriesCap = 2048;
+constexpr std::uint64_t kExportMaxEventsDefault = 512;
+constexpr std::uint64_t kExportMaxEventsCap = 4096;
+
+std::string
+metrics_snapshot_body(const FlatJsonFields& fields,
+                      const TelemetrySources& telemetry,
+                      const ServerStatsSnapshot& stats)
+{
+    const std::uint64_t cursor = field_uint64(fields, "cursor", 0);
+    std::uint64_t max_entries =
+        field_uint64(fields, "max_entries", kSnapshotMaxEntriesDefault);
+    if (max_entries == 0)
+        max_entries = 1;
+    if (max_entries > kSnapshotMaxEntriesCap)
+        max_entries = kSnapshotMaxEntriesCap;
+
+    std::string body;
+    body_flag(body, "ok", true);
+    body_str(body, "type", "metrics_snapshot");
+    body_str(body, "worker_id", stats.worker_id);
+    body_flag(body, "attached", telemetry.metrics != nullptr);
+    body_f64(body, "mono_now_s", obs::monotonic_seconds());
+    if (telemetry.metrics == nullptr) {
+        body_u64(body, "total", 0);
+        body_u64(body, "cursor_next", 0);
+        body_u64(body, "remaining", 0);
+        body_u64(body, "entries", 0);
+        return body;
+    }
+    // The cursor indexes the name-sorted sample vector; registering a
+    // new metric mid-pull can shift indices, so pull at quiescence
+    // (campaign end) — exactly how the dist layer uses it.
+    const std::vector<obs::MetricSample> samples =
+        telemetry.metrics->samples();
+    const std::uint64_t total = samples.size();
+    const std::uint64_t begin = std::min(cursor, total);
+    const std::uint64_t end = std::min(begin + max_entries, total);
+    body_u64(body, "total", total);
+    body_u64(body, "cursor_next", end);
+    body_u64(body, "remaining", total - end);
+    body_u64(body, "entries", end - begin);
+    for (std::uint64_t i = begin; i < end; ++i) {
+        const std::string key = "m" + std::to_string(i - begin);
+        body_str(body, key.c_str(),
+                 obs::encode_metric_sample(samples[i]));
+    }
+    return body;
+}
+
+std::string
+trace_export_body(const FlatJsonFields& fields,
+                  const TelemetrySources& telemetry,
+                  const ServerStatsSnapshot& stats)
+{
+    const std::uint64_t cursor = field_uint64(fields, "cursor", 0);
+    std::uint64_t max_events =
+        field_uint64(fields, "max_events", kExportMaxEventsDefault);
+    if (max_events == 0)
+        max_events = 1;
+    if (max_events > kExportMaxEventsCap)
+        max_events = kExportMaxEventsCap;
+
+    std::string body;
+    body_flag(body, "ok", true);
+    body_str(body, "type", "trace_export");
+    body_str(body, "worker_id", stats.worker_id);
+    body_flag(body, "attached", telemetry.trace != nullptr);
+    body_f64(body, "mono_now_s", obs::monotonic_seconds());
+    if (telemetry.trace == nullptr) {
+        body_f64(body, "mono_skew_s", 0.0);
+        body_u64(body, "total", 0);
+        body_u64(body, "dropped", 0);
+        body_u64(body, "cursor_next", 0);
+        body_u64(body, "remaining", 0);
+        body_u64(body, "events", 0);
+        return body;
+    }
+    // session-epoch -> monotonic_seconds() skew: exact (both epochs
+    // are fixed clock points), so the puller maps event timestamps
+    // onto this worker's monotonic timeline without estimation error.
+    body_f64(body, "mono_skew_s",
+             telemetry.trace->epoch_to_monotonic_skew_s());
+    std::uint64_t cursor_next = 0;
+    std::uint64_t remaining = 0;
+    const std::vector<obs::TraceEvent> events =
+        telemetry.trace->export_events(
+            cursor, static_cast<std::size_t>(max_events), cursor_next,
+            remaining);
+    body_u64(body, "total", telemetry.trace->event_count());
+    body_u64(body, "dropped", telemetry.trace->dropped());
+    body_u64(body, "cursor_next", cursor_next);
+    body_u64(body, "remaining", remaining);
+    body_u64(body, "events", events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const std::string key = "e" + std::to_string(i);
+        body_str(body, key.c_str(), obs::encode_trace_event(events[i]));
+    }
     return body;
 }
 
@@ -458,7 +580,10 @@ request_cache_key(const FlatJsonFields& fields)
     StableHash hash;
     hash.add(std::string_view(kProtocolVersion));
     for (const auto& [key, value] : fields) {
-        if (key == "id")
+        // "id" is the echo token; "trace" is observability context.
+        // Neither changes what is computed, so neither may split the
+        // memo — a traced request must hit an untraced request's entry.
+        if (key == "id" || key == "trace")
             continue;
         hash.add(std::string_view(key));
         hash.add(std::string_view(value));
@@ -495,9 +620,27 @@ error_response(std::uint64_t id, const std::string& code,
     return finish_response(id, error_body(code, detail));
 }
 
+void
+append_timing_fields(std::string& response, double queue_wait_s,
+                     double decode_s, double eval_s, double encode_s)
+{
+    if (response.empty() || response.back() != '}')
+        return;
+    std::string timing;
+    body_f64(timing, "timing_queue_s", queue_wait_s);
+    body_f64(timing, "timing_decode_s", decode_s);
+    body_f64(timing, "timing_eval_s", eval_s);
+    body_f64(timing, "timing_encode_s", encode_s);
+    response.pop_back();
+    response += ',';
+    response += timing;
+    response += '}';
+}
+
 std::string
 handle_request_body(const FlatJsonFields& fields, ResponseCache* cache,
-                    const ServerStatsSnapshot& stats)
+                    const ServerStatsSnapshot& stats,
+                    const TelemetrySources& telemetry)
 {
     std::string version;
     if (!json_get_string(fields, "v", version))
@@ -515,6 +658,10 @@ handle_request_body(const FlatJsonFields& fields, ResponseCache* cache,
         return server_stats_body(stats);
     if (type == "health")
         return health_body(stats);
+    if (type == "metrics_snapshot")
+        return metrics_snapshot_body(fields, telemetry, stats);
+    if (type == "trace_export")
+        return trace_export_body(fields, telemetry, stats);
     if (!response_is_memoized(type))
         return error_body(kErrUnknownType,
                           "unknown request type \"" + type + "\"");

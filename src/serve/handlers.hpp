@@ -22,6 +22,11 @@
 #include "common/flat_json.hpp"
 #include "runtime/eval_cache.hpp"
 
+namespace chrysalis::obs {
+class MetricsRegistry;
+class TraceSession;
+}  // namespace chrysalis::obs
+
 namespace chrysalis::serve {
 
 /// Response memo shared across connections: request-key -> body bytes.
@@ -41,6 +46,8 @@ struct ServerStatsSnapshot {
     std::uint64_t requests_run_case = 0;
     std::uint64_t requests_server_stats = 0;
     std::uint64_t requests_health = 0;
+    std::uint64_t requests_metrics_snapshot = 0;
+    std::uint64_t requests_trace_export = 0;
     std::uint64_t errors_total = 0;        ///< "ok":0 replies sent
     std::uint64_t overload_rejections = 0; ///< admission-control refusals
     std::uint64_t batches = 0;             ///< micro-batches dispatched
@@ -60,6 +67,24 @@ struct ServerStatsSnapshot {
     /// can attribute work to workers.
     std::string worker_id;
     double uptime_seconds = 0.0;           ///< seconds since start()
+    /// Request-latency summary, computed server-side from the latency
+    /// histogram's bucket counts (obs::histogram_quantile) so
+    /// operators read a p99 from one `server_stats` call without a
+    /// full metrics pull. Quantiles resolve to bucket upper edges.
+    std::uint64_t latency_count = 0;
+    double latency_p50_s = 0.0;
+    double latency_p95_s = 0.0;
+    double latency_p99_s = 0.0;
+};
+
+/// Live telemetry the `metrics_snapshot` / `trace_export` handlers
+/// read from. Both pointers are non-owning and may be null (the
+/// handler replies with `attached:0` and zero entries). Unlike the
+/// stats snapshot these are read at handler time — the whole point of
+/// a pull is current data.
+struct TelemetrySources {
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::TraceSession* trace = nullptr;
 };
 
 /// The client-chosen "id" echo token; 0 when absent or unparsable.
@@ -76,18 +101,32 @@ std::uint64_t request_id(const FlatJsonFields& fields);
 bool response_is_memoized(const std::string& type);
 
 /// Stable memo key of a request: StableHash over the protocol version
-/// and every field except "id", in key-sorted order. Two requests that
-/// differ only in "id" (or field spelling order on the wire — the map
-/// is sorted) share a key and therefore a cached body.
+/// and every field except "id" and "trace", in key-sorted order. Two
+/// requests that differ only in "id" or trace context (or field
+/// spelling order on the wire — the map is sorted) share a key and
+/// therefore a cached body: tracing is observability, never semantics,
+/// so a traced and an untraced request must hit the same memo entry.
 CacheKey request_cache_key(const FlatJsonFields& fields);
 
 /// Dispatches one parsed request to its handler. Eval-type responses go
 /// through \p cache when non-null. Never throws and never fatals:
 /// handler-level fatal() (unknown model, bad field value) is converted
-/// to an `"ok":0` body via FatalThrowGuard.
+/// to an `"ok":0` body via FatalThrowGuard. \p telemetry feeds the
+/// live `metrics_snapshot` / `trace_export` pull handlers only.
 std::string handle_request_body(const FlatJsonFields& fields,
                                 ResponseCache* cache,
-                                const ServerStatsSnapshot& stats);
+                                const ServerStatsSnapshot& stats,
+                                const TelemetrySources& telemetry = {});
+
+/// Splices the per-request stage timings into a finished response
+/// (before the trailing '}'): `timing_queue_s`, `timing_decode_s`,
+/// `timing_eval_s`, `timing_encode_s`, all format_double_17g. The
+/// server calls this only for requests that carried a `trace` field,
+/// AFTER any response-memo lookup — timing never enters cached bytes,
+/// so traced and untraced clients read byte-identical payloads.
+void append_timing_fields(std::string& response, double queue_wait_s,
+                          double decode_s, double eval_s,
+                          double encode_s);
 
 /// Body of an `"ok":0` reply: `"ok":0,"error":<code>,"detail":<detail>`.
 std::string error_body(const std::string& code, const std::string& detail);

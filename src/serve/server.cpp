@@ -53,6 +53,41 @@ is_error_reply(const std::string& response)
     return response.find("\"ok\":0") != std::string::npos;
 }
 
+/// Records a traced request's stage spans (request + decode/queue_wait/
+/// eval/encode children) into \p session with explicit timestamps —
+/// directly, not via ScopedSpan, so the spans land in the *server's*
+/// telemetry session (which in-process multi-server tests keep
+/// per-server) rather than whatever the global happens to be. All
+/// inputs are monotonic_seconds() readings; the exact session skew
+/// maps them onto the session epoch.
+void
+record_stage_spans(obs::TraceSession& session,
+                   const obs::TraceContext& context, double decode_s,
+                   double enqueue_mono_s, double queue_wait_s,
+                   double eval_start_s, double eval_end_s,
+                   double encode_end_s)
+{
+    const double skew_s = session.epoch_to_monotonic_skew_s();
+    const auto add = [&](const char* name, double start_mono_s,
+                         double duration_s, std::uint32_t depth) {
+        obs::TraceEvent event;
+        event.name = name;
+        event.depth = depth;
+        event.start_us = (start_mono_s - skew_s) * 1e6;
+        event.duration_us = duration_s * 1e6;
+        event.trace_id = context.trace_id;
+        event.case_index = context.case_index;
+        session.add_event(std::move(event));
+    };
+    const double decode_start_s = enqueue_mono_s - decode_s;
+    add("serve/request", decode_start_s, encode_end_s - decode_start_s,
+        0);
+    add("serve/decode", decode_start_s, decode_s, 1);
+    add("serve/queue_wait", enqueue_mono_s, queue_wait_s, 1);
+    add("serve/eval", eval_start_s, eval_end_s - eval_start_s, 1);
+    add("serve/encode", eval_end_s, encode_end_s - eval_end_s, 1);
+}
+
 }  // namespace
 
 void
@@ -194,6 +229,17 @@ Server::snapshot_locked() const
         snapshot.uptime_seconds = obs::monotonic_seconds() - start_time_s_;
     if (cache_ != nullptr)
         snapshot.cache = cache_->stats();
+    // The latency histogram is internally atomic (not guarded by
+    // stats_mutex_); quantiles resolve to bucket upper edges.
+    snapshot.latency_count = latency_hist_.count();
+    const std::vector<std::uint64_t> latency_counts =
+        latency_hist_.bucket_counts();
+    snapshot.latency_p50_s = obs::histogram_quantile(
+        latency_hist_.bounds(), latency_counts, 0.50);
+    snapshot.latency_p95_s = obs::histogram_quantile(
+        latency_hist_.bounds(), latency_counts, 0.95);
+    snapshot.latency_p99_s = obs::histogram_quantile(
+        latency_hist_.bounds(), latency_counts, 0.99);
     return snapshot;
 }
 
@@ -502,6 +548,7 @@ Server::read_ready(Connection& connection)
 bool
 Server::ingest_payload(Connection& connection, const std::string& payload)
 {
+    const double ingest_start_s = obs::monotonic_seconds();
     FlatJsonFields fields;
     if (!scan_flat_json(payload, fields)) {
         // Malformed payload inside a well-delimited frame: the stream
@@ -532,8 +579,20 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
     std::string type;
     json_get_string(fields, "type", type);
     request.type = type;
+    // Distributed-trace context rides along as an optional field; a
+    // malformed value is ignored (tracing must never fail a request).
+    std::string trace_field;
+    if (json_get_string(fields, "trace", trace_field) &&
+        obs::parse_trace_field(trace_field, request.trace_ctx)) {
+        std::uint64_t case_index = 0;
+        if (json_get_uint64(fields, "case_index", case_index))
+            request.trace_ctx.case_index =
+                static_cast<std::int64_t>(case_index);
+    }
     request.fields = std::move(fields);
     request.timer = std::make_unique<obs::SpanTimer>("serve/request");
+    request.enqueue_mono_s = obs::monotonic_seconds();
+    request.decode_s = request.enqueue_mono_s - ingest_start_s;
     {
         MutexLock lock(stats_mutex_);
         ++counters_.requests_total;
@@ -549,6 +608,10 @@ Server::ingest_payload(Connection& connection, const std::string& payload)
             ++counters_.requests_server_stats;
         else if (type == "health")
             ++counters_.requests_health;
+        else if (type == "metrics_snapshot")
+            ++counters_.requests_metrics_snapshot;
+        else if (type == "trace_export")
+            ++counters_.requests_trace_export;
     }
     bump("serve/requests");
     pending_.push_back(std::move(request));
@@ -585,25 +648,69 @@ Server::dispatch_batch()
         registry->gauge("serve/queue_depth", obs::Stability::kVolatile)
             .set(static_cast<double>(pending_.size()));
 
+    // Telemetry sources resolve per batch: explicit options win, else
+    // the process globals (nullptr disables the corresponding export).
+    TelemetrySources telemetry;
+    telemetry.metrics = options_.metrics_source != nullptr
+                            ? options_.metrics_source
+                            : obs::metrics();
+    telemetry.trace = options_.trace_source != nullptr
+                          ? options_.trace_source
+                          : obs::trace();
+    const double dispatch_start_s = obs::monotonic_seconds();
+
     std::vector<std::string> responses;
     {
         OBS_SPAN("serve/eval_batch");
         responses = pool_->parallel_map(count, [&](std::size_t i) {
-            return finish_response(
-                batch[i].id,
-                handle_request_body(batch[i].fields, cache_.get(),
-                                    snapshot));
+            PendingRequest& request = batch[i];
+            if (!request.trace_ctx.active()) {
+                return finish_response(
+                    request.id,
+                    handle_request_body(request.fields, cache_.get(),
+                                        snapshot, telemetry));
+            }
+            // Traced request: install the caller's context (spans
+            // recorded by the handler inherit it), measure each stage
+            // and splice the timings into the reply — after the memo,
+            // so cached bytes stay timing-free.
+            obs::ScopedTraceContext context(request.trace_ctx);
+            const double queue_wait_s =
+                dispatch_start_s - request.enqueue_mono_s;
+            const double eval_start_s = obs::monotonic_seconds();
+            const std::string body = handle_request_body(
+                request.fields, cache_.get(), snapshot, telemetry);
+            const double eval_end_s = obs::monotonic_seconds();
+            std::string response = finish_response(request.id, body);
+            const double encode_end_s = obs::monotonic_seconds();
+            append_timing_fields(response, queue_wait_s,
+                                 request.decode_s,
+                                 eval_end_s - eval_start_s,
+                                 encode_end_s - eval_end_s);
+            if (telemetry.trace != nullptr)
+                record_stage_spans(*telemetry.trace, request.trace_ctx,
+                                   request.decode_s,
+                                   request.enqueue_mono_s, queue_wait_s,
+                                   eval_start_s, eval_end_s,
+                                   encode_end_s);
+            return response;
         });
     }
 
     for (std::size_t i = 0; i < count; ++i) {
-        if (obs::MetricsRegistry* registry = obs::metrics())
-            registry
+        const double latency_s = batch[i].timer->elapsed_s();
+        latency_hist_.record(latency_s);
+        if (telemetry.metrics != nullptr)
+            telemetry.metrics
                 ->histogram("serve/request_latency_s",
                             obs::latency_bounds(),
                             obs::Stability::kVolatile)
-                .record(batch[i].timer->elapsed_s());
-        batch[i].timer.reset();  // records the trace span
+                .record(latency_s);
+        {
+            // The released span inherits the request's trace context.
+            obs::ScopedTraceContext context(batch[i].trace_ctx);
+            batch[i].timer.reset();  // records the trace span
+        }
         Connection* connection =
             find_connection(batch[i].connection_id);
         if (connection == nullptr)

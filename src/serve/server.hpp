@@ -57,6 +57,7 @@
 #include "common/mutex.hpp"
 #include "common/thread_annotations.hpp"
 #include "fault/net_fault_injector.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/handlers.hpp"
@@ -97,6 +98,14 @@ struct ServerOptions {
     /// resolves to "<hostname>:<port>" at start(), after the listening
     /// port is known.
     std::string worker_id;
+    /// Telemetry the `metrics_snapshot` / `trace_export` pull handlers
+    /// export, and (for the trace) where traced requests' stage spans
+    /// are recorded. Non-owning; nullptr (the default) falls back to
+    /// the process-global obs::metrics()/obs::trace() at request time
+    /// — a daemon just attaches globals, while in-process multi-server
+    /// tests give each server its own session so pulls stay distinct.
+    obs::MetricsRegistry* metrics_source = nullptr;
+    obs::TraceSession* trace_source = nullptr;
 
     void validate() const;
 };
@@ -158,6 +167,14 @@ class Server
         std::string type;
         /// Queue+eval latency probe; records a trace span when released.
         std::unique_ptr<obs::SpanTimer> timer;
+        /// Parsed "trace" request field (trace_id 0 = untraced); its
+        /// case_index is filled from the request's "case_index" field.
+        obs::TraceContext trace_ctx;
+        /// monotonic_seconds() when the request entered pending_ —
+        /// queue_wait = dispatch time minus this.
+        double enqueue_mono_s = 0.0;
+        /// Payload scan time for this request (the decode stage).
+        double decode_s = 0.0;
     };
 
     void loop();
@@ -211,6 +228,10 @@ class Server
     ServerStatsSnapshot counters_ CHRYSALIS_GUARDED_BY(stats_mutex_);
     /// monotonic_seconds() at start()
     double start_time_s_ CHRYSALIS_GUARDED_BY(stats_mutex_) = 0.0;
+    /// Always-on request-latency histogram backing the server_stats
+    /// p50/p95/p99 summary (internally atomic — recorded on the I/O
+    /// thread, read by stats() callers without stats_mutex_).
+    obs::Histogram latency_hist_{obs::latency_bounds()};
 };
 
 }  // namespace chrysalis::serve

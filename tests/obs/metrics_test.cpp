@@ -197,6 +197,63 @@ TEST(DecadeBoundsTest, SpansMicroToTera)
         EXPECT_GT(bounds[i], bounds[i - 1]);
 }
 
+TEST(HistogramQuantileTest, ResolvesBucketUpperEdges)
+{
+    const std::vector<double> bounds = {0.001, 0.01, 0.1, 1.0};
+    // 10 in (.., 0.001], 85 in (0.001, 0.01], 4 in (0.01, 0.1],
+    // 1 in (0.1, 1.0], 0 overflow.
+    const std::vector<std::uint64_t> counts = {10, 85, 4, 1, 0};
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.05), 0.001);
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.5), 0.01);
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.95), 0.01);
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.99), 0.1);
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 0.0), 0.001);
+}
+
+TEST(HistogramQuantileTest, EmptyAndOverflowEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(histogram_quantile({1.0}, {0, 0}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(histogram_quantile({}, {}, 0.5), 0.0);
+    // All mass in the overflow bucket clamps to the last finite edge —
+    // the histogram cannot resolve beyond it.
+    EXPECT_DOUBLE_EQ(histogram_quantile({1.0, 2.0}, {0, 0, 7}, 0.5),
+                     2.0);
+}
+
+TEST(HistogramQuantileTest, MatchesServerStatsUsage)
+{
+    // The serve path computes p50/p95/p99 from a live histogram's
+    // bucket counts; quantiles must land on recorded buckets' edges.
+    Histogram histogram(latency_bounds());
+    for (int i = 0; i < 99; ++i)
+        histogram.record(0.0005);
+    histogram.record(5.0);
+    const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+    const double p50 =
+        histogram_quantile(histogram.bounds(), counts, 0.5);
+    const double p99 =
+        histogram_quantile(histogram.bounds(), counts, 0.99);
+    EXPECT_LE(p50, 0.001);
+    EXPECT_LE(p99, 0.001);
+    const double p100 =
+        histogram_quantile(histogram.bounds(), counts, 1.0);
+    EXPECT_GE(p100, 5.0);
+}
+
+TEST(SamplesTest, SamplesToJsonMatchesRegistryReport)
+{
+    MetricsRegistry registry;
+    registry.counter("a/count").add(4);
+    registry.gauge("b/level").set(2.5);
+    registry.histogram("c/lat", {1.0, 2.0}).record(1.5);
+    EXPECT_EQ(samples_to_json(registry.samples(), ReportMode::kFull),
+              registry.to_json(ReportMode::kFull));
+    EXPECT_EQ(
+        samples_to_json(registry.samples(), ReportMode::kDeterministic),
+        registry.to_json(ReportMode::kDeterministic));
+}
+
 TEST(ThreadCpuSecondsTest, MonotonicOnThisThread)
 {
     const double before = thread_cpu_seconds();
